@@ -1,0 +1,19 @@
+//! Regenerates Figure 1 (Xeon L3 validation bubbles) and measures one
+//! knob-sweep evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", llc_study::figure1::render());
+
+    c.bench_function("figure1/knob_sweep", |b| {
+        b.iter(llc_study::figure1::figure1)
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+);
+criterion_main!(benches);

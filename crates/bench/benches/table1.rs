@@ -1,0 +1,26 @@
+//! Regenerates Table 1 (technology characteristics) and measures the
+//! technology-model lookup cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced table once.
+    println!("{}", llc_study::table1::render(cactid_tech::TechNode::N32));
+
+    c.bench_function("table1/render_32nm", |b| {
+        b.iter(|| llc_study::table1::table1(black_box(cactid_tech::TechNode::N32)))
+    });
+    c.bench_function("table1/technology_lookup", |b| {
+        let tech = cactid_tech::Technology::new(cactid_tech::TechNode::N32);
+        b.iter(|| {
+            for &ct in cactid_tech::CellTechnology::ALL {
+                black_box(tech.cell(ct));
+                black_box(tech.peripheral_device(ct));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

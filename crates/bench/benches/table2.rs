@@ -1,0 +1,20 @@
+//! Regenerates Table 2 (Micron 1 Gb DDR3-1066 validation) and measures the
+//! main-memory solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", llc_study::table2::render());
+
+    let spec = llc_study::table2::micron_spec();
+    c.bench_function("table2/solve_micron_1gb", |b| {
+        b.iter(|| cactid_core::solve(black_box(&spec)).expect("solves"))
+    });
+    c.bench_function("table2/optimize_micron_1gb", |b| {
+        b.iter(|| cactid_core::optimize(black_box(&spec)).expect("solves"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Table 3 (32 nm hierarchy projections) and measures the cost
+//! of the per-level optimizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llc_study::configs::{build, LlcKind};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", llc_study::table3::render());
+
+    c.bench_function("table3/build_sram24_config", |b| {
+        b.iter(|| build(LlcKind::Sram24))
+    });
+    c.bench_function("table3/build_cm_dram_c192_config", |b| {
+        b.iter(|| build(LlcKind::CmDramC192))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # cactid-bench — benchmark & reproduction harness
+//!
+//! Each Criterion bench in `benches/` regenerates one table or figure of
+//! the CACTI-D paper (printing the rows/series the paper reports) and then
+//! measures the cost of producing it:
+//!
+//! * `table1` — technology-characteristics table.
+//! * `table2` — Micron DDR3 validation (solve + staged select).
+//! * `table3` — the full 32 nm hierarchy projection sweep.
+//! * `figure1` — the Xeon-L3 knob sweep.
+//! * `figure4` / `figure5` — the architectural study (IPC/latency/breakdown
+//!   and power/energy-delay). Scale with `CACTID_BENCH_INSTR` (default
+//!   2 000 000 instructions per app × config).
+//! * `ablations` — design-choice studies DESIGN.md calls out: open- vs
+//!   closed-page main memory, Figure 3 set↔page mappings, sequential vs
+//!   normal cache access mode, repeater relaxation.
+//! * `solver` — microbenchmarks of the organization sweep itself.
+
+/// Instruction budget per (app, config) pair for the figure benches, from
+/// `CACTID_BENCH_INSTR` (default 2 000 000).
+pub fn bench_instructions() -> u64 {
+    std::env::var("CACTID_BENCH_INSTR")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse().ok())
+        .unwrap_or(2_000_000)
+}

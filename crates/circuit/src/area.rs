@@ -1,0 +1,125 @@
+//! Analytical gate-area model with folding and pitch-matching.
+//!
+//! The paper (§2.3) emphasizes that gate areas must be *sensitive to
+//! transistor sizing*, and that pitch-matched circuits (wordline drivers,
+//! sense amplifiers) fold their transistors to fit the pitch they must
+//! satisfy. This module implements that: a transistor of total width `w`
+//! constrained to a maximum leg height `h_max` is folded into
+//! `ceil(w / h_max)` legs, each occupying one contacted gate pitch
+//! horizontally.
+
+use cactid_tech::DeviceParams;
+
+/// Contacted gate pitch in feature sizes — the horizontal extent of one
+/// folded transistor leg (gate + contact + spacing).
+pub const GATE_PITCH_F: f64 = 4.0;
+/// Default maximum leg height for unconstrained logic, in feature sizes.
+pub const DEFAULT_LEG_HEIGHT_F: f64 = 50.0;
+/// Vertical overhead per gate (well taps, power rails), in feature sizes.
+pub const GATE_OVERHEAD_F: f64 = 10.0;
+
+/// Computed layout footprint of a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GateArea {
+    /// Horizontal extent [m].
+    pub width: f64,
+    /// Vertical extent [m].
+    pub height: f64,
+}
+
+impl GateArea {
+    /// Footprint area [m²].
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+/// Area of a single transistor of total width `w`, folded to legs no taller
+/// than `h_max`; `f` is the feature size.
+///
+/// # Panics
+///
+/// Panics if `w`, `h_max` or `f` is not positive.
+pub fn transistor_area(w: f64, h_max: f64, f: f64) -> GateArea {
+    assert!(w > 0.0 && h_max > 0.0 && f > 0.0);
+    let legs = (w / h_max).ceil().max(1.0);
+    let leg_h = (w / legs).min(h_max);
+    GateArea {
+        width: legs * GATE_PITCH_F * f,
+        height: leg_h,
+    }
+}
+
+/// Area of a static CMOS gate with NMOS width `w_n` and PMOS width `w_p`
+/// stacked vertically, each folded to fit within `h_max` total height
+/// (split between the N and P devices in proportion to their widths).
+pub fn gate_area(w_n: f64, w_p: f64, h_max: f64, f: f64) -> GateArea {
+    assert!(w_n > 0.0 && w_p > 0.0);
+    let h_n = h_max * w_n / (w_n + w_p);
+    let h_p = h_max - h_n;
+    let n = transistor_area(w_n, h_n.max(f), f);
+    let p = transistor_area(w_p, h_p.max(f), f);
+    GateArea {
+        width: n.width.max(p.width),
+        height: n.height + p.height + GATE_OVERHEAD_F * f,
+    }
+}
+
+/// Area of an inverter sized for input capacitance `c_in` under `dev`,
+/// pitch-matched to `h_max`.
+pub fn inverter_area_for_cap(dev: &DeviceParams, c_in: f64, h_max: f64, f: f64) -> GateArea {
+    let w_n = (c_in / ((1.0 + dev.p_to_n_ratio) * dev.c_gate)).max(dev.min_width);
+    let w_p = w_n * dev.p_to_n_ratio;
+    gate_area(w_n, w_p, h_max, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_tech::{DeviceType, TechNode, Technology};
+
+    const F: f64 = 32e-9;
+
+    #[test]
+    fn area_grows_with_width() {
+        let small = transistor_area(10.0 * F, 50.0 * F, F);
+        let big = transistor_area(100.0 * F, 50.0 * F, F);
+        assert!(big.area() > small.area());
+    }
+
+    #[test]
+    fn folding_kicks_in_beyond_leg_height() {
+        let unfolded = transistor_area(40.0 * F, 50.0 * F, F);
+        assert!((unfolded.width - GATE_PITCH_F * F).abs() < 1e-12);
+        let folded = transistor_area(200.0 * F, 50.0 * F, F);
+        // 200F / 50F = 4 legs.
+        assert!((folded.width - 4.0 * GATE_PITCH_F * F).abs() < 1e-12);
+        assert!(folded.height <= 50.0 * F + 1e-12);
+    }
+
+    #[test]
+    fn tighter_pitch_means_wider_layout() {
+        // Pitch-matching constraint: squeezing the same transistor into a
+        // shorter leg makes the layout wider — the paper's DRAM-vs-SRAM
+        // pitch-matching effect.
+        let loose = transistor_area(100.0 * F, 50.0 * F, F);
+        let tight = transistor_area(100.0 * F, 10.0 * F, F);
+        assert!(tight.width > loose.width);
+        assert!(tight.area() >= loose.area() * 0.9);
+    }
+
+    #[test]
+    fn inverter_area_respects_min_width() {
+        let tech = Technology::new(TechNode::N32);
+        let dev = tech.device(DeviceType::Hp);
+        let tiny = inverter_area_for_cap(&dev, 1e-18, 50.0 * F, F);
+        let min_expected = gate_area(dev.min_width, dev.min_width * 2.0, 50.0 * F, F);
+        assert!((tiny.area() - min_expected.area()).abs() / min_expected.area() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_width() {
+        transistor_area(0.0, 1.0, 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Logical-effort-sized inverter (buffer) chains.
+
+use crate::area::{inverter_area_for_cap, DEFAULT_LEG_HEIGHT_F};
+use crate::horowitz::stage;
+use crate::logical_effort::size_chain;
+use crate::BlockResult;
+use cactid_tech::DeviceParams;
+
+/// Per-stage evaluation detail, exposed for tests and debugging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageResult {
+    /// Input capacitance of this stage [F].
+    pub c_in: f64,
+    /// Delay contributed by this stage [s].
+    pub delay: f64,
+}
+
+/// A chain of inverters sized to drive a capacitive load, the workhorse
+/// behind wordline drivers, predecoder drivers, output drivers and mux
+/// drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferChain {
+    /// Input capacitance of each stage [F], first to last.
+    pub stage_caps: Vec<f64>,
+    /// The load the chain was designed for [F].
+    pub c_load: f64,
+}
+
+impl BufferChain {
+    /// Designs a chain whose first stage presents `c_in` of input
+    /// capacitance and which drives `c_load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_in` or `c_load` is not positive.
+    pub fn design(dev: &DeviceParams, c_in: f64, c_load: f64) -> BufferChain {
+        let c_in = c_in.max(dev.c_inv_min());
+        let chain = size_chain(c_in, c_load, 1.0, 1);
+        let stage_caps = chain.cap_ratios.iter().map(|r| r * c_in).collect();
+        BufferChain { stage_caps, c_load }
+    }
+
+    /// Number of inverter stages.
+    pub fn n_stages(&self) -> usize {
+        self.stage_caps.len()
+    }
+
+    /// NMOS width of stage `i` under `dev` [m].
+    pub fn stage_width_n(&self, dev: &DeviceParams, i: usize) -> f64 {
+        (self.stage_caps[i] / ((1.0 + dev.p_to_n_ratio) * dev.c_gate)).max(dev.min_width)
+    }
+
+    /// Evaluates delay/energy/leakage/area of the chain given the input
+    /// transition time `input_ramp`, switching at `dev.vdd`.
+    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: f64) -> BlockResult {
+        self.evaluate_at(dev, input_ramp, dev.vdd)
+    }
+
+    /// Like [`BufferChain::evaluate`] but switching the *final* load at
+    /// `v_swing` (e.g. a boosted-V_PP wordline) while internal stages swing
+    /// the device VDD.
+    pub fn evaluate_at(&self, dev: &DeviceParams, input_ramp: f64, v_swing: f64) -> BlockResult {
+        let mut delay = 0.0;
+        let mut ramp = input_ramp;
+        let mut energy = 0.0;
+        let mut leak = 0.0;
+        let mut area = 0.0;
+        // Recover the feature size from the device's minimum width
+        // (min_width = 2.5 F by construction in cactid-tech).
+        let f = dev.min_width / 2.5;
+        let n = self.n_stages();
+        for i in 0..n {
+            let w_n = self.stage_width_n(dev, i);
+            let w_p = w_n * dev.p_to_n_ratio;
+            let r = dev.res_on_n(w_n);
+            let c_self = dev.cap_drain(w_n + w_p);
+            let c_next = if i + 1 < n {
+                self.stage_caps[i + 1]
+            } else {
+                self.c_load
+            };
+            let tf = r * (c_self + c_next);
+            let (d, ramp_out) = stage(ramp, tf, 0.5);
+            delay += d;
+            ramp = ramp_out;
+            let v = if i + 1 == n { v_swing } else { dev.vdd };
+            // Activity convention: one full transition per access; energy
+            // drawn from the supply to charge the node is C·V² but averaged
+            // over rising/falling accesses we charge it every other access.
+            energy += 0.5 * (c_self + c_next) * v * v;
+            leak += dev.leak_power((w_n + w_p) / 2.0);
+            area +=
+                inverter_area_for_cap(dev, self.stage_caps[i], DEFAULT_LEG_HEIGHT_F * f, f).area();
+        }
+        BlockResult {
+            delay,
+            ramp_out: ramp,
+            energy,
+            leakage: leak,
+            area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_tech::{DeviceType, TechNode, Technology};
+
+    fn dev() -> DeviceParams {
+        Technology::new(TechNode::N32).device(DeviceType::Hp)
+    }
+
+    #[test]
+    fn bigger_load_is_slower_and_hungrier() {
+        let d = dev();
+        let small = BufferChain::design(&d, d.c_inv_min(), 20e-15).evaluate(&d, 0.0);
+        let big = BufferChain::design(&d, d.c_inv_min(), 2000e-15).evaluate(&d, 0.0);
+        assert!(big.delay > small.delay);
+        assert!(big.energy > small.energy);
+        assert!(big.leakage > small.leakage);
+        assert!(big.area > small.area);
+    }
+
+    #[test]
+    fn delay_is_a_few_fo4_per_decade() {
+        let d = dev();
+        let tech = Technology::new(TechNode::N32);
+        let fo4 = tech.fo4(DeviceType::Hp);
+        // Driving 1000× the min inverter cap should take ~5 stages ≈ 5 FO4.
+        let r = BufferChain::design(&d, d.c_inv_min(), 1000.0 * d.c_inv_min()).evaluate(&d, 0.0);
+        assert!(r.delay > 2.0 * fo4 && r.delay < 12.0 * fo4, "{:e}", r.delay);
+    }
+
+    #[test]
+    fn boosted_swing_raises_energy_only() {
+        let d = dev();
+        let chain = BufferChain::design(&d, d.c_inv_min(), 500e-15);
+        let normal = chain.evaluate_at(&d, 0.0, d.vdd);
+        let boosted = chain.evaluate_at(&d, 0.0, 2.6);
+        assert!(boosted.energy > normal.energy);
+        assert_eq!(boosted.delay, normal.delay);
+    }
+
+    #[test]
+    fn slow_input_propagates() {
+        let d = dev();
+        let chain = BufferChain::design(&d, d.c_inv_min(), 100e-15);
+        let fast = chain.evaluate(&d, 0.0);
+        let slow = chain.evaluate(&d, 100e-12);
+        assert!(slow.delay > fast.delay);
+    }
+}

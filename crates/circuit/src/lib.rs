@@ -1,0 +1,106 @@
+//! Circuit-level primitives for the CACTI-D reproduction.
+//!
+//! The array-organization models in `cactid-core` are assembled from the
+//! building blocks in this crate, which mirror the circuit methodology the
+//! paper inherits from CACTI 5 (§2.3): the method of logical effort for
+//! sizing decoders and drivers (following Amrutur & Horowitz), the Horowitz
+//! gate-delay approximation with input-slope tracking, analytical gate area
+//! with folding under pitch-matching constraints, optimal repeater insertion
+//! for long wires (with the `max_repeater_delay` relaxation knob of §2.4),
+//! sense amplifiers, and an Orion-style crossbar model used for the L2↔L3
+//! interconnect in the LLC study.
+//!
+//! Everything is expressed in SI units and parameterized by a
+//! [`cactid_tech::DeviceParams`] so the same circuit works across device
+//! classes (HP / long-channel HP / LSTP / LOP) and nodes.
+//!
+//! # Example: sizing a driver chain
+//!
+//! ```
+//! use cactid_tech::{Technology, TechNode, DeviceType};
+//! use cactid_circuit::driver::BufferChain;
+//!
+//! let tech = Technology::new(TechNode::N32);
+//! let dev = tech.device(DeviceType::Hp);
+//! // Drive a 200 fF load from a minimum-size inverter.
+//! let chain = BufferChain::design(&dev, dev.c_inv_min(), 200e-15);
+//! let result = chain.evaluate(&dev, 0.0);
+//! assert!(result.delay > 0.0 && result.delay < 1e-9);
+//! ```
+
+pub mod area;
+pub mod crossbar;
+pub mod decoder;
+pub mod driver;
+pub mod horowitz;
+pub mod logical_effort;
+pub mod mux;
+pub mod repeater;
+pub mod sense_amp;
+
+pub use area::GateArea;
+pub use crossbar::Crossbar;
+pub use decoder::Decoder;
+pub use driver::{BufferChain, StageResult};
+pub use horowitz::horowitz;
+pub use repeater::RepeatedWire;
+pub use sense_amp::SenseAmp;
+
+/// Aggregate electrical result of evaluating a circuit block: the quantities
+/// every block contributes to the array model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockResult {
+    /// Propagation delay through the block [s].
+    pub delay: f64,
+    /// 10–90 %-style output transition time handed to the next stage [s].
+    pub ramp_out: f64,
+    /// Dynamic energy per activation [J].
+    pub energy: f64,
+    /// Standby leakage power [W].
+    pub leakage: f64,
+    /// Layout area [m²].
+    pub area: f64,
+}
+
+impl BlockResult {
+    /// Sums two block results serially: delays add, energies add, leakage
+    /// adds, areas add; the ramp is taken from `next`.
+    pub fn then(&self, next: &BlockResult) -> BlockResult {
+        BlockResult {
+            delay: self.delay + next.delay,
+            ramp_out: next.ramp_out,
+            energy: self.energy + next.energy,
+            leakage: self.leakage + next.leakage,
+            area: self.area + next.area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_result_then_accumulates() {
+        let a = BlockResult {
+            delay: 1e-10,
+            ramp_out: 2e-10,
+            energy: 1e-12,
+            leakage: 1e-3,
+            area: 1e-9,
+        };
+        let b = BlockResult {
+            delay: 3e-10,
+            ramp_out: 5e-10,
+            energy: 2e-12,
+            leakage: 2e-3,
+            area: 2e-9,
+        };
+        let c = a.then(&b);
+        assert!((c.delay - 4e-10).abs() < 1e-20);
+        assert_eq!(c.ramp_out, 5e-10);
+        assert!((c.energy - 3e-12).abs() < 1e-24);
+        assert!((c.leakage - 3e-3).abs() < 1e-12);
+        assert!((c.area - 3e-9).abs() < 1e-18);
+    }
+}

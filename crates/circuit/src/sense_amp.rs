@@ -1,0 +1,171 @@
+//! Latch-type sense amplifier model.
+//!
+//! Both the SRAM and DRAM paths use a cross-coupled latch sense amplifier;
+//! its regeneration time is `τ·ln(V_latch/ΔV_in)` with `τ = C_latch/g_m`.
+//! DRAM sense amps are pitch-matched to the (much tighter) bitline pitch,
+//! which folds their devices and makes them taller — captured through the
+//! area model.
+
+use crate::area::transistor_area;
+use crate::BlockResult;
+use cactid_tech::DeviceParams;
+
+/// A sense amplifier instance (one per bitline pair after bitline muxing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmp {
+    /// Width of each cross-coupled device [m].
+    pub w_latch: f64,
+    /// Internal latch node capacitance [F], including any external load the
+    /// latch must regenerate (the full bitline, for DRAM).
+    pub c_latch: f64,
+    /// Internal (latch-only) capacitance used for energy accounting [F] —
+    /// external bitline energy is accounted by the array model.
+    pub c_internal: f64,
+    /// Bitline-pair pitch this amp must fit within [m].
+    pub pitch: f64,
+    /// Fraction of the device transconductance available (offset
+    /// compensation and conservative biasing derate it; 1.0 = ideal).
+    pub gm_derate: f64,
+}
+
+impl SenseAmp {
+    /// Designs a sense amp under `dev`, pitch-matched to `pitch` (two cell
+    /// widths for a folded differential pair).
+    pub fn design(dev: &DeviceParams, pitch: f64) -> SenseAmp {
+        SenseAmp::design_with_load(dev, pitch, 0.0, 1.0)
+    }
+
+    /// Designs a sense amp that must regenerate an additional external
+    /// capacitance `c_extra` (a DRAM sense amp swings the whole bitline),
+    /// with its transconductance derated by `gm_derate ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gm_derate` is not in `(0, 1]` or `c_extra` is negative.
+    pub fn design_with_load(
+        dev: &DeviceParams,
+        pitch: f64,
+        c_extra: f64,
+        gm_derate: f64,
+    ) -> SenseAmp {
+        assert!(gm_derate > 0.0 && gm_derate <= 1.0, "gm_derate in (0,1]");
+        assert!(c_extra >= 0.0);
+        let w_latch = 8.0 * dev.min_width;
+        // Two cross-coupled inverters: gate + drain of the opposing pair.
+        let c_internal = (dev.c_gate + dev.c_drain) * w_latch * (1.0 + dev.p_to_n_ratio);
+        SenseAmp {
+            w_latch,
+            c_latch: c_internal + c_extra,
+            c_internal,
+            pitch,
+            gm_derate,
+        }
+    }
+
+    /// Regeneration delay to amplify an input differential of `v_in` to a
+    /// full `v_latch` swing [s].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_in` is not positive or exceeds `v_latch`.
+    pub fn delay(&self, dev: &DeviceParams, v_in: f64, v_latch: f64) -> f64 {
+        assert!(v_in > 0.0, "sense input differential must be positive");
+        assert!(v_in <= v_latch, "input differential larger than swing");
+        let gm = dev.g_m * self.w_latch * self.gm_derate;
+        let tau = self.c_latch / gm;
+        tau * (v_latch / v_in).ln()
+    }
+
+    /// Evaluates one sensing event at latch swing `v_latch`.
+    pub fn evaluate(&self, dev: &DeviceParams, v_in: f64, v_latch: f64) -> BlockResult {
+        let delay = self.delay(dev, v_in, v_latch);
+        // The latch nodes make a full differential transition; external
+        // (bitline) energy is accounted by the array model.
+        let energy = self.c_internal * v_latch * v_latch;
+        // Cross-coupled pair + enable device leak.
+        let leakage = dev.leak_power(self.w_latch * 1.5);
+        let f = dev.min_width / 2.5;
+        // 6 devices folded into the bitline pitch.
+        let dev_area = transistor_area(6.0 * self.w_latch, self.pitch.max(4.0 * f), f);
+        BlockResult {
+            delay,
+            ramp_out: delay,
+            energy,
+            leakage,
+            area: dev_area.area().max(self.pitch * 20.0 * f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_tech::{DeviceType, TechNode, Technology};
+
+    fn dev() -> DeviceParams {
+        Technology::new(TechNode::N32).device(DeviceType::HpLongChannel)
+    }
+
+    #[test]
+    fn smaller_input_signal_takes_longer() {
+        let d = dev();
+        let sa = SenseAmp::design(&d, 0.13e-6);
+        let strong = sa.delay(&d, 0.2, 0.9);
+        let weak = sa.delay(&d, 0.05, 0.9);
+        assert!(weak > strong);
+    }
+
+    #[test]
+    fn delay_in_tens_of_ps() {
+        let d = dev();
+        let sa = SenseAmp::design(&d, 0.13e-6);
+        let t = sa.delay(&d, 0.1, 0.9);
+        assert!(t > 1e-12 && t < 300e-12, "{t:e}");
+    }
+
+    #[test]
+    fn lstp_amp_is_slower_than_hp_amp() {
+        let tech = Technology::new(TechNode::N32);
+        let hp = tech.device(DeviceType::Hp);
+        let lstp = tech.device(DeviceType::Lstp);
+        let sa_hp = SenseAmp::design(&hp, 0.13e-6);
+        let sa_lstp = SenseAmp::design(&lstp, 0.13e-6);
+        assert!(sa_lstp.delay(&lstp, 0.1, 1.0) > sa_hp.delay(&hp, 0.1, 0.9));
+    }
+
+    #[test]
+    fn tight_pitch_grows_area() {
+        let d = dev();
+        let tight = SenseAmp::design(&d, 0.064e-6).evaluate(&d, 0.1, 0.9);
+        let loose = SenseAmp::design(&d, 1.0e-6).evaluate(&d, 0.1, 0.9);
+        // Same devices, tighter pitch → more folding → at least as much area.
+        assert!(tight.area >= loose.area * 0.5);
+    }
+
+    #[test]
+    fn external_load_slows_sensing_without_energy_cost() {
+        let d = dev();
+        let bare = SenseAmp::design(&d, 0.13e-6);
+        let loaded = SenseAmp::design_with_load(&d, 0.13e-6, 80e-15, 1.0);
+        assert!(loaded.delay(&d, 0.1, 0.9) > 3.0 * bare.delay(&d, 0.1, 0.9));
+        let eb = bare.evaluate(&d, 0.1, 0.9).energy;
+        let el = loaded.evaluate(&d, 0.1, 0.9).energy;
+        assert!((eb - el).abs() < 1e-20, "latch-internal energy only");
+    }
+
+    #[test]
+    fn gm_derate_slows_sensing() {
+        let d = dev();
+        let ideal = SenseAmp::design_with_load(&d, 0.13e-6, 0.0, 1.0);
+        let derated = SenseAmp::design_with_load(&d, 0.13e-6, 0.0, 0.2);
+        let r = derated.delay(&d, 0.1, 0.9) / ideal.delay(&d, 0.1, 0.9);
+        assert!((r - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_signal() {
+        let d = dev();
+        SenseAmp::design(&d, 0.13e-6).delay(&d, 0.0, 0.9);
+    }
+}

@@ -1,0 +1,561 @@
+//! The core array model: evaluates one bank organization (geometry, timing,
+//! energy, leakage, refresh) for any of the three cell technologies.
+//!
+//! Layout model: a bank is `ndwl × ndbl` subarrays. Each subarray carries
+//! its own row decoder strip (pitch-matched wordline drivers) and a sense
+//! amplifier strip; address and data travel on a repeatered H-tree whose
+//! span follows from the assembled bank dimensions. DRAM subarrays use the
+//! folded-bitline organization (paper §2.3): every bitline on the open row
+//! is sensed (no bitline muxing), reads are destructive and followed by a
+//! writeback/restore phase, and cells must be refreshed every retention
+//! period.
+
+use crate::error::CactiError;
+use cactid_circuit::decoder::Decoder;
+use cactid_circuit::driver::BufferChain;
+use cactid_circuit::mux::PassMux;
+use cactid_circuit::repeater::RepeatedWire;
+use cactid_circuit::sense_amp::SenseAmp;
+use cactid_tech::{CellParams, DeviceParams, Technology, WireType};
+
+/// Tuning constants, grouped so the validation experiments (Tables 2–3,
+/// Figure 1) can be calibrated transparently. Values are physical-order
+/// estimates; see EXPERIMENTS.md for the calibration record.
+pub mod cal {
+    /// Precharge device width in multiples of minimum width (SRAM).
+    pub const W_PRECHARGE_MULT: f64 = 12.0;
+    /// Precharge/equalizer width for DRAM, pitch-constrained to the tight
+    /// bitline pitch and therefore much weaker.
+    pub const W_PRECHARGE_MULT_DRAM: f64 = 3.0;
+    /// SRAM bitline read swing as a multiple of the sense margin.
+    pub const SRAM_BL_SWING_MULT: f64 = 2.0;
+    /// Settle factor (in time constants) for DRAM charge sharing.
+    pub const TAU_SHARE: f64 = 2.2;
+    /// Settle factor for DRAM cell restore (writeback).
+    pub const TAU_RESTORE: f64 = 2.2;
+    /// Settle factor for bitline precharge/equalization.
+    pub const TAU_PRECHARGE: f64 = 2.2;
+    /// Fraction of the idle-stripe leakage retained under sleep
+    /// transistors (paper §2.5: sleep transistors halve idle-mat leakage).
+    pub const SLEEP_FACTOR: f64 = 0.5;
+    /// Control/synchronization overhead multiplier on the bus-pipeline
+    /// initiation interval (multisubbank interleave cycle).
+    pub const INTERLEAVE_OVERHEAD: f64 = 2.0;
+    /// Extra bitline energy factor covering restore + precharge of the
+    /// full DRAM swing relative to the initial sensing half-swing.
+    pub const DRAM_BL_CYCLE_FACTOR: f64 = 2.3;
+    /// Routing-fill factor for the central address/data spine.
+    pub const SPINE_FILL: f64 = 1.6;
+    /// Fixed per-bank control-strip height in feature sizes.
+    pub const CONTROL_STRIP_F: f64 = 60.0;
+    /// Per-subarray edge overhead (precharge, equalization, mux strips) in
+    /// feature sizes of height.
+    pub const SUBARRAY_EDGE_F: f64 = 30.0;
+}
+
+/// Generic description of one array (data or tag) to evaluate: geometry
+/// plus the electrical context. Produced from a `MemorySpec` + `OrgParams`
+/// by the solver, or synthesized directly by the tag model.
+#[derive(Debug, Clone)]
+pub struct ArrayInput {
+    /// Rows per subarray (power of two).
+    pub rows: u64,
+    /// Columns per subarray (power of two).
+    pub cols: u64,
+    /// Subarrays per activated stripe.
+    pub ndwl: u32,
+    /// Stripes per bank.
+    pub ndbl: u32,
+    /// Bitline-mux degree (1 for DRAM).
+    pub deg_bl_mux: u32,
+    /// Sense-amp (column-select) mux degree.
+    pub deg_sa_mux: u32,
+    /// Bits delivered per access.
+    pub output_bits: u64,
+    /// Address bits routed on the input H-tree.
+    pub address_bits: u32,
+    /// Cell technology parameters.
+    pub cell: CellParams,
+    /// Peripheral device parameters.
+    pub periph: DeviceParams,
+    /// Repeater relaxation knob (≥ 1).
+    pub repeater_relax: f64,
+    /// Sleep transistors on idle stripes.
+    pub sleep_transistors: bool,
+    /// Fraction of the sensed stripe whose sense amps fire (sequential-mode
+    /// SRAM caches gate unselected ways; DRAM always senses the full row).
+    pub sense_fraction: f64,
+}
+
+impl ArrayInput {
+    /// Bits on one activated stripe.
+    pub fn stripe_bits(&self) -> u64 {
+        self.cols * self.ndwl as u64
+    }
+
+    /// Total bits stored in the bank.
+    pub fn bank_bits(&self) -> u64 {
+        self.stripe_bits() * self.rows * self.ndbl as u64
+    }
+}
+
+/// Delay breakdown of one access path [s].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelayBreakdown {
+    /// Address H-tree from bank edge to stripe.
+    pub htree_in: f64,
+    /// Predecode + row decode + wordline rise.
+    pub decode: f64,
+    /// Bitline development (SRAM discharge / DRAM charge share).
+    pub bitline: f64,
+    /// Sense amplification.
+    pub sense: f64,
+    /// Bitline-mux + sense-amp-mux traversal.
+    pub mux: f64,
+    /// Column-select decode (serial only for the main-memory interface).
+    pub column_decode: f64,
+    /// Data H-tree back to the bank edge.
+    pub htree_out: f64,
+    /// Bitline precharge (cycle-time component).
+    pub precharge: f64,
+    /// DRAM cell restore/writeback (cycle-time component; 0 for SRAM).
+    pub restore: f64,
+}
+
+/// Energy breakdown of one access [J].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Address distribution.
+    pub htree_in: f64,
+    /// Decoders + wordline (at V_PP for DRAM).
+    pub decode: f64,
+    /// Bitline swing (+ restore/precharge for DRAM).
+    pub bitline: f64,
+    /// Sense amplifiers.
+    pub sense: f64,
+    /// Column path: muxes + data return H-tree.
+    pub column: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy [J].
+    pub fn total(&self) -> f64 {
+        self.htree_in + self.decode + self.bitline + self.sense + self.column
+    }
+
+    /// Row-activation portion (everything before the column path) —
+    /// the DRAM ACTIVATE command energy.
+    pub fn activate(&self) -> f64 {
+        self.htree_in + self.decode + self.bitline + self.sense
+    }
+}
+
+/// Complete evaluation of one bank organization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayResult {
+    /// Delay components.
+    pub delay: DelayBreakdown,
+    /// Read energy components.
+    pub energy: EnergyBreakdown,
+    /// Write energy per access [J].
+    pub write_energy: f64,
+    /// Random cycle time [s].
+    pub random_cycle: f64,
+    /// Multisubbank interleave cycle time [s] (paper §2.3.4).
+    pub interleave_cycle: f64,
+    /// Bank standby leakage [W].
+    pub leakage: f64,
+    /// Bank refresh power [W] (0 for SRAM).
+    pub refresh_power: f64,
+    /// Bank width [m].
+    pub width: f64,
+    /// Bank height [m].
+    pub height: f64,
+    /// DRAM sense signal actually available [V] (margin for SRAM).
+    pub sense_signal: f64,
+    /// Energy to refresh one row stripe [J] (0 for SRAM).
+    pub row_refresh_energy: f64,
+}
+
+impl ArrayResult {
+    /// Random access time: everything from address-in to data-out [s].
+    pub fn access_time(&self) -> f64 {
+        let d = &self.delay;
+        d.htree_in + d.decode + d.bitline + d.sense + d.mux + d.column_decode + d.htree_out
+    }
+
+    /// Time until data is latched in the sense amps (DRAM tRCD) [s].
+    pub fn t_row_to_sense(&self) -> f64 {
+        let d = &self.delay;
+        d.htree_in + d.decode + d.bitline + d.sense
+    }
+
+    /// Column path after sensing (DRAM CAS core latency) [s].
+    pub fn t_column(&self) -> f64 {
+        let d = &self.delay;
+        d.column_decode + d.mux + d.htree_out
+    }
+
+    /// Bank area [m²].
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Total read energy per access [J].
+    pub fn read_energy(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+/// Evaluates one array organization.
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] when the organization is
+/// electrically infeasible (e.g. a DRAM bitline too long to meet the sense
+/// margin).
+pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, CactiError> {
+    let cell = &input.cell;
+    let periph = &input.periph;
+    let is_dram = cell.technology.is_dram();
+    let f = tech.feature_size();
+
+    if input.rows > cell.max_rows_per_subarray as u64 {
+        return Err(CactiError::NoFeasibleSolution);
+    }
+    // Wordlines are driven from one end without hierarchical re-buffering;
+    // beyond a few ns of distributed RC the organization needs a
+    // hierarchical wordline scheme outside this model's scope.
+    let wl_rc = 0.38
+        * (cell.r_wordline_per_cell * input.cols as f64)
+        * (cell.c_wordline_per_cell * input.cols as f64);
+    if wl_rc > 3e-9 {
+        return Err(CactiError::NoFeasibleSolution);
+    }
+
+    // ---- Bitline electrical state ----
+    let c_bl =
+        cell.c_bitline_per_cell * input.rows as f64 + 2.0 * periph.c_drain * periph.min_width;
+    let r_bl = cell.r_bitline_per_cell * input.rows as f64;
+    let sense_signal = if is_dram {
+        let s = cell
+            .dram_sense_signal(input.rows as usize)
+            .expect("dram cell provides signal");
+        if s < cell.v_sense_margin {
+            return Err(CactiError::NoFeasibleSolution);
+        }
+        s
+    } else {
+        cell.v_sense_margin
+    };
+
+    // ---- Subarray / bank geometry (needed for wire lengths) ----
+    let c_wl = cell.c_wordline_per_cell * input.cols as f64;
+    let r_wl = cell.r_wordline_per_cell * input.cols as f64;
+    let array_w = input.cols as f64 * cell.width;
+    let array_h = input.rows as f64 * cell.height;
+    let predec_wire = tech.wire(WireType::SemiGlobal).cap(array_w);
+    let decoder = Decoder::design(
+        periph,
+        input.rows.max(2) as usize,
+        c_wl,
+        r_wl,
+        cell.vpp,
+        predec_wire,
+        cell.height,
+    );
+    let dec = decoder.evaluate(periph, 0.0);
+    let dec_strip_w = dec.area / array_h.max(f);
+
+    let sa_pitch = 2.0 * cell.width * input.deg_bl_mux as f64;
+    // DRAM sense amps must regenerate the whole bitline; SRAM amps sense
+    // onto isolated latch nodes.
+    let sa_c_extra = if is_dram { c_bl } else { 0.0 };
+    let sa = SenseAmp::design_with_load(periph, sa_pitch, sa_c_extra, cell.sense_gm_derate);
+    let sa_eval = sa.evaluate(periph, sense_signal, cell.vdd_cell);
+    let n_sa_per_subarray = (input.cols / input.deg_bl_mux as u64) as f64;
+    let sa_strip_h = (n_sa_per_subarray * sa_eval.area) / array_w.max(f);
+
+    let sub_w = array_w + dec_strip_w;
+    let sub_h = array_h + sa_strip_h + cal::SUBARRAY_EDGE_F * f;
+    let wire = tech.wire(WireType::SemiGlobal);
+    let spine_w =
+        (input.address_bits as u64 + input.output_bits) as f64 * wire.pitch * cal::SPINE_FILL;
+    let bank_w = input.ndwl as f64 * sub_w + spine_w;
+    let bank_h = input.ndbl as f64 * sub_h + cal::CONTROL_STRIP_F * f;
+
+    // ---- H-trees ----
+    let htree_len = (bank_w / 2.0 + bank_h / 2.0).max(10.0 * f);
+    let ht = RepeatedWire::design(periph, &wire, htree_len, input.repeater_relax);
+    let ht_in = ht.evaluate(periph, &wire, 0.0);
+    let ht_out = ht.evaluate(periph, &wire, 0.0);
+    let ht_stage = ht.stage_delay(periph, &wire);
+
+    // ---- Row path ----
+    let t_htree_in = ht_in.delay;
+    let dec_timed = decoder.evaluate(periph, ht_in.ramp_out);
+    let t_decode = dec_timed.delay;
+
+    let derate = cell.timing_derate;
+    let (t_bitline, t_restore) = if is_dram {
+        let c_eff = cell.c_storage * c_bl / (cell.c_storage + c_bl);
+        let t_share = derate * cal::TAU_SHARE * (cell.r_access_on + r_bl / 2.0) * c_eff;
+        // The restore tail is slow: the access device loses overdrive as
+        // the cell node approaches VDD (restore_saturation), and worst-case
+        // cells set the spec (timing_derate).
+        let t_rest = derate
+            * cal::TAU_RESTORE
+            * (cell.r_access_on * cell.restore_saturation + r_bl / 2.0)
+            * cell.c_storage;
+        (t_share, t_rest)
+    } else {
+        let t_dis = c_bl * (cal::SRAM_BL_SWING_MULT * cell.v_sense_margin) / cell.i_cell_read
+            + 0.38 * r_bl * c_bl;
+        (t_dis, 0.0)
+    };
+    let t_sense = derate * sa_eval.delay;
+
+    // ---- Column path ----
+    let bl_mux = PassMux::design(periph, input.deg_bl_mux as usize);
+    let sa_in_cap = periph.cap_gate(sa.w_latch);
+    let bl_mux_eval = bl_mux.evaluate(periph, 0.0, sa_in_cap);
+    let sa_mux = PassMux::design(periph, input.deg_sa_mux as usize);
+    // The mux output drives the data H-tree's first repeater.
+    let ht_in_cap = periph.cap_gate(ht.w_rep * (1.0 + periph.p_to_n_ratio));
+    let out_drv = BufferChain::design(periph, 4.0 * periph.c_inv_min(), 20.0 * ht_in_cap);
+    let out_eval = out_drv.evaluate(periph, 0.0);
+    let sa_mux_eval = sa_mux.evaluate(periph, 0.0, out_drv.stage_caps[0]);
+    let t_mux = bl_mux_eval.delay + sa_mux_eval.delay + out_eval.delay;
+
+    // Column-select decode: sized to drive one CSL across the stripe.
+    let csl_load = wire.cap(array_w) + 8.0 * periph.c_inv_min();
+    let csl = BufferChain::design(periph, periph.c_inv_min(), csl_load);
+    let csl_eval = csl.evaluate(periph, 0.0);
+    let t_column_decode = csl_eval.delay;
+
+    let t_htree_out = ht_out.delay;
+
+    // ---- Precharge ----
+    let w_pre = if is_dram {
+        cal::W_PRECHARGE_MULT_DRAM
+    } else {
+        cal::W_PRECHARGE_MULT
+    };
+    let r_pre = periph.res_on_n(w_pre * periph.min_width);
+    let t_precharge = derate * cal::TAU_PRECHARGE * (r_pre + r_bl / 2.0) * c_bl;
+
+    // ---- Cycle times ----
+    // Pipeline latch + clocking overhead on any cycle.
+    let fo4 = 0.69
+        * periph.r_eff_n
+        * ((1.0 + periph.p_to_n_ratio) * (periph.c_drain + 4.0 * periph.c_gate));
+    let latch_overhead = 3.0 * fo4;
+    let random_cycle = if is_dram {
+        t_decode + t_bitline + t_sense + t_restore + t_precharge + latch_overhead
+    } else {
+        t_bitline + t_sense + t_precharge + 0.4 * t_decode + latch_overhead
+    };
+    let interleave_cycle =
+        cal::INTERLEAVE_OVERHEAD * ht_stage.max(out_eval.delay).max(t_column_decode / 2.0);
+
+    // ---- Energy ----
+    let stripe_bits = input.stripe_bits() as f64;
+    let vdd_c = cell.vdd_cell;
+    let e_htree_in = input.address_bits as f64 * 0.5 * ht_in.energy;
+    let e_decode = input.ndwl as f64 * dec.energy;
+    let e_bitline = if is_dram {
+        // Every stripe bitline makes a half-VDD sense excursion, then a
+        // full restore + precharge; the storage cell is rewritten.
+        stripe_bits
+            * cal::DRAM_BL_CYCLE_FACTOR
+            * (c_bl * vdd_c * vdd_c / 2.0 + cell.c_storage * vdd_c * vdd_c / 2.0)
+    } else {
+        let swing = cal::SRAM_BL_SWING_MULT * cell.v_sense_margin;
+        stripe_bits * c_bl * vdd_c * swing
+    };
+    let n_sensed = stripe_bits / input.deg_bl_mux as f64 * input.sense_fraction;
+    let e_sense = n_sensed * sa_eval.energy;
+    let e_column = input.output_bits as f64
+        * (0.5 * ht_out.energy + sa_mux_eval.energy + bl_mux_eval.energy + out_eval.energy)
+        + csl_eval.energy;
+    let energy = EnergyBreakdown {
+        htree_in: e_htree_in,
+        decode: e_decode,
+        bitline: e_bitline,
+        sense: e_sense,
+        column: e_column,
+    };
+    // Writes drive the selected columns full swing; for DRAM the restore
+    // work is already in the bitline term.
+    let write_extra =
+        input.output_bits as f64 * c_bl * vdd_c * vdd_c * if is_dram { 0.2 } else { 1.0 };
+    let write_energy = energy.total() - 0.3 * e_column + write_extra;
+
+    // ---- Leakage ----
+    let n_subarrays = (input.ndwl * input.ndbl) as f64;
+    let stripe_periph_leak = input.ndwl as f64
+        * (dec.leakage
+            + n_sa_per_subarray * sa_eval.leakage
+            + n_sa_per_subarray * (bl_mux_eval.leakage + sa_mux_eval.leakage) / 8.0
+            + out_eval.leakage);
+    let cell_leak = input.bank_bits() as f64 * cell.leak_per_cell * vdd_c;
+    let shared_leak = ht_in.leakage + ht_out.leakage + csl_eval.leakage + input.ndwl as f64 * 0.0;
+    let idle_factor = if input.sleep_transistors {
+        cal::SLEEP_FACTOR
+    } else {
+        1.0
+    };
+    let ndbl = input.ndbl as f64;
+    let stripe_scale = 1.0 + (ndbl - 1.0) * idle_factor;
+    let leakage = stripe_periph_leak * stripe_scale
+        + cell_leak * ((1.0 / ndbl) + (1.0 - 1.0 / ndbl) * idle_factor)
+        + shared_leak;
+    let _ = n_subarrays;
+
+    // ---- Refresh ----
+    let (refresh_power, row_refresh_energy) = if is_dram {
+        let rows_total = (input.rows * input.ndbl as u64) as f64;
+        let e_row = e_decode + e_bitline + e_sense;
+        (rows_total * e_row / cell.retention_time, e_row)
+    } else {
+        (0.0, 0.0)
+    };
+
+    Ok(ArrayResult {
+        delay: DelayBreakdown {
+            htree_in: t_htree_in,
+            decode: t_decode,
+            bitline: t_bitline,
+            sense: t_sense,
+            mux: t_mux,
+            column_decode: if is_dram { 0.0 } else { 0.0 },
+            htree_out: t_htree_out,
+            precharge: t_precharge,
+            restore: t_restore,
+        },
+        energy,
+        write_energy,
+        random_cycle,
+        interleave_cycle,
+        leakage,
+        refresh_power,
+        width: bank_w,
+        height: bank_h,
+        sense_signal,
+        row_refresh_energy,
+    })
+}
+
+/// Column-decode latency helper for the main-memory interface, where the
+/// column select happens serially after the row opens.
+pub fn column_decode_delay(tech: &Technology, input: &ArrayInput) -> f64 {
+    let wire = tech.wire(WireType::SemiGlobal);
+    let array_w = input.cols as f64 * input.cell.width;
+    let csl_load = wire.cap(array_w) + 8.0 * input.periph.c_inv_min();
+    let csl = BufferChain::design(&input.periph, input.periph.c_inv_min(), csl_load);
+    csl.evaluate(&input.periph, 0.0).delay
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn mk_input(tech: &Technology, cell_tech: CellTechnology, rows: u64, cols: u64) -> ArrayInput {
+        ArrayInput {
+            rows,
+            cols,
+            ndwl: 4,
+            ndbl: 8,
+            deg_bl_mux: 1,
+            deg_sa_mux: 4,
+            output_bits: cols * 4 / 4,
+            address_bits: 40,
+            cell: tech.cell(cell_tech),
+            periph: tech.peripheral_device(cell_tech),
+            repeater_relax: 1.0,
+            sleep_transistors: false,
+            sense_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn sram_access_time_is_sub_ns_for_small_array() {
+        let tech = Technology::new(TechNode::N32);
+        let input = mk_input(&tech, CellTechnology::Sram, 128, 256);
+        let r = evaluate(&tech, &input).unwrap();
+        assert!(
+            r.access_time() > 50e-12 && r.access_time() < 2e-9,
+            "{:e}",
+            r.access_time()
+        );
+        assert_eq!(r.delay.restore, 0.0);
+        assert_eq!(r.refresh_power, 0.0);
+    }
+
+    #[test]
+    fn dram_has_restore_and_refresh() {
+        let tech = Technology::new(TechNode::N32);
+        let input = mk_input(&tech, CellTechnology::LpDram, 128, 256);
+        let r = evaluate(&tech, &input).unwrap();
+        assert!(r.delay.restore > 0.0);
+        assert!(r.refresh_power > 0.0);
+        // Destructive readout: cycle time exceeds the SRAM-equivalent.
+        assert!(r.random_cycle > r.delay.bitline + r.delay.sense);
+    }
+
+    #[test]
+    fn comm_dram_is_slower_but_denser_than_sram() {
+        let tech = Technology::new(TechNode::N32);
+        let sram = evaluate(&tech, &mk_input(&tech, CellTechnology::Sram, 128, 256)).unwrap();
+        let comm = evaluate(&tech, &mk_input(&tech, CellTechnology::CommDram, 128, 256)).unwrap();
+        assert!(comm.access_time() > sram.access_time());
+        assert!(comm.area() < sram.area());
+        assert!(
+            comm.leakage < sram.leakage / 10.0,
+            "LSTP periphery + no cell leak"
+        );
+    }
+
+    #[test]
+    fn too_many_dram_rows_is_infeasible() {
+        let tech = Technology::new(TechNode::N32);
+        let input = mk_input(&tech, CellTechnology::CommDram, 4096, 256);
+        assert_eq!(
+            evaluate(&tech, &input).unwrap_err(),
+            CactiError::NoFeasibleSolution
+        );
+    }
+
+    #[test]
+    fn sleep_transistors_cut_leakage() {
+        let tech = Technology::new(TechNode::N32);
+        let mut input = mk_input(&tech, CellTechnology::Sram, 256, 512);
+        let without = evaluate(&tech, &input).unwrap().leakage;
+        input.sleep_transistors = true;
+        let with = evaluate(&tech, &input).unwrap().leakage;
+        assert!(with < without);
+        assert!(with > 0.4 * without);
+    }
+
+    #[test]
+    fn bigger_bank_means_bigger_area_and_energy() {
+        let tech = Technology::new(TechNode::N32);
+        let small = evaluate(&tech, &mk_input(&tech, CellTechnology::Sram, 128, 256)).unwrap();
+        let mut big_in = mk_input(&tech, CellTechnology::Sram, 256, 256);
+        big_in.ndbl = 16;
+        let big = evaluate(&tech, &big_in).unwrap();
+        assert!(big.area() > small.area());
+        assert!(big.leakage > small.leakage);
+    }
+
+    #[test]
+    fn energy_breakdown_sums() {
+        let tech = Technology::new(TechNode::N32);
+        let r = evaluate(&tech, &mk_input(&tech, CellTechnology::Sram, 128, 256)).unwrap();
+        let e = r.energy;
+        let total = e.htree_in + e.decode + e.bitline + e.sense + e.column;
+        assert!((r.read_energy() - total).abs() < 1e-18);
+        assert!(e.activate() <= total);
+    }
+}

@@ -1,0 +1,296 @@
+//! `cactid` — a command-line front end in the spirit of the original CACTI.
+//!
+//! ```text
+//! cactid --size 2M --block 64 --assoc 8 --banks 1 --cell sram --node 32
+//! cactid --size 1G --banks 8 --cell comm-dram --node 78 --main-memory \
+//!        --io 8 --burst 8 --prefetch 8 --page 8K
+//! cactid --size 8M --cell lp-dram --node 32 --mode sequential --solutions
+//! ```
+//!
+//! Prints the optimized solution with full delay/energy breakdowns; with
+//! `--solutions`, lists the whole feasible set instead.
+
+use cactid_core::{
+    optimize, solve, AccessMode, MemoryKind, MemorySpec, OptimizationOptions, Solution,
+};
+use cactid_tech::{CellTechnology, TechNode};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cactid --size <bytes|K|M|G> [--block N] [--assoc N] [--banks N]\n\
+         \x20      --cell sram|lp-dram|comm-dram --node 90|78|65|45|32\n\
+         \x20      [--mode normal|sequential|fast] [--ram]\n\
+         \x20      [--main-memory --io N --burst N --prefetch N --page <bits|K>]\n\
+         \x20      [--max-area PCT] [--max-time PCT] [--relax X] [--sleep]\n\
+         \x20      [--solutions]"
+    );
+    exit(2)
+}
+
+fn parse_size(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (num, mult) = match v.chars().last()? {
+        'K' | 'k' => (&v[..v.len() - 1], 1u64 << 10),
+        'M' | 'm' => (&v[..v.len() - 1], 1 << 20),
+        'G' | 'g' => (&v[..v.len() - 1], 1 << 30),
+        _ => (v, 1),
+    };
+    num.parse::<u64>().ok().map(|n| n * mult)
+}
+
+struct Args {
+    size: u64,
+    block: u32,
+    assoc: u32,
+    banks: u32,
+    cell: CellTechnology,
+    node: TechNode,
+    mode: AccessMode,
+    ram: bool,
+    main_memory: bool,
+    io: u32,
+    burst: u32,
+    prefetch: u32,
+    page_bits: u64,
+    opt: OptimizationOptions,
+    list_solutions: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        size: 0,
+        block: 64,
+        assoc: 8,
+        banks: 1,
+        cell: CellTechnology::Sram,
+        node: TechNode::N32,
+        mode: AccessMode::Normal,
+        ram: false,
+        main_memory: false,
+        io: 8,
+        burst: 8,
+        prefetch: 8,
+        page_bits: 8 << 10,
+        opt: OptimizationOptions::default(),
+        list_solutions: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--size" => a.size = parse_size(&next(&mut i)).unwrap_or_else(|| usage()),
+            "--block" => a.block = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--assoc" => a.assoc = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--banks" => a.banks = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cell" => {
+                a.cell = match next(&mut i).as_str() {
+                    "sram" => CellTechnology::Sram,
+                    "lp-dram" | "lpdram" => CellTechnology::LpDram,
+                    "comm-dram" | "commdram" => CellTechnology::CommDram,
+                    _ => usage(),
+                }
+            }
+            "--node" => {
+                let nm: u32 = next(&mut i).parse().unwrap_or_else(|_| usage());
+                a.node = TechNode::from_nm(nm).unwrap_or_else(|| usage());
+            }
+            "--mode" => {
+                a.mode = match next(&mut i).as_str() {
+                    "normal" => AccessMode::Normal,
+                    "sequential" => AccessMode::Sequential,
+                    "fast" => AccessMode::Fast,
+                    _ => usage(),
+                }
+            }
+            "--ram" => a.ram = true,
+            "--main-memory" => a.main_memory = true,
+            "--io" => a.io = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--burst" => a.burst = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--prefetch" => a.prefetch = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--page" => a.page_bits = parse_size(&next(&mut i)).unwrap_or_else(|| usage()),
+            "--max-area" => {
+                a.opt.max_area_overhead =
+                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0
+            }
+            "--max-time" => {
+                a.opt.max_access_time_overhead =
+                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0
+            }
+            "--relax" => a.opt.repeater_relax = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--sleep" => a.opt.sleep_transistors = true,
+            "--solutions" => a.list_solutions = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if a.size == 0 {
+        usage()
+    }
+    a
+}
+
+fn print_solution(sol: &Solution) {
+    println!("organization:");
+    println!(
+        "  stripe x subarrays : {} x {} (nspd {}, bl-mux {}, sa-mux {})",
+        sol.org.ndwl, sol.org.ndbl, sol.org.nspd, sol.org.deg_bl_mux, sol.org.deg_sa_mux
+    );
+    println!("timing:");
+    println!("  access time        : {:>9.3} ns", sol.access_ns());
+    println!("  random cycle       : {:>9.3} ns", sol.random_cycle * 1e9);
+    println!(
+        "  interleave cycle   : {:>9.3} ns",
+        sol.interleave_cycle * 1e9
+    );
+    let d = &sol.data.delay;
+    println!(
+        "  breakdown          : htree-in {:.3} | decode {:.3} | bitline {:.3} | sense {:.3} | mux {:.3} | htree-out {:.3} ns",
+        d.htree_in * 1e9,
+        d.decode * 1e9,
+        d.bitline * 1e9,
+        d.sense * 1e9,
+        d.mux * 1e9,
+        d.htree_out * 1e9
+    );
+    if d.restore > 0.0 {
+        println!(
+            "  dram phases        : restore {:.3} | precharge {:.3} ns",
+            d.restore * 1e9,
+            d.precharge * 1e9
+        );
+    }
+    println!("area:");
+    println!("  total              : {:>9.3} mm^2", sol.area_mm2());
+    println!(
+        "  efficiency         : {:>9.1} %",
+        sol.area_efficiency * 100.0
+    );
+    println!("energy/power:");
+    println!("  read energy        : {:>9.3} nJ", sol.read_energy_nj());
+    println!("  write energy       : {:>9.3} nJ", sol.write_energy * 1e9);
+    let e = &sol.data.energy;
+    println!(
+        "  breakdown          : htree {:.3} | decode {:.3} | bitline {:.3} | sense {:.3} | column {:.3} nJ",
+        e.htree_in * 1e9,
+        e.decode * 1e9,
+        e.bitline * 1e9,
+        e.sense * 1e9,
+        e.column * 1e9
+    );
+    println!("  leakage            : {:>9.4} W", sol.leakage_power);
+    if sol.refresh_power > 0.0 {
+        println!("  refresh            : {:>9.4} W", sol.refresh_power);
+    }
+    if let Some(tag) = &sol.tag {
+        println!("tag array:");
+        println!(
+            "  access {:.3} ns (incl. compare {:.3} ns), {:.4} mm^2, {:.4} nJ",
+            tag.access_time() * 1e9,
+            tag.comparator_delay * 1e9,
+            tag.array.area() / 1e-6,
+            tag.read_energy() * 1e9
+        );
+    }
+    if let Some(mm) = &sol.main_memory {
+        println!("main-memory interface:");
+        println!(
+            "  tRCD {:.2} | CL {:.2} | tRAS {:.2} | tRP {:.2} | tRC {:.2} | tRRD {:.2} ns",
+            mm.timing.t_rcd * 1e9,
+            mm.timing.cas_latency * 1e9,
+            mm.timing.t_ras * 1e9,
+            mm.timing.t_rp * 1e9,
+            mm.timing.t_rc * 1e9,
+            mm.timing.t_rrd * 1e9
+        );
+        println!(
+            "  ACT {:.3} nJ | RD {:.3} nJ | WR {:.3} nJ | refresh {:.3} mW | standby {:.3} mW",
+            mm.energies.activate * 1e9,
+            mm.energies.read * 1e9,
+            mm.energies.write * 1e9,
+            mm.energies.refresh_power * 1e3,
+            mm.energies.standby_power * 1e3
+        );
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let kind = if a.main_memory {
+        MemoryKind::MainMemory {
+            io_bits: a.io,
+            burst_length: a.burst,
+            prefetch: a.prefetch,
+            page_bits: a.page_bits,
+        }
+    } else if a.ram {
+        MemoryKind::Ram
+    } else {
+        MemoryKind::Cache {
+            access_mode: a.mode,
+        }
+    };
+    let assoc = if matches!(kind, MemoryKind::Cache { .. }) {
+        a.assoc
+    } else {
+        1
+    };
+    let spec = MemorySpec::builder()
+        .capacity_bytes(a.size)
+        .block_bytes(a.block)
+        .associativity(assoc)
+        .banks(a.banks)
+        .cell_tech(a.cell)
+        .node(a.node)
+        .kind(kind)
+        .optimization(a.opt)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+
+    println!(
+        "cactid: {} bytes, block {}, assoc {}, banks {}, {} @ {}",
+        a.size, a.block, assoc, a.banks, a.cell, a.node
+    );
+    if a.list_solutions {
+        let sols = solve(&spec).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+        println!(
+            "{:>5} {:>5} {:>5} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "ndwl", "ndbl", "nspd", "blmux", "samux", "acc ns", "cyc ns", "mm2", "Erd nJ"
+        );
+        for s in &sols {
+            println!(
+                "{:>5} {:>5} {:>5} {:>6} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                s.org.ndwl,
+                s.org.ndbl,
+                s.org.nspd,
+                s.org.deg_bl_mux,
+                s.org.deg_sa_mux,
+                s.access_ns(),
+                s.random_cycle * 1e9,
+                s.area_mm2(),
+                s.read_energy_nj()
+            );
+        }
+        println!("{} feasible organizations", sols.len());
+    } else {
+        let sol = optimize(&spec).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+        print_solution(&sol);
+    }
+}

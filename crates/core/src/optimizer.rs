@@ -1,0 +1,214 @@
+//! Solution-space sweep and the staged optimization of paper §2.4:
+//! max-area filter → max-access-time filter → weighted objective.
+
+use crate::array::{self, ArrayInput};
+use crate::error::CactiError;
+use crate::main_memory;
+use crate::org::{self, OrgParams};
+use crate::solution::Solution;
+use crate::spec::{MemoryKind, MemorySpec};
+use crate::tag;
+use cactid_tech::Technology;
+
+fn build_input(tech: &Technology, spec: &MemorySpec, org: &OrgParams) -> ArrayInput {
+    ArrayInput {
+        rows: org.rows(spec),
+        cols: org.cols(spec),
+        ndwl: org.ndwl,
+        ndbl: org.ndbl,
+        deg_bl_mux: org.deg_bl_mux,
+        deg_sa_mux: org.deg_sa_mux,
+        output_bits: spec.output_bits(),
+        address_bits: spec.address_bits,
+        cell: tech.cell(spec.cell_tech),
+        periph: tech.peripheral_device(spec.cell_tech),
+        repeater_relax: spec.opt.repeater_relax,
+        sleep_transistors: spec.opt.sleep_transistors,
+        sense_fraction: spec.sense_fraction(),
+    }
+}
+
+/// Evaluates every feasible organization for `spec` and returns the full
+/// solution set (unfiltered).
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] when nothing is feasible.
+pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
+    let tech = Technology::new(spec.node);
+    let tag_result = if spec.kind.is_cache() {
+        Some(tag::design_tag(&tech, spec)?)
+    } else {
+        None
+    };
+
+    let mut out = Vec::new();
+    for org in org::enumerate(spec) {
+        let input = build_input(&tech, spec, &org);
+        let Ok(data) = array::evaluate(&tech, &input) else {
+            continue;
+        };
+        let mm = match spec.kind {
+            MemoryKind::MainMemory { .. } => {
+                Some(main_memory::assemble(&tech, spec, &input, &data))
+            }
+            _ => None,
+        };
+        out.push(Solution::assemble(
+            spec,
+            org,
+            &input,
+            data,
+            tag_result.clone(),
+            mm,
+        ));
+    }
+    if out.is_empty() {
+        return Err(CactiError::NoFeasibleSolution);
+    }
+    Ok(out)
+}
+
+/// Applies the staged optimization of §2.4 to a solution set and returns
+/// the winner.
+///
+/// 1. keep solutions with `area ≤ (1 + max_area_overhead) · best_area`;
+/// 2. of those, keep `access_time ≤ (1 + max_access_time_overhead) · best`;
+/// 3. minimize the normalized weighted objective over dynamic energy,
+///    leakage (+ refresh) power, random cycle time and interleave cycle
+///    time.
+///
+/// # Panics
+///
+/// Panics if `solutions` is empty.
+pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Solution {
+    assert!(!solutions.is_empty(), "solution set must be non-empty");
+    let opt = &spec.opt;
+
+    let best_area = solutions
+        .iter()
+        .map(|s| s.area)
+        .fold(f64::INFINITY, f64::min);
+    let area_cap = best_area * (1.0 + opt.max_area_overhead);
+    let stage1: Vec<&Solution> = solutions.iter().filter(|s| s.area <= area_cap).collect();
+
+    let best_t = stage1
+        .iter()
+        .map(|s| s.access_time)
+        .fold(f64::INFINITY, f64::min);
+    let t_cap = best_t * (1.0 + opt.max_access_time_overhead);
+    let stage2: Vec<&Solution> = stage1
+        .iter()
+        .copied()
+        .filter(|s| s.access_time <= t_cap)
+        .collect();
+
+    let min_of = |f: fn(&Solution) -> f64| {
+        stage2
+            .iter()
+            .map(|s| f(s).max(1e-30))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let e_min = min_of(|s| s.read_energy);
+    let l_min = min_of(|s| s.leakage_power + s.refresh_power);
+    let c_min = min_of(|s| s.random_cycle);
+    let i_min = min_of(|s| s.interleave_cycle);
+
+    stage2
+        .into_iter()
+        .min_by(|a, b| {
+            let obj = |s: &Solution| {
+                opt.weight_dynamic * s.read_energy.max(1e-30) / e_min
+                    + opt.weight_leakage * (s.leakage_power + s.refresh_power).max(1e-30) / l_min
+                    + opt.weight_cycle * s.random_cycle.max(1e-30) / c_min
+                    + opt.weight_interleave * s.interleave_cycle.max(1e-30) / i_min
+            };
+            obj(a).total_cmp(&obj(b))
+        })
+        .expect("stage2 is non-empty by construction")
+        .clone()
+}
+
+/// Convenience: [`solve`] then [`select`].
+///
+/// # Errors
+///
+/// Propagates [`CactiError::NoFeasibleSolution`] from the sweep.
+pub fn optimize(spec: &MemorySpec) -> Result<Solution, CactiError> {
+    let all = solve(spec)?;
+    Ok(select(spec, &all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessMode, OptimizationOptions};
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn l2() -> MemorySpec {
+        MemorySpec::builder()
+            .capacity_bytes(1 << 20)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(CellTechnology::Sram)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn l2_solves_with_many_candidates() {
+        let sols = solve(&l2()).unwrap();
+        assert!(sols.len() > 10, "only {} candidates", sols.len());
+        for s in &sols {
+            assert!(s.access_time > 0.0 && s.access_time < 50e-9);
+            assert!(s.area > 0.0);
+            assert!(s.read_energy > 0.0);
+            assert!(s.leakage_power > 0.0);
+        }
+    }
+
+    #[test]
+    fn staged_filters_respect_caps() {
+        let spec = l2();
+        let sols = solve(&spec).unwrap();
+        let chosen = select(&spec, &sols);
+        let best_area = sols.iter().map(|s| s.area).fold(f64::INFINITY, f64::min);
+        assert!(chosen.area <= best_area * (1.0 + spec.opt.max_area_overhead) + 1e-12);
+    }
+
+    #[test]
+    fn energy_weighting_changes_the_pick() {
+        let mut spec = l2();
+        spec.opt = OptimizationOptions {
+            weight_dynamic: 100.0,
+            weight_leakage: 0.0,
+            weight_cycle: 0.0,
+            weight_interleave: 0.0,
+            max_area_overhead: 1.0,
+            max_access_time_overhead: 2.0,
+            ..OptimizationOptions::default()
+        };
+        let sols = solve(&spec).unwrap();
+        let energy_pick = select(&spec, &sols);
+        spec.opt.weight_dynamic = 0.0;
+        spec.opt.weight_cycle = 100.0;
+        let cycle_pick = select(&spec, &sols);
+        // The two objectives should not pick a strictly worse solution on
+        // their own axis.
+        assert!(energy_pick.read_energy <= cycle_pick.read_energy + 1e-15);
+        assert!(cycle_pick.random_cycle <= energy_pick.random_cycle + 1e-15);
+    }
+
+    #[test]
+    fn optimize_is_deterministic() {
+        let spec = l2();
+        let a = optimize(&spec).unwrap();
+        let b = optimize(&spec).unwrap();
+        assert_eq!(a.org, b.org);
+    }
+}

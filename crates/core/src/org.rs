@@ -1,0 +1,254 @@
+//! Array-organization parameters and the candidate sweep (paper §2.1, §2.4).
+
+use crate::spec::{MemoryKind, MemorySpec};
+
+/// One candidate array organization for a bank.
+///
+/// A bank is a grid of `ndwl × ndbl` subarrays. An access activates one
+/// horizontal *stripe* of `ndwl` subarrays; the wordline row of a stripe
+/// holds `stripe_bits` (one DRAM page, or `nspd` cache sets). Column
+/// multiplexing (`deg_bl_mux` before the sense amps, `deg_sa_mux` after)
+/// reduces the stripe to the access's output width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrgParams {
+    /// Subarrays per stripe (wordline-direction partitioning).
+    pub ndwl: u32,
+    /// Stripes per bank (bitline-direction partitioning).
+    pub ndbl: u32,
+    /// Sets mapped onto one stripe row (caches/RAM; fixed 1.0 for main
+    /// memory where the page size sets the stripe width instead).
+    pub nspd: f64,
+    /// Bitline-mux degree (columns sharing a sense amp). Always 1 for DRAM:
+    /// destructive readout requires sensing every cell on the open row.
+    pub deg_bl_mux: u32,
+    /// Sense-amp-mux (column-select) degree after sensing.
+    pub deg_sa_mux: u32,
+}
+
+impl OrgParams {
+    /// Bits on one activated stripe row.
+    pub fn stripe_bits(&self, spec: &MemorySpec) -> u64 {
+        match spec.kind {
+            MemoryKind::MainMemory { page_bits, .. } => page_bits,
+            _ => {
+                let set_bits = spec.block_bytes as u64 * 8 * spec.associativity as u64;
+                (set_bits as f64 * self.nspd) as u64
+            }
+        }
+    }
+
+    /// Columns per subarray.
+    pub fn cols(&self, spec: &MemorySpec) -> u64 {
+        self.stripe_bits(spec) / self.ndwl as u64
+    }
+
+    /// Rows per subarray.
+    pub fn rows(&self, spec: &MemorySpec) -> u64 {
+        let bank_bits = spec.bank_bytes() * 8;
+        let stripe = self.stripe_bits(spec);
+        if stripe == 0 {
+            return 0;
+        }
+        bank_bits / stripe / self.ndbl as u64
+    }
+
+    /// Total mux factor the organization provides.
+    pub fn mux_factor(&self) -> u64 {
+        self.deg_bl_mux as u64 * self.deg_sa_mux as u64
+    }
+}
+
+/// Limits of the candidate sweep.
+const MAX_NDWL: u32 = 64;
+const MAX_NDBL: u32 = 512;
+const MIN_ROWS: u64 = 16;
+const MAX_COLS: u64 = 8192;
+const MIN_COLS: u64 = 32;
+/// Maximum sense-amp mux degree (column-select fan-in) we model.
+const MAX_SA_MUX: u32 = 1024;
+const MAX_BL_MUX: u32 = 8;
+
+/// Enumerates every structurally feasible [`OrgParams`] for `spec`
+/// (electrical feasibility — sense margins, wordline RC — is judged later
+/// by the array model).
+pub fn enumerate(spec: &MemorySpec) -> Vec<OrgParams> {
+    let mut out = Vec::new();
+    let is_dram = spec.cell_tech.is_dram();
+    let nspd_choices: &[f64] = if matches!(spec.kind, MemoryKind::MainMemory { .. }) {
+        &[1.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    };
+    let output_bits = spec.output_bits();
+    let bank_bits = spec.bank_bytes() * 8;
+
+    for &nspd in nspd_choices {
+        let set_bits = spec.block_bytes as u64 * 8 * spec.associativity as u64;
+        let stripe_bits = match spec.kind {
+            MemoryKind::MainMemory { page_bits, .. } => page_bits,
+            _ => {
+                let s = set_bits as f64 * nspd;
+                if s.fract() != 0.0 {
+                    continue;
+                }
+                s as u64
+            }
+        };
+        if stripe_bits == 0
+            || stripe_bits < output_bits
+            || stripe_bits > bank_bits
+            || stripe_bits % output_bits != 0
+        {
+            continue;
+        }
+        let mux_needed = stripe_bits / output_bits;
+
+        let mut ndwl = 1u32;
+        while ndwl <= MAX_NDWL {
+            let cols = stripe_bits / ndwl as u64;
+            if cols < MIN_COLS {
+                break;
+            }
+            if cols <= MAX_COLS && stripe_bits % ndwl as u64 == 0 {
+                let mut ndbl = 1u32;
+                while ndbl <= MAX_NDBL {
+                    let total_rows = bank_bits / stripe_bits;
+                    if total_rows % ndbl as u64 != 0 {
+                        break;
+                    }
+                    let rows = total_rows / ndbl as u64;
+                    if rows < MIN_ROWS {
+                        break;
+                    }
+                    if rows.is_power_of_two() {
+                        // Split the mux factor between bitline mux and
+                        // sense-amp mux.
+                        let bl_choices: Vec<u32> = if is_dram {
+                            vec![1]
+                        } else {
+                            (0..=3)
+                                .map(|s| 1u32 << s)
+                                .filter(|&d| d <= MAX_BL_MUX && mux_needed % d as u64 == 0)
+                                .collect()
+                        };
+                        for deg_bl in bl_choices {
+                            let deg_sa = mux_needed / deg_bl as u64;
+                            if deg_sa == 0 || deg_sa > MAX_SA_MUX as u64 {
+                                continue;
+                            }
+                            out.push(OrgParams {
+                                ndwl,
+                                ndbl,
+                                nspd,
+                                deg_bl_mux: deg_bl,
+                                deg_sa_mux: deg_sa as u32,
+                            });
+                        }
+                    }
+                    ndbl *= 2;
+                }
+            }
+            ndwl *= 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessMode, MemoryKind};
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn l2_spec() -> MemorySpec {
+        MemorySpec::builder()
+            .capacity_bytes(1 << 20)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(CellTechnology::Sram)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn enumeration_is_nonempty_and_consistent() {
+        let spec = l2_spec();
+        let orgs = enumerate(&spec);
+        assert!(!orgs.is_empty());
+        for org in &orgs {
+            let rows = org.rows(&spec);
+            let cols = org.cols(&spec);
+            assert!(rows >= MIN_ROWS && rows.is_power_of_two());
+            assert!(cols >= MIN_COLS);
+            // Capacity conservation: rows × cols × subarrays == bank bits.
+            let bits = rows * cols * (org.ndwl as u64) * (org.ndbl as u64);
+            assert_eq!(bits, spec.bank_bytes() * 8, "org {org:?}");
+            // Mux factor matches stripe/output ratio.
+            assert_eq!(
+                org.mux_factor(),
+                org.stripe_bits(&spec) / spec.output_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn dram_never_uses_bitline_mux() {
+        let spec = MemorySpec::builder()
+            .capacity_bytes(8 << 20)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(CellTechnology::LpDram)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap();
+        for org in enumerate(&spec) {
+            assert_eq!(org.deg_bl_mux, 1, "destructive readout forbids bl-mux");
+        }
+    }
+
+    #[test]
+    fn main_memory_stripe_is_the_page() {
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1 << 30)
+            .block_bytes(8)
+            .banks(8)
+            .cell_tech(CellTechnology::CommDram)
+            .node(TechNode::N78)
+            .kind(MemoryKind::MainMemory {
+                io_bits: 8,
+                burst_length: 8,
+                prefetch: 8,
+                page_bits: 8192,
+            })
+            .build()
+            .unwrap();
+        let orgs = enumerate(&spec);
+        assert!(!orgs.is_empty());
+        for org in &orgs {
+            assert_eq!(org.stripe_bits(&spec), 8192);
+            assert_eq!(org.deg_bl_mux, 1);
+            // Column select covers page/burst-output.
+            assert_eq!(org.deg_sa_mux, (8192 / 64) as u32);
+        }
+    }
+
+    #[test]
+    fn distinct_candidates() {
+        let spec = l2_spec();
+        let orgs = enumerate(&spec);
+        for (i, a) in orgs.iter().enumerate() {
+            for b in orgs.iter().skip(i + 1) {
+                assert!(a != b, "duplicate organization {a:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Assembled solutions: one evaluated organization with cache-level (tag +
+//! data) and chip-level (main-memory) metrics.
+
+use crate::array::{ArrayInput, ArrayResult};
+use crate::main_memory::MainMemoryResult;
+use crate::org::OrgParams;
+use crate::spec::{AccessMode, MemoryKind, MemorySpec};
+use crate::tag::TagResult;
+
+/// One complete solution produced by the solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The data-array organization this solution uses.
+    pub org: OrgParams,
+    /// Data-array evaluation (one bank).
+    pub data: ArrayResult,
+    /// Tag-array evaluation (one bank), for caches.
+    pub tag: Option<TagResult>,
+    /// Chip-level main-memory result, for main-memory specs.
+    pub main_memory: Option<MainMemoryResult>,
+    /// End-to-end access time [s].
+    pub access_time: f64,
+    /// Random cycle time [s].
+    pub random_cycle: f64,
+    /// Multisubbank interleave cycle time [s].
+    pub interleave_cycle: f64,
+    /// Total area, all banks, tag + data (chip area for main memory) [m²].
+    pub area: f64,
+    /// Cell-area / total-area efficiency (0–1).
+    pub area_efficiency: f64,
+    /// Read energy per access [J].
+    pub read_energy: f64,
+    /// Write energy per access [J].
+    pub write_energy: f64,
+    /// Total standby leakage, all banks [W].
+    pub leakage_power: f64,
+    /// Total refresh power, all banks [W] (0 for SRAM).
+    pub refresh_power: f64,
+}
+
+impl Solution {
+    /// Builds a [`Solution`] from the evaluated parts.
+    pub(crate) fn assemble(
+        spec: &MemorySpec,
+        org: OrgParams,
+        input: &ArrayInput,
+        data: ArrayResult,
+        tag: Option<TagResult>,
+        main_memory: Option<MainMemoryResult>,
+    ) -> Solution {
+        let n_banks = spec.n_banks as f64;
+        let cell = &input.cell;
+
+        // ---- Access time assembly per access mode ----
+        let data_access = data.access_time();
+        let access_time = match spec.kind {
+            MemoryKind::Cache { access_mode } => {
+                let t = tag.as_ref().expect("cache has a tag array");
+                match access_mode {
+                    // Way select must arrive before the output mux; the
+                    // data array's mux+htree-out remain after the merge.
+                    AccessMode::Normal => {
+                        let late_select = t.access_time() + data.delay.mux + data.delay.htree_out;
+                        data_access.max(late_select)
+                    }
+                    AccessMode::Sequential => t.access_time() + data_access,
+                    AccessMode::Fast => data_access.max(t.access_time()),
+                }
+            }
+            MemoryKind::Ram => data_access,
+            MemoryKind::MainMemory { .. } => {
+                let mm = main_memory.as_ref().expect("main memory result");
+                mm.timing.t_rcd + mm.timing.cas_latency
+            }
+        };
+
+        let random_cycle = match (&spec.kind, &main_memory) {
+            (MemoryKind::MainMemory { .. }, Some(mm)) => mm.timing.t_rc,
+            _ => {
+                let tag_cycle = tag.as_ref().map(|t| t.array.random_cycle).unwrap_or(0.0);
+                data.random_cycle.max(tag_cycle)
+            }
+        };
+        let interleave_cycle = data.interleave_cycle;
+
+        // ---- Area ----
+        let (area, area_efficiency) = if let Some(mm) = &main_memory {
+            (mm.chip_area, mm.area_efficiency)
+        } else {
+            let tag_area = tag.as_ref().map(|t| t.array.area()).unwrap_or(0.0);
+            let total = n_banks * (data.area() + tag_area);
+            let tag_bits_total = tag
+                .as_ref()
+                .map(|_| spec.sets() * spec.associativity as u64 * spec.tag_bits() as u64)
+                .unwrap_or(0);
+            let cells = ((spec.capacity_bytes * 8 + tag_bits_total) as f64) * cell.area();
+            (total, cells / total)
+        };
+
+        // ---- Energy / power ----
+        let tag_read = tag.as_ref().map(|t| t.read_energy()).unwrap_or(0.0);
+        let tag_write = tag
+            .as_ref()
+            .map(|t| t.array.write_energy + t.comparator_energy)
+            .unwrap_or(0.0);
+        let read_energy = data.read_energy() + tag_read;
+        let write_energy = data.write_energy + tag_write;
+        let tag_leak = tag.as_ref().map(|t| t.array.leakage).unwrap_or(0.0);
+        let tag_refresh = tag.as_ref().map(|t| t.array.refresh_power).unwrap_or(0.0);
+        let leakage_power = if let Some(mm) = &main_memory {
+            mm.energies.standby_power
+        } else {
+            n_banks * (data.leakage + tag_leak)
+        };
+        let refresh_power = if let Some(mm) = &main_memory {
+            mm.energies.refresh_power
+        } else {
+            n_banks * (data.refresh_power + tag_refresh)
+        };
+
+        Solution {
+            org,
+            data,
+            tag,
+            main_memory,
+            access_time,
+            random_cycle,
+            interleave_cycle,
+            area,
+            area_efficiency,
+            read_energy,
+            write_energy,
+            leakage_power,
+            refresh_power,
+        }
+    }
+
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.area / 1e-6
+    }
+
+    /// Access time in nanoseconds.
+    pub fn access_ns(&self) -> f64 {
+        self.access_time / 1e-9
+    }
+
+    /// Read energy in nanojoules.
+    pub fn read_energy_nj(&self) -> f64 {
+        self.read_energy / 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::{AccessMode, MemoryKind, MemorySpec};
+    use crate::{optimize, solve};
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn spec(kind: MemoryKind, cell: CellTechnology) -> MemorySpec {
+        MemorySpec::builder()
+            .capacity_bytes(1 << 20)
+            .block_bytes(64)
+            .associativity(if matches!(kind, MemoryKind::Cache { .. }) {
+                8
+            } else {
+                1
+            })
+            .banks(1)
+            .cell_tech(cell)
+            .node(TechNode::N32)
+            .kind(kind)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ram_kind_has_no_tag_array() {
+        let sol = optimize(&spec(MemoryKind::Ram, CellTechnology::Sram)).unwrap();
+        assert!(sol.tag.is_none());
+        assert!(sol.main_memory.is_none());
+        assert_eq!(sol.access_time, sol.data.access_time());
+    }
+
+    #[test]
+    fn sequential_mode_serializes_tag_and_data() {
+        let normal = optimize(&spec(
+            MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            },
+            CellTechnology::Sram,
+        ))
+        .unwrap();
+        let sequential = optimize(&spec(
+            MemoryKind::Cache {
+                access_mode: AccessMode::Sequential,
+            },
+            CellTechnology::Sram,
+        ))
+        .unwrap();
+        let fast = optimize(&spec(
+            MemoryKind::Cache {
+                access_mode: AccessMode::Fast,
+            },
+            CellTechnology::Sram,
+        ))
+        .unwrap();
+        // Sequential = tag + data end to end; it must exceed both parallel
+        // modes, and fast can never be slower than normal.
+        assert!(sequential.access_time > normal.access_time);
+        assert!(fast.access_time <= normal.access_time + 1e-12);
+        let t = sequential.tag.as_ref().unwrap();
+        assert!(sequential.access_time >= t.access_time() + sequential.data.access_time() - 1e-12);
+    }
+
+    #[test]
+    fn unit_helpers_are_consistent() {
+        let sol = optimize(&spec(
+            MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            },
+            CellTechnology::LpDram,
+        ))
+        .unwrap();
+        assert!((sol.area_mm2() - sol.area / 1e-6).abs() < 1e-12);
+        assert!((sol.access_ns() - sol.access_time * 1e9).abs() < 1e-12);
+        assert!((sol.read_energy_nj() - sol.read_energy * 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_cycle_covers_tag_array_too() {
+        let s = spec(
+            MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            },
+            CellTechnology::LpDram,
+        );
+        for sol in solve(&s).unwrap() {
+            let tag_cycle = sol.tag.as_ref().unwrap().array.random_cycle;
+            assert!(sol.random_cycle >= tag_cycle - 1e-15);
+            assert!(sol.random_cycle >= sol.data.random_cycle - 1e-15);
+        }
+    }
+}

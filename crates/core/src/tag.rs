@@ -1,0 +1,166 @@
+//! Tag-array model: a small array evaluated with the same machinery as the
+//! data array, plus the tag comparator.
+
+use crate::array::{self, ArrayInput, ArrayResult};
+use crate::error::CactiError;
+use crate::spec::MemorySpec;
+use cactid_tech::{DeviceParams, Technology};
+
+/// Result of designing the tag array for a cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagResult {
+    /// The underlying array evaluation (one bank's tag array).
+    pub array: ArrayResult,
+    /// Tag comparator delay [s].
+    pub comparator_delay: f64,
+    /// Tag comparator energy per access (all ways compared) [J].
+    pub comparator_energy: f64,
+}
+
+impl TagResult {
+    /// Tag path latency: array access plus compare [s].
+    pub fn access_time(&self) -> f64 {
+        self.array.access_time() + self.comparator_delay
+    }
+
+    /// Tag path read energy [J].
+    pub fn read_energy(&self) -> f64 {
+        self.array.read_energy() + self.comparator_energy
+    }
+}
+
+fn fo4(dev: &DeviceParams) -> f64 {
+    let cin = (1.0 + dev.p_to_n_ratio) * dev.c_gate;
+    let cself = (1.0 + dev.p_to_n_ratio) * dev.c_drain;
+    0.69 * dev.r_eff_n * (cself + 4.0 * cin)
+}
+
+/// Designs the per-bank tag array for `spec`, choosing the internal
+/// organization that minimizes tag access time.
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] if no tag organization is
+/// electrically feasible.
+pub fn design_tag(tech: &Technology, spec: &MemorySpec) -> Result<TagResult, CactiError> {
+    let sets = spec.sets_per_bank();
+    let tag_bits = spec.tag_bits() as u64;
+    let assoc = spec.associativity as u64;
+    let cell = tech.cell(spec.cell_tech);
+    let periph = tech.peripheral_device(spec.cell_tech);
+
+    let mut best: Option<ArrayResult> = None;
+    for ntspd in [1u64, 2, 4] {
+        for ntwl in [1u32, 2, 4] {
+            let stripe_bits = assoc * tag_bits * ntspd;
+            let cols = stripe_bits / ntwl as u64;
+            if stripe_bits % ntwl as u64 != 0 || !(32..=4096).contains(&cols) {
+                continue;
+            }
+            let mut ntbl = 1u32;
+            while ntbl <= 128 {
+                let denom = ntspd * ntbl as u64;
+                if sets % denom != 0 {
+                    break;
+                }
+                let rows = sets / denom;
+                if rows < 16 {
+                    break;
+                }
+                if rows.is_power_of_two() {
+                    let input = ArrayInput {
+                        rows,
+                        cols,
+                        ndwl: ntwl,
+                        ndbl: ntbl,
+                        deg_bl_mux: 1,
+                        deg_sa_mux: ntspd as u32,
+                        output_bits: assoc * tag_bits,
+                        address_bits: spec.address_bits,
+                        cell,
+                        periph,
+                        repeater_relax: spec.opt.repeater_relax,
+                        sleep_transistors: spec.opt.sleep_transistors,
+                        sense_fraction: 1.0,
+                    };
+                    if let Ok(r) = array::evaluate(tech, &input) {
+                        let better = match &best {
+                            None => true,
+                            Some(b) => r.access_time() < b.access_time(),
+                        };
+                        if better {
+                            best = Some(r);
+                        }
+                    }
+                }
+                ntbl *= 2;
+            }
+        }
+    }
+    let array = best.ok_or(CactiError::NoFeasibleSolution)?;
+
+    // Comparator: per-bit XNOR into a log-depth AND reduction, one
+    // comparator per way; ~1 FO4 per stage.
+    let stages = 2.0 + (tag_bits as f64).log2().ceil();
+    let comparator_delay = stages * fo4(&periph);
+    let c_node = 6.0 * periph.c_inv_min();
+    let comparator_energy = assoc as f64 * tag_bits as f64 * 0.5 * c_node * periph.vdd * periph.vdd;
+
+    Ok(TagResult {
+        array,
+        comparator_delay,
+        comparator_energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AccessMode, MemoryKind};
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn spec(capacity: u64, tech: CellTechnology) -> MemorySpec {
+        MemorySpec::builder()
+            .capacity_bytes(capacity)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(tech)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tag_is_much_smaller_and_faster_than_data_capacity_suggests() {
+        let tech = Technology::new(TechNode::N32);
+        let s = spec(1 << 20, CellTechnology::Sram);
+        let tag = design_tag(&tech, &s).unwrap();
+        // 1 MB / 64 B lines × ~27 tag bits ≈ 54 kbit ≈ 7 kB of tags.
+        assert!(
+            tag.array.area() < 1e-6,
+            "tag area {:e} m²",
+            tag.array.area()
+        );
+        assert!(tag.access_time() < 2e-9);
+        assert!(tag.comparator_delay > 0.0);
+    }
+
+    #[test]
+    fn bigger_cache_has_bigger_tag_array() {
+        let tech = Technology::new(TechNode::N32);
+        let small = design_tag(&tech, &spec(1 << 20, CellTechnology::Sram)).unwrap();
+        let big = design_tag(&tech, &spec(1 << 24, CellTechnology::Sram)).unwrap();
+        assert!(big.array.area() > small.array.area());
+    }
+
+    #[test]
+    fn dram_tags_work_too() {
+        let tech = Technology::new(TechNode::N32);
+        let tag = design_tag(&tech, &spec(8 << 20, CellTechnology::LpDram)).unwrap();
+        assert!(tag.array.refresh_power > 0.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Set-associative cache tag array with true-LRU replacement and MESI
+//! line states.
+
+/// MESI coherence state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not present.
+    Invalid,
+    /// Clean, possibly in other caches.
+    Shared,
+    /// Clean, only copy among peer caches.
+    Exclusive,
+    /// Dirty, only copy.
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    state: LineState,
+    lru: u32,
+}
+
+/// A set-associative tag array. Addresses are byte addresses; the cache
+/// derives line/set/tag internally.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: u64,
+    assoc: u32,
+    line_bytes: u64,
+    lines: Vec<Line>,
+    lru_clock: u32,
+}
+
+/// Result of an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Byte address of the first byte of the evicted line.
+    pub addr: u64,
+    /// State the victim was in.
+    pub state: LineState,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry is degenerate (zero sets/ways or non-power-of-two
+    /// line size).
+    pub fn new(capacity_bytes: u64, line_bytes: u32, associativity: u32) -> SetAssocCache {
+        assert!(line_bytes.is_power_of_two() && line_bytes > 0);
+        assert!(associativity > 0);
+        let sets = capacity_bytes / (line_bytes as u64 * associativity as u64);
+        assert!(sets > 0, "cache smaller than one set");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocCache {
+            sets,
+            assoc: associativity,
+            line_bytes: line_bytes as u64,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    state: LineState::Invalid,
+                    lru: 0,
+                };
+                (sets * associativity as u64) as usize
+            ],
+            lru_clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr / self.line_bytes
+    }
+
+    fn set_of(&self, addr: u64) -> u64 {
+        self.line_addr(addr) & (self.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        self.line_addr(addr) >> self.sets.trailing_zeros()
+    }
+
+    /// Set index for an address — exposed for bank/subbank steering.
+    pub fn set_index(&self, addr: u64) -> u64 {
+        self.set_of(addr)
+    }
+
+    fn slot_range(&self, set: u64) -> std::ops::Range<usize> {
+        let start = (set * self.assoc as u64) as usize;
+        start..start + self.assoc as usize
+    }
+
+    /// Looks up `addr`; on hit returns its state and refreshes LRU.
+    pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lru_clock = self.lru_clock.wrapping_add(1);
+        let clock = self.lru_clock;
+        let range = self.slot_range(set);
+        for line in &mut self.lines[range] {
+            if line.state != LineState::Invalid && line.tag == tag {
+                line.lru = clock;
+                return Some(line.state);
+            }
+        }
+        None
+    }
+
+    /// Looks up without touching LRU (probe).
+    pub fn probe(&self, addr: u64) -> Option<LineState> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lines[self.slot_range(set)]
+            .iter()
+            .find(|l| l.state != LineState::Invalid && l.tag == tag)
+            .map(|l| l.state)
+    }
+
+    /// Inserts `addr` in `state`, evicting the LRU line of the set if
+    /// needed. Returns the eviction, if any.
+    pub fn insert(&mut self, addr: u64, state: LineState) -> Option<Eviction> {
+        assert!(state != LineState::Invalid, "cannot insert an invalid line");
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.lru_clock = self.lru_clock.wrapping_add(1);
+        let clock = self.lru_clock;
+        let range = self.slot_range(set);
+
+        // Already present: just update state.
+        for line in &mut self.lines[range.clone()] {
+            if line.state != LineState::Invalid && line.tag == tag {
+                line.state = state;
+                line.lru = clock;
+                return None;
+            }
+        }
+        // Free slot?
+        for line in &mut self.lines[range.clone()] {
+            if line.state == LineState::Invalid {
+                *line = Line {
+                    tag,
+                    state,
+                    lru: clock,
+                };
+                return None;
+            }
+        }
+        // Evict the LRU line: the one with the greatest clock distance
+        // (wrapping subtraction keeps this correct across clock wraps).
+        let victim_idx = range
+            .max_by_key(|&i| clock.wrapping_sub(self.lines[i].lru))
+            .expect("set has at least one way");
+        let victim = self.lines[victim_idx];
+        self.lines[victim_idx] = Line {
+            tag,
+            state,
+            lru: clock,
+        };
+        let victim_line = (victim.tag << self.sets.trailing_zeros()) | set;
+        Some(Eviction {
+            addr: victim_line * self.line_bytes,
+            state: victim.state,
+        })
+    }
+
+    /// Changes the state of a present line; no-op if absent.
+    pub fn set_state(&mut self, addr: u64, state: LineState) {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let range = self.slot_range(set);
+        for line in &mut self.lines[range] {
+            if line.state != LineState::Invalid && line.tag == tag {
+                if state == LineState::Invalid {
+                    line.state = LineState::Invalid;
+                } else {
+                    line.state = state;
+                }
+                return;
+            }
+        }
+    }
+
+    /// Invalidates a line if present; returns its previous state.
+    pub fn invalidate(&mut self, addr: u64) -> Option<LineState> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let range = self.slot_range(set);
+        for line in &mut self.lines[range] {
+            if line.state != LineState::Invalid && line.tag == tag {
+                let prev = line.state;
+                line.state = LineState::Invalid;
+                return Some(prev);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines (test/diagnostic helper).
+    pub fn valid_lines(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.state != LineState::Invalid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        SetAssocCache::new(512, 64, 2)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x1000), None);
+        assert_eq!(c.insert(0x1000, LineState::Exclusive), None);
+        assert_eq!(c.lookup(0x1000), Some(LineState::Exclusive));
+        // Same line, different byte offset.
+        assert_eq!(c.lookup(0x103F), Some(LineState::Exclusive));
+        // Different line.
+        assert_eq!(c.lookup(0x1040), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to set 0 (set stride = 4 sets × 64 B = 256 B).
+        let (a, b, d) = (0x0000, 0x0100, 0x0200);
+        c.insert(a, LineState::Shared);
+        c.insert(b, LineState::Shared);
+        c.lookup(a); // make `b` the LRU
+        let ev = c.insert(d, LineState::Shared).expect("must evict");
+        assert_eq!(ev.addr, b);
+        assert_eq!(c.probe(a), Some(LineState::Shared));
+        assert_eq!(c.probe(b), None);
+    }
+
+    #[test]
+    fn eviction_reports_state_and_line_address() {
+        let mut c = small();
+        c.insert(0x0040, LineState::Modified);
+        c.insert(0x0140, LineState::Shared);
+        let ev = c.insert(0x0240, LineState::Shared).unwrap();
+        assert_eq!(ev.addr, 0x0040);
+        assert_eq!(ev.state, LineState::Modified);
+    }
+
+    #[test]
+    fn insert_existing_updates_state_without_eviction() {
+        let mut c = small();
+        c.insert(0x2000, LineState::Shared);
+        assert_eq!(c.insert(0x2000, LineState::Modified), None);
+        assert_eq!(c.probe(0x2000), Some(LineState::Modified));
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.insert(0x3000, LineState::Exclusive);
+        assert_eq!(c.invalidate(0x3000), Some(LineState::Exclusive));
+        assert_eq!(c.probe(0x3000), None);
+        assert_eq!(c.invalidate(0x3000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than one set")]
+    fn rejects_degenerate_geometry() {
+        SetAssocCache::new(64, 64, 2);
+    }
+}

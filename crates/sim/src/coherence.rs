@@ -1,0 +1,165 @@
+//! MESI directory tracking which private L2s hold each line.
+//!
+//! The directory covers only lines resident in some L2 (the L2s are small,
+//! so the map stays bounded); it is consulted on every L2 miss and on every
+//! store that needs ownership.
+
+use std::collections::HashMap;
+
+/// Directory entry for one line: which cores' L2s hold it, and whether one
+/// of them owns it dirty.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmask of cores holding the line.
+    pub sharers: u32,
+    /// Core owning the line in Modified state, if any.
+    pub owner: Option<u8>,
+}
+
+/// Outcome of a directory read request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadSource {
+    /// No L2 holds it — fetch from L3/memory.
+    Below,
+    /// A peer L2 holds it dirty; cache-to-cache transfer (and the owner
+    /// downgrades to Shared).
+    RemoteOwner(u8),
+    /// One or more peers hold it clean; data still comes from below, the
+    /// requester joins the sharers.
+    SharedClean,
+}
+
+/// The MESI directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Number of tracked lines (bounded by total L2 capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Core `core` reads `line` (L2 miss): updates sharers and reports
+    /// where the data comes from.
+    pub fn read(&mut self, line: u64, core: u8) -> ReadSource {
+        let e = self.entries.entry(line).or_default();
+        let src = if let Some(owner) = e.owner {
+            if owner != core {
+                e.owner = None; // owner downgrades to Shared
+                ReadSource::RemoteOwner(owner)
+            } else {
+                ReadSource::Below // shouldn't happen (owner re-reading)
+            }
+        } else if e.sharers & !(1 << core) != 0 {
+            ReadSource::SharedClean
+        } else {
+            ReadSource::Below
+        };
+        e.sharers |= 1 << core;
+        src
+    }
+
+    /// Core `core` writes `line`: all other sharers must be invalidated.
+    /// Returns the bitmask of cores that need an invalidation probe.
+    pub fn write(&mut self, line: u64, core: u8) -> u32 {
+        let e = self.entries.entry(line).or_default();
+        let invalidate = e.sharers & !(1 << core);
+        e.sharers = 1 << core;
+        e.owner = Some(core);
+        invalidate
+    }
+
+    /// Core `core` evicted `line` from its L2: drop it from the sharers and
+    /// forget the line when nobody holds it. Returns `true` if the evicting
+    /// core was the dirty owner (writeback needed).
+    pub fn evict(&mut self, line: u64, core: u8) -> bool {
+        let mut was_owner = false;
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << core);
+            if e.owner == Some(core) {
+                e.owner = None;
+                was_owner = true;
+            }
+            if e.sharers == 0 {
+                self.entries.remove(&line);
+            }
+        }
+        was_owner
+    }
+
+    /// Current sharers of a line (diagnostics/tests).
+    pub fn sharers(&self, line: u64) -> u32 {
+        self.entries.get(&line).map(|e| e.sharers).unwrap_or(0)
+    }
+
+    /// Current owner, if dirty-owned.
+    pub fn owner(&self, line: u64) -> Option<u8> {
+        self.entries.get(&line).and_then(|e| e.owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_writer_invariant() {
+        let mut d = Directory::new();
+        assert_eq!(d.read(10, 0), ReadSource::Below);
+        assert_eq!(d.read(10, 1), ReadSource::SharedClean);
+        // Core 2 writes: both sharers must be invalidated.
+        let inval = d.write(10, 2);
+        assert_eq!(inval, 0b011);
+        assert_eq!(d.owner(10), Some(2));
+        assert_eq!(d.sharers(10), 0b100);
+    }
+
+    #[test]
+    fn dirty_owner_services_reads() {
+        let mut d = Directory::new();
+        d.write(42, 3);
+        assert_eq!(d.read(42, 0), ReadSource::RemoteOwner(3));
+        // After the transfer both share it cleanly.
+        assert_eq!(d.owner(42), None);
+        assert_eq!(d.sharers(42), 0b1001);
+    }
+
+    #[test]
+    fn eviction_cleans_up() {
+        let mut d = Directory::new();
+        d.read(7, 0);
+        d.read(7, 1);
+        assert!(!d.evict(7, 0), "clean eviction");
+        assert_eq!(d.sharers(7), 0b10);
+        assert!(!d.is_empty());
+        d.evict(7, 1);
+        assert!(d.is_empty(), "last sharer gone → entry dropped");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut d = Directory::new();
+        d.write(9, 5);
+        assert!(d.evict(9, 5));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn write_by_sole_sharer_invalidates_nobody() {
+        let mut d = Directory::new();
+        d.read(1, 4);
+        assert_eq!(d.write(1, 4), 0);
+    }
+}

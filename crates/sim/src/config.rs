@@ -1,0 +1,242 @@
+//! System configuration: geometry and timing of every hierarchy level.
+//!
+//! All timings are in CPU cycles. The LLC study derives them from CACTI-D
+//! solutions (Table 3); the defaults here correspond to the paper's values
+//! at 2 GHz.
+
+/// Geometry + timing of one cache level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (per instance for L1/L2; per bank for L3).
+    pub capacity_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Associativity.
+    pub associativity: u32,
+    /// Load-to-use access latency [CPU cycles].
+    pub access_cycles: u64,
+    /// Random (same-subbank) cycle time [CPU cycles].
+    pub cycle_cycles: u64,
+    /// Initiation interval for accesses to *different* subbanks
+    /// [CPU cycles] (multisubbank interleaving, paper §2.3.4).
+    pub interleave_cycles: u64,
+    /// Number of interleavable subbanks per instance.
+    pub n_subbanks: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity_bytes / (self.line_bytes as u64 * self.associativity as u64)
+    }
+}
+
+/// How cache sets map onto DRAM pages in a DRAM L3 (paper Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetMapping {
+    /// Multiple consecutive sets per DRAM page (Figure 3(a) generalized) —
+    /// the choice the paper makes for its study (§3.4).
+    #[default]
+    SetsPerPage,
+    /// Sets striped across pages: one way of consecutive sets per page
+    /// (Figure 3(b)).
+    StripedWays,
+}
+
+/// How a DRAM L3 is operated (paper §2.3.4): with a vanilla SRAM-like
+/// interface plus multisubbank interleaving (the paper's choice, §3.4), or
+/// with a main-memory-like ACTIVATE/READ/WRITE/PRECHARGE interface that
+/// keeps pages open hoping for row-buffer hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum L3Interface {
+    /// READ/WRITE only; activate+precharge hidden; multisubbank
+    /// interleaving governs back-to-back accesses.
+    #[default]
+    SramLike,
+    /// Open-page main-memory-like operation with explicit row timing.
+    PageMode,
+}
+
+/// Row timing for a page-mode DRAM L3 [CPU cycles].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L3PageTiming {
+    /// Row activation (decode + wordline + bitline + sense).
+    pub t_rcd: u64,
+    /// Column access from an open row to data out.
+    pub t_cas: u64,
+    /// Precharge (+ restore) before a different row may open.
+    pub t_rp: u64,
+}
+
+/// Shared L3 configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L3Config {
+    /// Per-bank cache parameters.
+    pub bank: CacheConfig,
+    /// Number of banks (the paper uses 8, one per core).
+    pub n_banks: u32,
+    /// One-way crossbar traversal between an L2 and an L3 bank [cycles].
+    pub xbar_cycles: u64,
+    /// Is this a DRAM L3 (needs refresh accounting and set mapping)?
+    pub is_dram: bool,
+    /// Cache-set ↔ DRAM-page mapping (DRAM L3s only).
+    pub set_mapping: SetMapping,
+    /// Operational interface (DRAM L3s only; SRAM is always SRAM-like).
+    pub interface: L3Interface,
+    /// Row timing when `interface` is [`L3Interface::PageMode`].
+    pub page_timing: Option<L3PageTiming>,
+}
+
+/// Main-memory page policy (paper §2.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Close the page (precharge) after every access.
+    #[default]
+    Closed,
+    /// Keep the page open hoping for row-buffer hits.
+    Open,
+}
+
+/// DDR-style main memory configuration (timings in CPU cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent channels (the study uses 2).
+    pub channels: u32,
+    /// Banks per channel (single-ranked DIMM of 8-bank devices → 8).
+    pub banks: u32,
+    /// Row (page) size per bank in bytes, across the rank.
+    pub page_bytes: u64,
+    /// Activate-to-column delay tRCD.
+    pub t_rcd: u64,
+    /// CAS latency.
+    pub t_cl: u64,
+    /// Precharge time tRP.
+    pub t_rp: u64,
+    /// Row cycle time tRC (≥ tRCD + tRP).
+    pub t_rc: u64,
+    /// Activate-to-activate (different banks) tRRD.
+    pub t_rrd: u64,
+    /// Data-bus occupancy of one line burst.
+    pub t_burst: u64,
+    /// Page policy.
+    pub page_policy: PagePolicy,
+}
+
+/// Full system description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub n_cores: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// CPU clock [Hz] (used by the study to convert counts to power).
+    pub clock_hz: f64,
+    /// Private L1 data cache.
+    pub l1: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Optional shared L3.
+    pub l3: Option<L3Config>,
+    /// Main memory.
+    pub dram: DramConfig,
+    /// Non-FP instruction latency [cycles] (paper: 4).
+    pub other_instr_cycles: u64,
+}
+
+impl SystemConfig {
+    /// Total hardware threads.
+    pub fn n_threads(&self) -> usize {
+        (self.n_cores * self.threads_per_core) as usize
+    }
+
+    /// The paper's system with no L3 (`nol3` configuration): 8 Niagara-like
+    /// cores × 4 threads at 2 GHz, 32 KB 8-way L1s, 1 MB 8-way L2s, two
+    /// DDR4-3200-class channels.
+    pub fn baseline_no_l3() -> SystemConfig {
+        SystemConfig {
+            n_cores: 8,
+            threads_per_core: 4,
+            clock_hz: 2.0e9,
+            l1: CacheConfig {
+                capacity_bytes: 32 << 10,
+                line_bytes: 64,
+                associativity: 8,
+                access_cycles: 2,
+                cycle_cycles: 1,
+                interleave_cycles: 1,
+                n_subbanks: 1,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 1 << 20,
+                line_bytes: 64,
+                associativity: 8,
+                access_cycles: 3,
+                cycle_cycles: 1,
+                interleave_cycles: 1,
+                n_subbanks: 4,
+            },
+            l3: None,
+            dram: DramConfig {
+                channels: 2,
+                banks: 8,
+                page_bytes: 8 << 10,
+                t_rcd: 31,
+                t_cl: 27,
+                t_rp: 22,
+                t_rc: 109,
+                t_rrd: 16,
+                t_burst: 4,
+                page_policy: PagePolicy::Closed,
+            },
+            other_instr_cycles: 4,
+        }
+    }
+
+    /// Baseline plus an SRAM L3 shaped like the paper's 24 MB
+    /// configuration (Table 3 values).
+    pub fn with_sram_l3() -> SystemConfig {
+        let mut c = SystemConfig::baseline_no_l3();
+        c.l3 = Some(L3Config {
+            bank: CacheConfig {
+                capacity_bytes: 3 << 20,
+                line_bytes: 64,
+                associativity: 12,
+                access_cycles: 5,
+                cycle_cycles: 1,
+                interleave_cycles: 1,
+                n_subbanks: 4,
+            },
+            n_banks: 8,
+            xbar_cycles: 2,
+            is_dram: false,
+            set_mapping: SetMapping::default(),
+            interface: L3Interface::SramLike,
+            page_timing: None,
+        });
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_geometry() {
+        let c = SystemConfig::baseline_no_l3();
+        assert_eq!(c.n_threads(), 32);
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l2.sets(), 2048);
+        assert!(c.l3.is_none());
+        assert!(c.dram.t_rc >= c.dram.t_rcd + c.dram.t_rp);
+    }
+
+    #[test]
+    fn sram_l3_config_has_eight_banks() {
+        let c = SystemConfig::with_sram_l3();
+        let l3 = c.l3.unwrap();
+        assert_eq!(l3.n_banks, 8);
+        assert_eq!(l3.bank.capacity_bytes * l3.n_banks as u64, 24 << 20);
+        assert_eq!(l3.bank.sets(), 4096);
+    }
+}

@@ -1,0 +1,177 @@
+//! Simulation statistics: cycle attribution (paper Figure 4(b) categories),
+//! access counters for the power model (Figure 5), and latency tracking.
+
+/// Where a stalled thread's cycles are attributed — the execution-cycle
+/// breakdown categories of the paper's Figure 4(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallKind {
+    /// Executing instructions (not waiting for memory).
+    Instruction,
+    /// Stalled while an L2 (local or remote) services the request.
+    L2Access,
+    /// Stalled while the shared L3 services the request.
+    L3Access,
+    /// Stalled while main memory services the request.
+    MemoryAccess,
+    /// Idle at a barrier.
+    Barrier,
+    /// Spinning on a lock.
+    Lock,
+}
+
+impl StallKind {
+    /// All categories in the paper's plotting order.
+    pub const ALL: &'static [StallKind] = &[
+        StallKind::Instruction,
+        StallKind::L2Access,
+        StallKind::L3Access,
+        StallKind::MemoryAccess,
+        StallKind::Barrier,
+        StallKind::Lock,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            StallKind::Instruction => 0,
+            StallKind::L2Access => 1,
+            StallKind::L3Access => 2,
+            StallKind::MemoryAccess => 3,
+            StallKind::Barrier => 4,
+            StallKind::Lock => 5,
+        }
+    }
+}
+
+/// Per-level access counters consumed by the study's power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccessCounts {
+    /// L1 reads (loads + instruction fetches are counted separately).
+    pub l1_reads: u64,
+    /// L1 writes (stores + fills).
+    pub l1_writes: u64,
+    /// Instruction-fetch L1I accesses.
+    pub l1i_reads: u64,
+    /// L2 reads.
+    pub l2_reads: u64,
+    /// L2 writes (stores-through, fills, writebacks received).
+    pub l2_writes: u64,
+    /// L3 reads (lookups).
+    pub l3_reads: u64,
+    /// L3 writes (fills + writebacks).
+    pub l3_writes: u64,
+    /// L3 open-row (page) hits — page-mode interface only.
+    pub l3_page_hits: u64,
+    /// Crossbar line transfers (either direction).
+    pub xbar_transfers: u64,
+    /// Main-memory row activations.
+    pub mem_activates: u64,
+    /// Main-memory read bursts.
+    pub mem_reads: u64,
+    /// Main-memory write bursts.
+    pub mem_writes: u64,
+    /// Main-memory open-page row-buffer hits (no activate needed).
+    pub mem_page_hits: u64,
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired (all threads).
+    pub instructions: u64,
+    /// Thread-cycles attributed to each [`StallKind`] (sums to
+    /// `cycles × n_threads`).
+    pub cycle_breakdown: [u64; 6],
+    /// Access counters.
+    pub counts: AccessCounts,
+    /// Sum of load latencies [cycles] (for average read latency).
+    pub load_latency_sum: u64,
+    /// Number of loads.
+    pub loads: u64,
+    /// Loads that hit each level: [L1, L2, L3, memory].
+    pub load_level_hits: [u64; 4],
+}
+
+impl SimStats {
+    /// Instructions per cycle across the whole chip.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// Average load (read) latency in cycles — Figure 4(a)'s second series.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.loads == 0 {
+            return 0.0;
+        }
+        self.load_latency_sum as f64 / self.loads as f64
+    }
+
+    /// Attributes `n` thread-cycles to `kind`.
+    pub fn attribute(&mut self, kind: StallKind, n: u64) {
+        self.cycle_breakdown[kind.index()] += n;
+    }
+
+    /// Thread-cycles attributed to `kind`.
+    pub fn attributed(&self, kind: StallKind) -> u64 {
+        self.cycle_breakdown[kind.index()]
+    }
+
+    /// Normalized cycle breakdown (fractions summing to 1, if any cycles
+    /// were attributed).
+    pub fn breakdown_fractions(&self) -> [f64; 6] {
+        let total: u64 = self.cycle_breakdown.iter().sum();
+        let mut out = [0.0; 6];
+        if total > 0 {
+            for (o, &c) in out.iter_mut().zip(&self.cycle_breakdown) {
+                *o = c as f64 / total as f64;
+            }
+        }
+        out
+    }
+
+    /// L3 hit rate among loads that reached the L3.
+    pub fn l3_hit_rate(&self) -> f64 {
+        let reached = self.load_level_hits[2] + self.load_level_hits[3];
+        if reached == 0 {
+            return 0.0;
+        }
+        self.load_level_hits[2] as f64 / reached as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_and_fractions() {
+        let mut s = SimStats::default();
+        s.attribute(StallKind::Instruction, 60);
+        s.attribute(StallKind::MemoryAccess, 40);
+        let f = s.breakdown_fractions();
+        assert!((f[0] - 0.6).abs() < 1e-12);
+        assert!((f[3] - 0.4).abs() < 1e-12);
+        assert_eq!(s.attributed(StallKind::MemoryAccess), 40);
+    }
+
+    #[test]
+    fn ipc_and_latency_guard_divide_by_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.l3_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for &k in StallKind::ALL {
+            assert!(seen.insert(k.index()));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+}

@@ -1,0 +1,118 @@
+//! CLI for the CACTI-D paper reproduction.
+//!
+//! ```text
+//! llc-study table1                 # Table 1: technology characteristics
+//! llc-study table2                 # Table 2: Micron DDR3 validation
+//! llc-study fig1                   # Figure 1: Xeon L3 validation sweep
+//! llc-study table3                 # Table 3: 32nm hierarchy projections
+//! llc-study fig4 [-n INSTR]        # Figure 4: IPC/latency/cycle breakdown
+//! llc-study fig5 [-n INSTR]        # Figure 5: power and energy-delay
+//! llc-study all  [-n INSTR]        # everything (fig4+fig5 share the runs)
+//! llc-study thermal                # extension: stacked-die temperature
+//! llc-study powerdown [-n INSTR]   # extension: DRAM power-down savings
+//! llc-study sweep [-n INSTR]       # L3 capacity-sensitivity curves
+//! ```
+
+use cactid_tech::TechNode;
+use llc_study::power::MemoryHierarchyPower;
+use llc_study::{
+    configs, figure1, figure4, figure5, powerdown, sweep, table1, table2, table3, thermal,
+};
+
+fn parse_instructions(args: &[String]) -> u64 {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-n" || a == "--instructions" {
+            if let Some(v) = it.next() {
+                return v.replace('_', "").parse().unwrap_or_else(|_| {
+                    eprintln!("bad instruction count {v:?}");
+                    std::process::exit(2)
+                });
+            }
+        }
+    }
+    // Default: enough for the synthetic profiles to reach steady state on
+    // the largest L3s while staying minutes-scale.
+    5_000_000
+}
+
+fn run_figures_4_and_5(instructions: u64, do4: bool, do5: bool) {
+    eprintln!("running study: 8 apps x 6 configs x {instructions} instructions...");
+    let study = figure4::run_study(instructions);
+    if do4 {
+        println!("{}", figure4::render_a(&study));
+        println!("{}", figure4::render_b(&study));
+    }
+    if do5 {
+        let rows = figure5::figure5(&study);
+        println!("{}", figure5::render_a(&rows));
+        println!("{}", figure5::render_b(&rows));
+    }
+}
+
+fn run_thermal() {
+    let estimates: Vec<_> = configs::LlcKind::ALL
+        .iter()
+        .skip(1)
+        .filter_map(|&k| thermal::estimate(&configs::build(k)))
+        .collect();
+    println!("{}", thermal::render(&estimates));
+}
+
+fn run_powerdown(instructions: u64) {
+    use npbgen::NpbApp;
+    eprintln!("powerdown extension: 3 apps x 3 configs x {instructions} instructions...");
+    let mut rows = Vec::new();
+    for kind in [
+        configs::LlcKind::NoL3,
+        configs::LlcKind::Sram24,
+        configs::LlcKind::CmDramC192,
+    ] {
+        let cfg = configs::build(kind);
+        for app in [NpbApp::CgC, NpbApp::FtB, NpbApp::UaC] {
+            let run = figure4::run_one(&cfg, app, instructions);
+            let hier = MemoryHierarchyPower::from_run(&cfg, &run.stats);
+            let a = powerdown::analyze(&cfg, &run.stats, &hier);
+            rows.push((format!("{} / {app}", kind.label()), a, hier.total()));
+        }
+    }
+    println!("{}", powerdown::render(&rows));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let n = parse_instructions(&args);
+    match cmd {
+        "table1" => println!("{}", table1::render(TechNode::N32)),
+        "table2" => println!("{}", table2::render()),
+        "fig1" => println!("{}", figure1::render()),
+        "table3" => println!("{}", table3::render()),
+        "fig4" => run_figures_4_and_5(n, true, false),
+        "fig5" => run_figures_4_and_5(n, false, true),
+        "thermal" => run_thermal(),
+        "powerdown" => run_powerdown(n.min(2_000_000)),
+        "sweep" => {
+            use npbgen::NpbApp;
+            eprintln!("capacity sweep: 3 apps x 6 capacities x {n} instructions...");
+            println!(
+                "{}",
+                sweep::render(&[NpbApp::FtB, NpbApp::BtC, NpbApp::UaC], n)
+            );
+        }
+        "all" => {
+            println!("{}", table1::render(TechNode::N32));
+            println!("{}", table2::render());
+            println!("{}", figure1::render());
+            println!("{}", table3::render());
+            run_figures_4_and_5(n, true, true);
+            run_thermal();
+        }
+        other => {
+            eprintln!(
+                "unknown command {other:?}; try table1|table2|table3|fig1|fig4|fig5|thermal|powerdown|sweep|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

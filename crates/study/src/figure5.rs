@@ -1,0 +1,159 @@
+//! Figure 5: memory-hierarchy power breakdown (a), system power breakdown
+//! and normalized energy-delay product (b).
+
+use crate::configs::{LlcKind, StudyConfig};
+use crate::figure4::AppRun;
+use crate::power::{energy_delay, system_power, MemoryHierarchyPower, CORE_POWER_W};
+use npbgen::NpbApp;
+
+/// Power/energy summary of one run.
+#[derive(Debug, Clone)]
+pub struct PowerRun {
+    /// Application.
+    pub app: NpbApp,
+    /// Configuration.
+    pub kind: LlcKind,
+    /// Hierarchy power breakdown [W].
+    pub hierarchy: MemoryHierarchyPower,
+    /// System power (core + hierarchy) [W].
+    pub system_w: f64,
+    /// Energy-delay product [J·s].
+    pub edp: f64,
+    /// Simulated seconds.
+    pub seconds: f64,
+}
+
+/// Computes Figure 5's quantities from the Figure 4 runs.
+pub fn figure5(study: &[(StudyConfig, Vec<AppRun>)]) -> Vec<PowerRun> {
+    let mut out = Vec::new();
+    for (cfg, runs) in study {
+        for r in runs {
+            let hierarchy = MemoryHierarchyPower::from_run(cfg, &r.stats);
+            out.push(PowerRun {
+                app: r.app,
+                kind: cfg.kind,
+                hierarchy,
+                system_w: system_power(&hierarchy),
+                edp: energy_delay(&hierarchy, r.seconds),
+                seconds: r.seconds,
+            });
+        }
+    }
+    out
+}
+
+/// Finds one run's power summary.
+pub fn find(rows: &[PowerRun], app: NpbApp, kind: LlcKind) -> &PowerRun {
+    rows.iter()
+        .find(|r| r.app == app && r.kind == kind)
+        .expect("power run exists")
+}
+
+/// Average (across apps) hierarchy-power increase of `kind` vs. no-L3.
+pub fn avg_hierarchy_increase(rows: &[PowerRun], kind: LlcKind) -> f64 {
+    let mut acc = 0.0;
+    for &app in NpbApp::ALL {
+        let base = find(rows, app, LlcKind::NoL3).hierarchy.total();
+        let with = find(rows, app, kind).hierarchy.total();
+        acc += with / base - 1.0;
+    }
+    acc / NpbApp::ALL.len() as f64
+}
+
+/// Average (across apps) normalized energy-delay of `kind` vs. no-L3
+/// (< 1 is better).
+pub fn avg_normalized_edp(rows: &[PowerRun], kind: LlcKind) -> f64 {
+    let mut acc = 0.0;
+    for &app in NpbApp::ALL {
+        let base = find(rows, app, LlcKind::NoL3).edp;
+        acc += find(rows, app, kind).edp / base;
+    }
+    acc / NpbApp::ALL.len() as f64
+}
+
+/// Renders Figure 5(a): hierarchy power breakdown per app × config.
+pub fn render_a(rows: &[PowerRun]) -> String {
+    let mut s = String::from(
+        "Figure 5(a): memory-hierarchy power (W)\n\
+         config        L1(l/d)   L2(l/d)   xbar(l/d)  L3(l/d/r)      mem(d/s/r)    bus   total\n",
+    );
+    for &app in NpbApp::ALL {
+        s.push_str(&format!("{app}:\n"));
+        for &kind in LlcKind::ALL {
+            let r = find(rows, app, kind);
+            let h = &r.hierarchy;
+            s.push_str(&format!(
+                "  {:11} {:4.2}/{:4.2} {:4.2}/{:4.2} {:4.2}/{:4.2}  {:4.2}/{:4.2}/{:4.2}  {:4.2}/{:4.2}/{:4.2} {:5.2} {:6.2}\n",
+                kind.label(),
+                h.l1_leak, h.l1_dyn,
+                h.l2_leak, h.l2_dyn,
+                h.xbar_leak, h.xbar_dyn,
+                h.l3_leak, h.l3_dyn, h.l3_refresh,
+                h.mem_dyn, h.mem_standby, h.mem_refresh,
+                h.bus,
+                h.total(),
+            ));
+        }
+    }
+    s
+}
+
+/// Renders Figure 5(b): system power and normalized energy-delay.
+pub fn render_b(rows: &[PowerRun]) -> String {
+    let mut s = format!(
+        "Figure 5(b): system power (core {CORE_POWER_W} W + hierarchy) and normalized energy-delay\n"
+    );
+    for &app in NpbApp::ALL {
+        s.push_str(&format!("{app}:\n"));
+        let base_edp = find(rows, app, LlcKind::NoL3).edp;
+        for &kind in LlcKind::ALL {
+            let r = find(rows, app, kind);
+            s.push_str(&format!(
+                "  {:11} system {:6.2} W   norm E*D {:5.3}\n",
+                kind.label(),
+                r.system_w,
+                r.edp / base_edp
+            ));
+        }
+    }
+    s.push_str("\naverages vs nol3:\n");
+    for &kind in LlcKind::ALL.iter().skip(1) {
+        s.push_str(&format!(
+            "  {:11} hierarchy power {:+5.1}%   energy-delay {:+5.1}%\n",
+            kind.label(),
+            avg_hierarchy_increase(rows, kind) * 100.0,
+            (avg_normalized_edp(rows, kind) - 1.0) * 100.0,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::build;
+    use crate::figure4::run_one;
+
+    #[test]
+    fn hierarchy_breakdown_reflects_l3_technology() {
+        // Small runs; the full-scale shape checks live in integration
+        // tests / benches.
+        let apps = [NpbApp::FtB];
+        let mut study = Vec::new();
+        for &kind in &[LlcKind::NoL3, LlcKind::Sram24, LlcKind::CmDramEd96] {
+            let cfg = build(kind);
+            let runs: Vec<AppRun> = apps.iter().map(|&a| run_one(&cfg, a, 200_000)).collect();
+            study.push((cfg, runs));
+        }
+        let rows: Vec<PowerRun> = figure5(&study);
+        let sram = rows.iter().find(|r| r.kind == LlcKind::Sram24).unwrap();
+        let comm = rows.iter().find(|r| r.kind == LlcKind::CmDramEd96).unwrap();
+        let nol3 = rows.iter().find(|r| r.kind == LlcKind::NoL3).unwrap();
+        // SRAM L3 leaks watts; COMM L3 leaks milliwatts.
+        assert!(sram.hierarchy.l3_leak > 1.0);
+        assert!(comm.hierarchy.l3_leak < 0.1);
+        assert_eq!(nol3.hierarchy.l3_leak, 0.0);
+        // System power must exceed core power.
+        assert!(nol3.system_w > CORE_POWER_W);
+    }
+}

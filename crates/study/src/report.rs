@@ -1,0 +1,69 @@
+//! Minimal aligned-table formatting for the CLI reports.
+
+/// Formats a table: headers plus rows, columns padded to fit.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Percent-difference helper used in the validation tables.
+pub fn pct_err(model: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        return 0.0;
+    }
+    (model - actual) / actual * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "23".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[1].chars().filter(|&c| c == '-').count(),
+            lines[1].len()
+        );
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn pct_err_signs() {
+        assert!((pct_err(90.0, 100.0) + 10.0).abs() < 1e-12);
+        assert!((pct_err(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert_eq!(pct_err(1.0, 0.0), 0.0);
+    }
+}

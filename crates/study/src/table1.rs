@@ -1,0 +1,129 @@
+//! Table 1: key characteristics of the SRAM, LP-DRAM and COMM-DRAM
+//! technologies at 32 nm.
+
+use crate::report::format_table;
+use cactid_tech::{CellTechnology, TechNode, Technology};
+
+/// One rendered row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Characteristic name.
+    pub characteristic: &'static str,
+    /// Values for SRAM / LP-DRAM / COMM-DRAM.
+    pub values: [String; 3],
+}
+
+/// Computes Table 1 at the given node (the paper prints 32 nm values).
+pub fn table1(node: TechNode) -> Vec<Table1Row> {
+    let tech = Technology::new(node);
+    let cells: Vec<_> = CellTechnology::ALL.iter().map(|&c| tech.cell(c)).collect();
+    let mut rows = Vec::new();
+    let f3 =
+        |v: [f64; 3], fmt: fn(f64) -> String| -> [String; 3] { [fmt(v[0]), fmt(v[1]), fmt(v[2])] };
+    rows.push(Table1Row {
+        characteristic: "Cell area (F^2)",
+        values: f3(
+            [cells[0].area_f2, cells[1].area_f2, cells[2].area_f2],
+            |v| format!("{v:.0}"),
+        ),
+    });
+    rows.push(Table1Row {
+        characteristic: "Peripheral device",
+        values: [
+            CellTechnology::Sram.peripheral_device_type().to_string(),
+            CellTechnology::LpDram.peripheral_device_type().to_string(),
+            CellTechnology::CommDram
+                .peripheral_device_type()
+                .to_string(),
+        ],
+    });
+    rows.push(Table1Row {
+        characteristic: "Bitline interconnect",
+        values: [
+            CellTechnology::Sram.bitline_wire_type().to_string(),
+            CellTechnology::LpDram.bitline_wire_type().to_string(),
+            CellTechnology::CommDram.bitline_wire_type().to_string(),
+        ],
+    });
+    rows.push(Table1Row {
+        characteristic: "Cell VDD (V)",
+        values: f3(
+            [cells[0].vdd_cell, cells[1].vdd_cell, cells[2].vdd_cell],
+            |v| format!("{v:.1}"),
+        ),
+    });
+    rows.push(Table1Row {
+        characteristic: "Storage cap (fF)",
+        values: [
+            "-".into(),
+            format!("{:.0}", cells[1].c_storage * 1e15),
+            format!("{:.0}", cells[2].c_storage * 1e15),
+        ],
+    });
+    rows.push(Table1Row {
+        characteristic: "Boosted wordline VPP (V)",
+        values: [
+            "-".into(),
+            format!("{:.1}", cells[1].vpp),
+            format!("{:.1}", cells[2].vpp),
+        ],
+    });
+    rows.push(Table1Row {
+        characteristic: "Refresh period (ms)",
+        values: [
+            "-".into(),
+            format!("{:.2}", cells[1].retention_time * 1e3),
+            format!("{:.0}", cells[2].retention_time * 1e3),
+        ],
+    });
+    rows
+}
+
+/// Renders Table 1 as text.
+pub fn render(node: TechNode) -> String {
+    let rows: Vec<Vec<String>> = table1(node)
+        .into_iter()
+        .map(|r| {
+            let mut v = vec![r.characteristic.to_string()];
+            v.extend(r.values);
+            v
+        })
+        .collect();
+    format!(
+        "Table 1: technology characteristics at {node}\n{}",
+        format_table(&["Characteristic", "SRAM", "LP-DRAM", "COMM-DRAM"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_at_32nm() {
+        let rows = table1(TechNode::N32);
+        let get = |name: &str| -> [String; 3] {
+            rows.iter()
+                .find(|r| r.characteristic == name)
+                .unwrap()
+                .values
+                .clone()
+        };
+        assert_eq!(get("Cell area (F^2)"), ["146", "30", "6"]);
+        assert_eq!(get("Cell VDD (V)"), ["0.9", "1.0", "1.0"]);
+        assert_eq!(get("Storage cap (fF)"), ["-", "20", "30"]);
+        assert_eq!(get("Boosted wordline VPP (V)"), ["-", "1.5", "2.6"]);
+        assert_eq!(get("Refresh period (ms)"), ["-", "0.12", "64"]);
+        assert_eq!(
+            get("Bitline interconnect"),
+            ["local", "local", "tungsten bitline"]
+        );
+    }
+
+    #[test]
+    fn render_includes_headers() {
+        let s = render(TechNode::N32);
+        assert!(s.contains("COMM-DRAM"));
+        assert!(s.contains("146"));
+    }
+}

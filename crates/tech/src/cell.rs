@@ -1,0 +1,432 @@
+//! Memory-cell technology models (paper §2.3.1, Table 1).
+//!
+//! Three cell technologies are supported on an equal footing, which is the
+//! central enabler of the paper's SRAM-vs-DRAM tradeoff studies:
+//!
+//! | Characteristic        | SRAM        | LP-DRAM       | COMM-DRAM      |
+//! |-----------------------|-------------|---------------|----------------|
+//! | Cell area @32 nm      | 146 F²      | 30 F²         | 6 F²           |
+//! | Cell device           | HP long-ch. | interm. oxide | thick oxide    |
+//! | Peripheral device     | HP long-ch. | HP long-ch.   | LSTP           |
+//! | Bitline               | copper      | copper        | tungsten       |
+//! | Cell VDD @32 nm       | 0.9 V       | 1.0 V         | 1.0 V          |
+//! | Storage cap           | —           | 20 fF         | 30 fF          |
+//! | Boosted wordline V_PP | —           | 1.5 V         | 2.6 V          |
+//! | Refresh period @32 nm | —           | 0.12 ms       | 64 ms          |
+
+use crate::device::{device_params, DeviceType};
+use crate::node::{geo_lerp, TechNode};
+use crate::units::*;
+use crate::wire::{wire_params, WireType};
+use std::fmt;
+
+/// One of the three memory cell technologies modeled by CACTI-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellTechnology {
+    /// 6T SRAM — the traditional on-die cache cell.
+    Sram,
+    /// Logic-process embedded DRAM (1T1C, intermediate-oxide access device).
+    LpDram,
+    /// Commodity DRAM (1T1C, thick-oxide access device, tungsten bitlines).
+    CommDram,
+}
+
+impl CellTechnology {
+    /// All three cell technologies.
+    pub const ALL: &'static [CellTechnology] = &[
+        CellTechnology::Sram,
+        CellTechnology::LpDram,
+        CellTechnology::CommDram,
+    ];
+
+    /// `true` for the two DRAM technologies.
+    pub fn is_dram(self) -> bool {
+        !matches!(self, CellTechnology::Sram)
+    }
+
+    /// Device class used for peripheral/global support circuitry (Table 1).
+    pub fn peripheral_device_type(self) -> DeviceType {
+        match self {
+            CellTechnology::Sram | CellTechnology::LpDram => DeviceType::HpLongChannel,
+            CellTechnology::CommDram => DeviceType::Lstp,
+        }
+    }
+
+    /// Wire class used for the bitlines of this cell technology.
+    pub fn bitline_wire_type(self) -> WireType {
+        match self {
+            CellTechnology::CommDram => WireType::TungstenBitline,
+            _ => WireType::Local,
+        }
+    }
+}
+
+impl fmt::Display for CellTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CellTechnology::Sram => "SRAM",
+            CellTechnology::LpDram => "LP-DRAM",
+            CellTechnology::CommDram => "COMM-DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resolved electrical and geometric parameters of one memory cell
+/// technology at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Which technology this describes.
+    pub technology: CellTechnology,
+    /// Cell area in units of F².
+    pub area_f2: f64,
+    /// Cell width (along the wordline) [m].
+    pub width: f64,
+    /// Cell height (along the bitline) [m].
+    pub height: f64,
+    /// Cell array supply voltage [V].
+    pub vdd_cell: f64,
+    /// Capacitance added to the bitline per cell (junction + wire) [F].
+    pub c_bitline_per_cell: f64,
+    /// Capacitance added to the wordline per cell (gate + wire) [F].
+    pub c_wordline_per_cell: f64,
+    /// Wordline resistance per cell [Ω].
+    pub r_wordline_per_cell: f64,
+    /// Bitline resistance per cell [Ω].
+    pub r_bitline_per_cell: f64,
+    /// SRAM read (bitline discharge) current [A]; 0 for DRAM.
+    pub i_cell_read: f64,
+    /// SRAM standby leakage per cell at `vdd_cell` [A]; 0 for DRAM
+    /// (DRAM cell leakage shows up as the retention/refresh requirement).
+    pub leak_per_cell: f64,
+    /// DRAM storage capacitance [F]; 0 for SRAM.
+    pub c_storage: f64,
+    /// DRAM boosted wordline voltage [V]; equals `vdd_cell` for SRAM.
+    pub vpp: f64,
+    /// DRAM retention (refresh) period [s]; `f64::INFINITY` for SRAM.
+    pub retention_time: f64,
+    /// DRAM access-transistor on-resistance [Ω]; 0 for SRAM.
+    pub r_access_on: f64,
+    /// Minimum bitline differential the sense amplifier needs [V].
+    pub v_sense_margin: f64,
+    /// Maximum rows per subarray this technology supports (signal margin /
+    /// wordline RC limits).
+    pub max_rows_per_subarray: usize,
+    /// Multiplier on bitline/sense/restore/precharge timing capturing the
+    /// margining style of each technology (worst-case cells, sense offsets,
+    /// temperature corners). 1.0 for SRAM; >1 for the DRAMs.
+    pub timing_derate: f64,
+    /// Fraction of the peripheral device's transconductance available in
+    /// the (offset-compensated, conservatively biased) sense amplifier.
+    pub sense_gm_derate: f64,
+    /// Effective access-resistance multiplier during cell restore: the
+    /// access transistor loses overdrive as the cell node approaches VDD,
+    /// so the tail of the writeback is slow. 1.0 for SRAM.
+    pub restore_saturation: f64,
+}
+
+impl CellParams {
+    /// Cell area [m²].
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// For DRAM, the open-bitline charge-sharing differential available when
+    /// `rows` cells load the bitline: `(V_DD/2)·C_s/(C_s + C_bl)` [V].
+    /// Returns `None` for SRAM.
+    pub fn dram_sense_signal(&self, rows: usize) -> Option<f64> {
+        if !self.technology.is_dram() {
+            return None;
+        }
+        let c_bl = self.c_bitline_per_cell * rows as f64;
+        Some(self.vdd_cell / 2.0 * self.c_storage / (self.c_storage + c_bl))
+    }
+
+    /// Largest power-of-two row count per subarray that still meets the
+    /// sense margin (and the hard `max_rows_per_subarray` cap).
+    pub fn max_feasible_rows(&self) -> usize {
+        let mut rows = self.max_rows_per_subarray;
+        if self.technology.is_dram() {
+            while rows > 16 {
+                if self.dram_sense_signal(rows).unwrap() >= self.v_sense_margin {
+                    break;
+                }
+                rows /= 2;
+            }
+        }
+        rows
+    }
+}
+
+/// Raw per-node anchor rows. Order: N90, N65, N45, N32.
+struct CellAnchor {
+    area_f2: [f64; 4],
+    aspect_w_over_h: f64,
+    vdd_cell: [f64; 4],
+    c_storage_ff: [f64; 4],
+    vpp: [f64; 4],
+    retention_ms: [f64; 4],
+    r_access_kohm: [f64; 4],
+    i_cell_read_ua: [f64; 4],
+    leak_per_cell_na: [f64; 4],
+    junction_ff: [f64; 4],
+    v_sense_mv: f64,
+    max_rows: usize,
+    timing_derate: f64,
+    sense_gm_derate: f64,
+    restore_saturation: f64,
+}
+
+const SRAM: CellAnchor = CellAnchor {
+    area_f2: [146.0, 146.0, 146.0, 146.0],
+    aspect_w_over_h: 1.9,
+    vdd_cell: [1.2, 1.1, 1.0, 0.9],
+    c_storage_ff: [0.0; 4],
+    vpp: [0.0; 4],
+    retention_ms: [0.0; 4],
+    r_access_kohm: [0.0; 4],
+    i_cell_read_ua: [71.0, 58.0, 45.0, 36.0],
+    leak_per_cell_na: [40.0, 33.0, 27.0, 22.0],
+    junction_ff: [0.090, 0.065, 0.045, 0.032],
+    v_sense_mv: 100.0,
+    max_rows: 1024,
+    timing_derate: 1.0,
+    sense_gm_derate: 0.5,
+    restore_saturation: 1.0,
+};
+
+const LP_DRAM: CellAnchor = CellAnchor {
+    area_f2: [24.0, 26.0, 28.0, 30.0],
+    aspect_w_over_h: 1.2,
+    vdd_cell: [1.2, 1.1, 1.0, 1.0],
+    c_storage_ff: [20.0, 20.0, 20.0, 20.0],
+    vpp: [1.9, 1.7, 1.6, 1.5],
+    retention_ms: [1.0, 0.5, 0.25, 0.12],
+    r_access_kohm: [5.5, 5.0, 4.5, 4.5],
+    i_cell_read_ua: [0.0; 4],
+    leak_per_cell_na: [0.0; 4],
+    junction_ff: [0.060, 0.045, 0.035, 0.028],
+    v_sense_mv: 75.0,
+    max_rows: 512,
+    timing_derate: 1.1,
+    sense_gm_derate: 0.30,
+    restore_saturation: 1.2,
+};
+
+const COMM_DRAM: CellAnchor = CellAnchor {
+    area_f2: [8.0, 7.0, 6.0, 6.0],
+    aspect_w_over_h: 0.667,
+    vdd_cell: [1.8, 1.5, 1.2, 1.0],
+    c_storage_ff: [30.0, 30.0, 30.0, 30.0],
+    vpp: [3.4, 3.0, 2.8, 2.6],
+    retention_ms: [64.0, 64.0, 64.0, 64.0],
+    r_access_kohm: [24.0, 22.0, 21.0, 20.0],
+    i_cell_read_ua: [0.0; 4],
+    leak_per_cell_na: [0.0; 4],
+    junction_ff: [0.110, 0.090, 0.075, 0.065],
+    v_sense_mv: 60.0,
+    max_rows: 512,
+    timing_derate: 1.6,
+    sense_gm_derate: 0.18,
+    restore_saturation: 1.2,
+};
+
+fn node_index(node: TechNode) -> usize {
+    match node {
+        TechNode::N90 => 0,
+        TechNode::N65 => 1,
+        TechNode::N45 => 2,
+        TechNode::N32 => 3,
+        TechNode::N78 => unreachable!("interpolated before lookup"),
+    }
+}
+
+fn anchor_cell(anchor: &CellAnchor, tech: CellTechnology, node: TechNode) -> CellParams {
+    let i = node_index(node);
+    let f = node.feature_size();
+    let area = anchor.area_f2[i] * f * f;
+    // width/height from area and aspect ratio: w = aspect·h.
+    let height = (area / anchor.aspect_w_over_h).sqrt();
+    let width = area / height;
+
+    let bl_wire = wire_params(node, tech.bitline_wire_type());
+    let wl_wire = wire_params(node, WireType::Wordline);
+    // Access-device gate load on the wordline: SRAM has two access
+    // transistors of ~1.5 F width; DRAM has one of ~1 F width. Use the
+    // peripheral device's gate cap as the per-width proxy.
+    let periph = device_params(node, tech.peripheral_device_type());
+    let access_w = match tech {
+        CellTechnology::Sram => 2.0 * 1.5 * f,
+        CellTechnology::LpDram => 1.5 * f,
+        CellTechnology::CommDram => 1.0 * f,
+    };
+    let c_wordline_per_cell = periph.c_gate * access_w + wl_wire.c_per_m * width;
+    let c_bitline_per_cell = anchor.junction_ff[i] * FF + bl_wire.c_per_m * height;
+
+    CellParams {
+        technology: tech,
+        area_f2: anchor.area_f2[i],
+        width,
+        height,
+        vdd_cell: anchor.vdd_cell[i],
+        c_bitline_per_cell,
+        c_wordline_per_cell,
+        r_wordline_per_cell: wl_wire.r_per_m * width,
+        r_bitline_per_cell: bl_wire.r_per_m * height,
+        i_cell_read: anchor.i_cell_read_ua[i] * 1e-6,
+        leak_per_cell: anchor.leak_per_cell_na[i] * 1e-9,
+        c_storage: anchor.c_storage_ff[i] * FF,
+        vpp: if tech.is_dram() {
+            anchor.vpp[i]
+        } else {
+            anchor.vdd_cell[i]
+        },
+        retention_time: if tech.is_dram() {
+            anchor.retention_ms[i] * MS
+        } else {
+            f64::INFINITY
+        },
+        r_access_on: anchor.r_access_kohm[i] * 1e3,
+        v_sense_margin: anchor.v_sense_mv * 1e-3,
+        max_rows_per_subarray: anchor.max_rows,
+        timing_derate: anchor.timing_derate,
+        sense_gm_derate: anchor.sense_gm_derate,
+        restore_saturation: anchor.restore_saturation,
+    }
+}
+
+fn blend_cells(a: CellParams, b: CellParams, t: f64) -> CellParams {
+    let lin = |x: f64, y: f64| x + (y - x) * t;
+    CellParams {
+        technology: a.technology,
+        area_f2: lin(a.area_f2, b.area_f2),
+        width: geo_lerp(a.width, b.width, t),
+        height: geo_lerp(a.height, b.height, t),
+        vdd_cell: lin(a.vdd_cell, b.vdd_cell),
+        c_bitline_per_cell: geo_lerp(a.c_bitline_per_cell, b.c_bitline_per_cell, t),
+        c_wordline_per_cell: geo_lerp(a.c_wordline_per_cell, b.c_wordline_per_cell, t),
+        r_wordline_per_cell: geo_lerp(a.r_wordline_per_cell, b.r_wordline_per_cell, t),
+        r_bitline_per_cell: geo_lerp(a.r_bitline_per_cell, b.r_bitline_per_cell, t),
+        i_cell_read: lin(a.i_cell_read, b.i_cell_read),
+        leak_per_cell: lin(a.leak_per_cell, b.leak_per_cell),
+        c_storage: lin(a.c_storage, b.c_storage),
+        vpp: lin(a.vpp, b.vpp),
+        retention_time: if a.retention_time.is_finite() {
+            lin(a.retention_time, b.retention_time)
+        } else {
+            f64::INFINITY
+        },
+        r_access_on: lin(a.r_access_on, b.r_access_on),
+        v_sense_margin: lin(a.v_sense_margin, b.v_sense_margin),
+        max_rows_per_subarray: a.max_rows_per_subarray,
+        timing_derate: lin(a.timing_derate, b.timing_derate),
+        sense_gm_derate: lin(a.sense_gm_derate, b.sense_gm_derate),
+        restore_saturation: lin(a.restore_saturation, b.restore_saturation),
+    }
+}
+
+/// Looks up (or interpolates) the cell parameters for `ty` at `node`.
+pub fn cell_params(node: TechNode, ty: CellTechnology) -> CellParams {
+    if let Some((hi, lo, t)) = node.interpolation() {
+        let a = cell_params(hi, ty);
+        let b = cell_params(lo, ty);
+        return blend_cells(a, b, t);
+    }
+    match ty {
+        CellTechnology::Sram => anchor_cell(&SRAM, ty, node),
+        CellTechnology::LpDram => anchor_cell(&LP_DRAM, ty, node),
+        CellTechnology::CommDram => anchor_cell(&COMM_DRAM, ty, node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_at_32nm() {
+        let sram = cell_params(TechNode::N32, CellTechnology::Sram);
+        let lp = cell_params(TechNode::N32, CellTechnology::LpDram);
+        let comm = cell_params(TechNode::N32, CellTechnology::CommDram);
+
+        assert_eq!(sram.area_f2, 146.0);
+        assert_eq!(lp.area_f2, 30.0);
+        assert_eq!(comm.area_f2, 6.0);
+
+        assert!((sram.vdd_cell - 0.9).abs() < 1e-9);
+        assert!((lp.vdd_cell - 1.0).abs() < 1e-9);
+        assert!((comm.vdd_cell - 1.0).abs() < 1e-9);
+
+        assert!((lp.c_storage - 20.0 * FF).abs() < 1e-18);
+        assert!((comm.c_storage - 30.0 * FF).abs() < 1e-18);
+
+        assert!((lp.vpp - 1.5).abs() < 1e-9);
+        assert!((comm.vpp - 2.6).abs() < 1e-9);
+
+        assert!((lp.retention_time - 0.12 * MS).abs() < 1e-9);
+        assert!((comm.retention_time - 64.0 * MS).abs() < 1e-9);
+        assert!(sram.retention_time.is_infinite());
+    }
+
+    #[test]
+    fn geometry_consistent_with_area() {
+        for &node in TechNode::ALL {
+            for &ty in CellTechnology::ALL {
+                let c = cell_params(node, ty);
+                let f = node.feature_size();
+                let area_from_dims = c.width * c.height;
+                assert!(
+                    (area_from_dims - c.area_f2 * f * f).abs() / area_from_dims < 1e-9,
+                    "{ty} at {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dram_sense_signal_shrinks_with_rows() {
+        let comm = cell_params(TechNode::N32, CellTechnology::CommDram);
+        let s128 = comm.dram_sense_signal(128).unwrap();
+        let s512 = comm.dram_sense_signal(512).unwrap();
+        assert!(s128 > s512);
+        // 512-cell bitline still meets margin at 32 nm.
+        assert!(s512 >= comm.v_sense_margin, "{s512} V");
+        let sram = cell_params(TechNode::N32, CellTechnology::Sram);
+        assert!(sram.dram_sense_signal(512).is_none());
+    }
+
+    #[test]
+    fn max_feasible_rows_respects_margin() {
+        for &node in TechNode::ALL_WITH_HALF_NODES {
+            for &ty in [CellTechnology::LpDram, CellTechnology::CommDram].iter() {
+                let c = cell_params(node, ty);
+                let rows = c.max_feasible_rows();
+                assert!(rows >= 16);
+                assert!(
+                    c.dram_sense_signal(rows).unwrap() >= c.v_sense_margin || rows == 16,
+                    "{ty}@{node}: rows={rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comm_dram_bitlines_are_tungsten() {
+        let comm = cell_params(TechNode::N32, CellTechnology::CommDram);
+        let lp = cell_params(TechNode::N32, CellTechnology::LpDram);
+        // Per-cell bitline resistance is much higher in COMM-DRAM even
+        // though its cell is shorter.
+        assert!(comm.r_bitline_per_cell > 2.0 * lp.r_bitline_per_cell);
+    }
+
+    #[test]
+    fn sram_cells_leak_drams_do_not() {
+        for &node in TechNode::ALL {
+            let sram = cell_params(node, CellTechnology::Sram);
+            assert!(sram.leak_per_cell > 0.0);
+            for &d in [CellTechnology::LpDram, CellTechnology::CommDram].iter() {
+                assert_eq!(cell_params(node, d).leak_per_cell, 0.0);
+            }
+        }
+    }
+}

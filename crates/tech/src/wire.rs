@@ -1,0 +1,168 @@
+//! Interconnect models following Ron Ho-style projections (paper §2.2).
+//!
+//! Three copper back-end-of-line wire classes (local, semi-global, global)
+//! are modeled for every node, plus the two DRAM-specific array wires:
+//! tungsten bitlines (commodity DRAM) and strapped wordlines. Resistance is
+//! computed from geometry (`ρ_eff / (w·t)`) with a size-dependent effective
+//! resistivity capturing barrier/scattering effects in narrow wires;
+//! capacitance per length is nearly constant across nodes, as Ho's data
+//! shows.
+
+use crate::node::TechNode;
+use crate::units::*;
+use std::fmt;
+
+/// An interconnect class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireType {
+    /// Minimum-pitch local copper wiring (intra-mat routing, SRAM bitlines).
+    Local,
+    /// Semi-global (intermediate) copper wiring — H-trees inside a bank.
+    SemiGlobal,
+    /// Global copper wiring — bank-to-bank and chip-level routes.
+    Global,
+    /// Tungsten bitline used in commodity DRAM arrays (Table 1).
+    TungstenBitline,
+    /// Strapped (silicided poly + metal shunt) DRAM/SRAM wordline.
+    Wordline,
+}
+
+impl WireType {
+    /// All modeled wire classes.
+    pub const ALL: &'static [WireType] = &[
+        WireType::Local,
+        WireType::SemiGlobal,
+        WireType::Global,
+        WireType::TungstenBitline,
+        WireType::Wordline,
+    ];
+}
+
+impl fmt::Display for WireType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WireType::Local => "local",
+            WireType::SemiGlobal => "semi-global",
+            WireType::Global => "global",
+            WireType::TungstenBitline => "tungsten bitline",
+            WireType::Wordline => "wordline",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Distributed-RC parameters of one wire class at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParams {
+    /// Resistance per length [Ω/m].
+    pub r_per_m: f64,
+    /// Capacitance per length [F/m].
+    pub c_per_m: f64,
+    /// Wire pitch [m] (width + spacing).
+    pub pitch: f64,
+    /// Wire width [m].
+    pub width: f64,
+    /// Wire thickness [m].
+    pub thickness: f64,
+}
+
+impl WireParams {
+    /// Elmore delay of an unrepeated wire of length `len` [s], `0.38·R·C·L²`.
+    pub fn elmore_delay(&self, len: f64) -> f64 {
+        0.38 * self.r_per_m * self.c_per_m * len * len
+    }
+
+    /// Total resistance of a wire of length `len` [Ω].
+    pub fn res(&self, len: f64) -> f64 {
+        self.r_per_m * len
+    }
+
+    /// Total capacitance of a wire of length `len` [F].
+    pub fn cap(&self, len: f64) -> f64 {
+        self.c_per_m * len
+    }
+}
+
+/// Effective resistivity [Ω·m] including barrier and surface scattering —
+/// grows as wires narrow.
+fn effective_resistivity(width: f64, bulk: f64) -> f64 {
+    // Simple Ho-style fit: ~+50 % at 40 nm width relative to bulk.
+    let scatter = 1.0 + 20e-9 / width;
+    bulk * scatter
+}
+
+const RHO_CU: f64 = 2.2e-8;
+const RHO_W: f64 = 7.0e-8;
+// Silicided-poly + metal strap composite, expressed as an equivalent
+// resistivity over the strap cross-section.
+const RHO_WL_STRAP: f64 = 5.0e-8;
+
+/// Looks up (or derives) the wire parameters for `ty` at `node`.
+pub fn wire_params(node: TechNode, ty: WireType) -> WireParams {
+    let f = node.feature_size();
+    let (pitch_f, aspect, rho, c_ff_um) = match ty {
+        WireType::Local => (2.5, 1.8, RHO_CU, 0.16),
+        WireType::SemiGlobal => (4.0, 2.0, RHO_CU, 0.20),
+        WireType::Global => (8.0, 2.2, RHO_CU, 0.21),
+        WireType::TungstenBitline => (2.0, 1.5, RHO_W, 0.14),
+        WireType::Wordline => (2.0, 1.2, RHO_WL_STRAP, 0.15),
+    };
+    let pitch = pitch_f * f;
+    let width = pitch / 2.0;
+    let thickness = aspect * width;
+    let r_per_m = effective_resistivity(width, rho) / (width * thickness);
+    WireParams {
+        r_per_m,
+        c_per_m: c_ff_um * C_FF_PER_UM,
+        pitch,
+        width,
+        thickness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_orderings() {
+        for &node in TechNode::ALL_WITH_HALF_NODES {
+            let local = wire_params(node, WireType::Local);
+            let semi = wire_params(node, WireType::SemiGlobal);
+            let global = wire_params(node, WireType::Global);
+            let bl = wire_params(node, WireType::TungstenBitline);
+            assert!(local.r_per_m > semi.r_per_m);
+            assert!(semi.r_per_m > global.r_per_m);
+            // Tungsten bitlines are by far the most resistive.
+            assert!(bl.r_per_m > local.r_per_m);
+        }
+    }
+
+    #[test]
+    fn wires_get_more_resistive_as_nodes_shrink() {
+        let mut prev = 0.0;
+        for &node in TechNode::ALL {
+            let r = wire_params(node, WireType::SemiGlobal).r_per_m;
+            assert!(r > prev, "semi-global R/m must grow with scaling");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn sane_absolute_values_at_32nm() {
+        let semi = wire_params(TechNode::N32, WireType::SemiGlobal);
+        let r_ohm_um = semi.r_per_m / OHM_PER_UM;
+        // Semi-global at 32 nm: a few Ω/µm.
+        assert!((1.0..15.0).contains(&r_ohm_um), "R = {r_ohm_um} Ω/µm");
+        let c_ff_um = semi.c_per_m / C_FF_PER_UM;
+        assert!((0.1..0.3).contains(&c_ff_um));
+    }
+
+    #[test]
+    fn elmore_delay_is_quadratic_in_length() {
+        let w = wire_params(TechNode::N45, WireType::Global);
+        let d1 = w.elmore_delay(1.0 * MM);
+        let d2 = w.elmore_delay(2.0 * MM);
+        assert!((d2 / d1 - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,292 @@
+//! The eight NPB application profiles of the LLC study (paper §3.2, with
+//! behaviours per §4.2).
+
+use crate::profile::Profile;
+use std::fmt;
+
+/// NPB problem classes. The paper runs the classes shown in its figures
+/// (bt.C, ft.B, …); the generator can scale any application to a different
+/// class for sensitivity studies — each class step roughly quadruples the
+/// aggregate working set, following the NPB size progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpbClass {
+    /// Small (working sets ~1/16 of the paper's class).
+    A,
+    /// Medium (~1/4 of the paper's class).
+    B,
+    /// The paper's scale.
+    C,
+}
+
+impl NpbClass {
+    /// Working-set scale factor relative to the class the paper ran.
+    pub fn scale(self) -> f64 {
+        match self {
+            NpbClass::A => 1.0 / 16.0,
+            NpbClass::B => 0.25,
+            NpbClass::C => 1.0,
+        }
+    }
+}
+
+/// One of the NPB applications the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NpbApp {
+    /// bt.C — block tridiagonal solver, large working set with locality.
+    BtC,
+    /// cg.C — conjugate gradient, huge sparse working set, no L3 locality.
+    CgC,
+    /// ft.B — 3-D FFT, working set fits the larger L3s.
+    FtB,
+    /// is.C — integer sort, large working set, store heavy, low FP.
+    IsC,
+    /// lu.C — LU solver, working set fits only the big L3s.
+    LuC,
+    /// mg.B — multigrid, large sequential working set.
+    MgB,
+    /// sp.C — scalar pentadiagonal solver, large working set with locality.
+    SpC,
+    /// ua.C — unstructured adaptive, low memory intensity, lock traffic.
+    UaC,
+}
+
+impl NpbApp {
+    /// All eight applications in the paper's plotting order.
+    pub const ALL: &'static [NpbApp] = &[
+        NpbApp::BtC,
+        NpbApp::CgC,
+        NpbApp::FtB,
+        NpbApp::IsC,
+        NpbApp::LuC,
+        NpbApp::MgB,
+        NpbApp::SpC,
+        NpbApp::UaC,
+    ];
+
+    /// The profile rescaled to a different NPB class: warm and cold
+    /// working sets shrink with the class while the instruction mix stays
+    /// put (the paper's observation that SPEC-sized working sets fit in
+    /// caches far smaller than 192 MB is the A-class limit of this).
+    pub fn profile_for_class(self, class: NpbClass) -> Profile {
+        let mut p = self.profile();
+        let s = class.scale();
+        p.warm_bytes = ((p.warm_bytes as f64 * s) as u64).max(4 << 20);
+        p.cold_bytes = ((p.cold_bytes as f64 * s) as u64).max(64 << 20);
+        p
+    }
+
+    /// The synthetic profile reproducing this application's memory
+    /// behaviour (§4.2 of the paper; see crate docs for the mapping).
+    pub fn profile(self) -> Profile {
+        const KB: u64 = 1 << 10;
+        const MB: u64 = 1 << 20;
+        const GB: u64 = 1 << 30;
+        match self {
+            NpbApp::BtC => Profile {
+                name: "bt.C",
+                p_fp: 0.42,
+                p_other: 0.33,
+                p_mem: 0.25,
+                store_frac: 0.30,
+                hot_bytes: 96 * KB,
+                warm_bytes: 400 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.70,
+                p_warm: 0.27,
+                p_cold: 0.01,
+                p_shared: 0.02,
+                seq_run_lines: 12,
+                p_neighbor: 0.05,
+                barrier_interval: 60_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::CgC => Profile {
+                name: "cg.C",
+                p_fp: 0.30,
+                p_other: 0.35,
+                p_mem: 0.35,
+                store_frac: 0.15,
+                hot_bytes: 64 * KB,
+                warm_bytes: 1536 * MB,
+                cold_bytes: 6 * GB,
+                p_hot: 0.55,
+                p_warm: 0.10,
+                p_cold: 0.33,
+                p_shared: 0.02,
+                seq_run_lines: 2,
+                p_neighbor: 0.10,
+                barrier_interval: 40_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::FtB => Profile {
+                name: "ft.B",
+                p_fp: 0.45,
+                p_other: 0.25,
+                p_mem: 0.30,
+                store_frac: 0.35,
+                hot_bytes: 64 * KB,
+                warm_bytes: 60 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.55,
+                p_warm: 0.43,
+                p_cold: 0.005,
+                p_shared: 0.015,
+                seq_run_lines: 16,
+                p_neighbor: 0.15,
+                barrier_interval: 50_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::IsC => Profile {
+                name: "is.C",
+                p_fp: 0.08,
+                p_other: 0.52,
+                p_mem: 0.40,
+                store_frac: 0.45,
+                hot_bytes: 64 * KB,
+                warm_bytes: 300 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.72,
+                p_warm: 0.25,
+                p_cold: 0.01,
+                p_shared: 0.02,
+                seq_run_lines: 4,
+                p_neighbor: 0.05,
+                barrier_interval: 30_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::LuC => Profile {
+                name: "lu.C",
+                p_fp: 0.44,
+                p_other: 0.28,
+                p_mem: 0.28,
+                store_frac: 0.30,
+                hot_bytes: 80 * KB,
+                warm_bytes: 110 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.52,
+                p_warm: 0.455,
+                p_cold: 0.005,
+                p_shared: 0.02,
+                seq_run_lines: 10,
+                p_neighbor: 0.10,
+                barrier_interval: 45_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::MgB => Profile {
+                name: "mg.B",
+                p_fp: 0.36,
+                p_other: 0.34,
+                p_mem: 0.30,
+                store_frac: 0.30,
+                hot_bytes: 96 * KB,
+                warm_bytes: 450 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.68,
+                p_warm: 0.29,
+                p_cold: 0.01,
+                p_shared: 0.02,
+                seq_run_lines: 20,
+                p_neighbor: 0.10,
+                barrier_interval: 35_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::SpC => Profile {
+                name: "sp.C",
+                p_fp: 0.40,
+                p_other: 0.30,
+                p_mem: 0.30,
+                store_frac: 0.32,
+                hot_bytes: 96 * KB,
+                warm_bytes: 350 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.68,
+                p_warm: 0.29,
+                p_cold: 0.01,
+                p_shared: 0.02,
+                seq_run_lines: 10,
+                p_neighbor: 0.08,
+                barrier_interval: 50_000,
+                lock_interval: 0,
+                lock_hold: 0,
+            },
+            NpbApp::UaC => Profile {
+                name: "ua.C",
+                p_fp: 0.34,
+                p_other: 0.56,
+                p_mem: 0.10,
+                store_frac: 0.30,
+                hot_bytes: 128 * KB,
+                warm_bytes: 200 * MB,
+                cold_bytes: 2 * GB,
+                p_hot: 0.875,
+                p_warm: 0.075,
+                p_cold: 0.01,
+                p_shared: 0.04,
+                seq_run_lines: 3,
+                p_neighbor: 0.15,
+                barrier_interval: 40_000,
+                lock_interval: 4_000,
+                lock_hold: 25,
+            },
+        }
+    }
+}
+
+impl fmt::Display for NpbApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.profile().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for &app in NpbApp::ALL {
+            app.profile().validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn class_scaling_shrinks_working_sets() {
+        for &app in NpbApp::ALL {
+            let a = app.profile_for_class(NpbClass::A);
+            let b = app.profile_for_class(NpbClass::B);
+            let c = app.profile_for_class(NpbClass::C);
+            assert!(a.warm_bytes <= b.warm_bytes);
+            assert!(b.warm_bytes <= c.warm_bytes);
+            assert_eq!(c.warm_bytes, app.profile().warm_bytes);
+            a.validate().unwrap();
+            b.validate().unwrap();
+        }
+        // An A-class working set fits in the big L3s easily.
+        assert!(NpbApp::BtC.profile_for_class(NpbClass::A).warm_bytes <= 96 << 20);
+    }
+
+    #[test]
+    fn app_grouping_matches_the_paper() {
+        // ft.B and lu.C warm sets fit the big L3s (≤ 192 MB)…
+        assert!(NpbApp::FtB.profile().warm_bytes <= 192 << 20);
+        assert!(NpbApp::LuC.profile().warm_bytes <= 192 << 20);
+        // …but exceed the 24 MB SRAM L3.
+        assert!(NpbApp::LuC.profile().warm_bytes > 24 << 20);
+        // bt/is/mg/sp exceed every L3.
+        for app in [NpbApp::BtC, NpbApp::IsC, NpbApp::MgB, NpbApp::SpC] {
+            assert!(app.profile().warm_bytes > 192 << 20, "{:?}", app);
+        }
+        // cg.C has the least reusable warm locality; ua.C the lowest
+        // memory intensity, and it is the only lock user.
+        assert!(NpbApp::CgC.profile().p_cold > 0.2);
+        let ua = NpbApp::UaC.profile();
+        assert!(ua.p_mem < 0.2);
+        assert!(ua.lock_interval > 0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The trace generator: turns a [`Profile`] into per-thread instruction
+//! streams implementing [`memsim::TraceSource`].
+
+use crate::apps::{NpbApp, NpbClass};
+use crate::profile::{Profile, SHARED_BYTES};
+use memsim::{Instr, TraceSource};
+
+/// Address-space layout (16 GB physical):
+/// per-thread hot regions, then warm, cold and shared regions.
+const HOT_BASE: u64 = 0;
+const HOT_STRIDE: u64 = 32 << 20; // 32 MB per thread slot
+const WARM_BASE: u64 = 1 << 30; // 1 GB
+const COLD_BASE: u64 = 8 << 30; // 8 GB
+const SHARED_BASE: u64 = 15 << 30; // 15 GB
+const LINE: u64 = 64;
+
+#[derive(Debug, Clone)]
+struct ThreadGen {
+    rng: u64,
+    instrs: u64,
+    /// Remaining lines in the current sequential run and its cursor.
+    run_left: u32,
+    cursor: u64,
+    /// Instructions until the held lock is released (0 = not holding).
+    lock_release_in: u64,
+    held_lock: Option<u32>,
+}
+
+/// Deterministic synthetic trace for one application across `n_threads`
+/// hardware threads.
+#[derive(Debug, Clone)]
+pub struct NpbTrace {
+    profile: Profile,
+    n_threads: usize,
+    threads: Vec<ThreadGen>,
+}
+
+impl NpbTrace {
+    /// Creates the trace for `app` with `n_threads` threads (the study
+    /// uses 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is 0 or the profile fails validation.
+    pub fn new(app: NpbApp, n_threads: usize) -> NpbTrace {
+        NpbTrace::from_profile(app.profile(), n_threads)
+    }
+
+    /// Creates the trace for `app` rescaled to `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is 0.
+    pub fn with_class(app: NpbApp, class: NpbClass, n_threads: usize) -> NpbTrace {
+        NpbTrace::from_profile(app.profile_for_class(class), n_threads)
+    }
+
+    /// Creates a trace from an explicit profile (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads` is 0 or the profile fails validation.
+    pub fn from_profile(profile: Profile, n_threads: usize) -> NpbTrace {
+        assert!(n_threads > 0);
+        profile.validate().expect("profile must be consistent");
+        let threads = (0..n_threads)
+            .map(|t| ThreadGen {
+                rng: (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                instrs: 0,
+                run_left: 0,
+                cursor: 0,
+                lock_release_in: 0,
+                held_lock: None,
+            })
+            .collect();
+        NpbTrace {
+            profile,
+            n_threads,
+            threads,
+        }
+    }
+
+    /// The profile driving this trace.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    fn rng(t: &mut ThreadGen) -> u64 {
+        t.rng ^= t.rng << 13;
+        t.rng ^= t.rng >> 7;
+        t.rng ^= t.rng << 17;
+        t.rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in [0,1).
+    fn unif(t: &mut ThreadGen) -> f64 {
+        (Self::rng(t) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Picks the next memory address for thread `tid`.
+    fn address(&mut self, tid: usize) -> u64 {
+        let p = self.profile.clone();
+        let t = &mut self.threads[tid];
+
+        // Continue a sequential run for spatial locality.
+        if t.run_left > 0 {
+            t.run_left -= 1;
+            t.cursor += LINE;
+            return t.cursor;
+        }
+
+        let r = Self::unif(t);
+        let (base, size) = if r < p.p_hot {
+            (HOT_BASE + tid as u64 * HOT_STRIDE, p.hot_bytes)
+        } else if r < p.p_hot + p.p_warm {
+            // Partitioned warm region: mostly own slice, sometimes a
+            // neighbour's (halo exchange).
+            let slice = (p.warm_bytes / self.n_threads as u64).max(LINE * 16);
+            let owner = if Self::unif(t) < p.p_neighbor {
+                (tid + 1) % self.n_threads
+            } else {
+                tid
+            };
+            (WARM_BASE + owner as u64 * slice, slice)
+        } else if r < p.p_hot + p.p_warm + p.p_cold {
+            (COLD_BASE, p.cold_bytes)
+        } else {
+            (SHARED_BASE, SHARED_BYTES)
+        };
+
+        let lines = (size / LINE).max(1);
+        let line = Self::rng(t) % lines;
+        let addr = base + line * LINE;
+        // Start a sequential run from here.
+        let mean = p.seq_run_lines.max(1) as u64;
+        t.run_left = (Self::rng(t) % (2 * mean)) as u32;
+        t.cursor = addr;
+        addr
+    }
+}
+
+impl TraceSource for NpbTrace {
+    fn next(&mut self, tid: usize) -> Instr {
+        let p = self.profile.clone();
+        {
+            let t = &mut self.threads[tid];
+            t.instrs += 1;
+
+            // Release a held lock when its hold time elapses.
+            if let Some(id) = t.held_lock {
+                t.lock_release_in = t.lock_release_in.saturating_sub(1);
+                if t.lock_release_in == 0 {
+                    t.held_lock = None;
+                    return Instr::Unlock(id);
+                }
+            }
+            // Barrier cadence.
+            if p.barrier_interval > 0 && t.instrs % p.barrier_interval == 0 {
+                return Instr::Barrier;
+            }
+            // Lock cadence (only when not already holding one).
+            if p.lock_interval > 0 && t.held_lock.is_none() && t.instrs % p.lock_interval == 0 {
+                let id = (Self::rng(t) % 16) as u32;
+                t.held_lock = Some(id);
+                t.lock_release_in = p.lock_hold.max(1);
+                return Instr::Lock(id);
+            }
+        }
+
+        let r = Self::unif(&mut self.threads[tid]);
+        if r < p.p_mem {
+            let addr = self.address(tid);
+            let t = &mut self.threads[tid];
+            if Self::unif(t) < p.store_frac {
+                Instr::Store(addr)
+            } else {
+                Instr::Load(addr)
+            }
+        } else if r < p.p_mem + p.p_fp {
+            Instr::Fp
+        } else {
+            Instr::Other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn class_a_addresses_stay_in_smaller_warm_region() {
+        let mut t = NpbTrace::with_class(NpbApp::BtC, NpbClass::A, 4);
+        let warm_size = t.profile().warm_bytes;
+        assert!(warm_size < NpbApp::BtC.profile().warm_bytes);
+        for _ in 0..50_000 {
+            if let Instr::Load(a) | Instr::Store(a) = t.next(1) {
+                if (WARM_BASE..COLD_BASE).contains(&a) {
+                    assert!(a < WARM_BASE + warm_size + (1 << 20));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = NpbTrace::new(NpbApp::FtB, 8);
+        let mut b = NpbTrace::new(NpbApp::FtB, 8);
+        for tid in 0..8 {
+            for _ in 0..1000 {
+                assert_eq!(a.next(tid), b.next(tid));
+            }
+        }
+    }
+
+    #[test]
+    fn mix_matches_profile_statistically() {
+        let mut t = NpbTrace::new(NpbApp::BtC, 4);
+        let p = t.profile().clone();
+        let n = 200_000;
+        let mut mem = 0;
+        let mut fp = 0;
+        for _ in 0..n {
+            match t.next(0) {
+                Instr::Load(_) | Instr::Store(_) => mem += 1,
+                Instr::Fp => fp += 1,
+                _ => {}
+            }
+        }
+        let mem_frac = mem as f64 / n as f64;
+        let fp_frac = fp as f64 / n as f64;
+        assert!((mem_frac - p.p_mem).abs() < 0.02, "mem {mem_frac}");
+        assert!((fp_frac - p.p_fp).abs() < 0.02, "fp {fp_frac}");
+    }
+
+    #[test]
+    fn addresses_land_in_expected_regions() {
+        let mut t = NpbTrace::new(NpbApp::LuC, 32);
+        let p = t.profile().clone();
+        let mut warm = 0u64;
+        let mut total = 0u64;
+        for _ in 0..300_000 {
+            if let Instr::Load(a) | Instr::Store(a) = t.next(3) {
+                total += 1;
+                assert!(a < 16 << 30, "address beyond 16 GB: {a:#x}");
+                if (WARM_BASE..COLD_BASE).contains(&a) {
+                    warm += 1;
+                }
+            }
+        }
+        let frac = warm as f64 / total as f64;
+        // Warm fraction ≈ p_warm (sequential runs keep it approximate).
+        assert!((frac - p.p_warm).abs() < 0.12, "warm fraction {frac}");
+    }
+
+    #[test]
+    fn barriers_arrive_on_schedule() {
+        let mut t = NpbTrace::new(NpbApp::IsC, 2);
+        let interval = t.profile().barrier_interval;
+        let mut count = 0u64;
+        let n = interval * 5;
+        for _ in 0..n {
+            if t.next(1) == Instr::Barrier {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn ua_locks_are_balanced() {
+        let mut t = NpbTrace::new(NpbApp::UaC, 4);
+        let mut held: Option<u32> = None;
+        let mut locks = 0;
+        for _ in 0..100_000 {
+            match t.next(2) {
+                Instr::Lock(id) => {
+                    assert!(held.is_none(), "nested lock");
+                    held = Some(id);
+                    locks += 1;
+                }
+                Instr::Unlock(id) => {
+                    assert_eq!(held, Some(id), "unlock mismatch");
+                    held = None;
+                }
+                _ => {}
+            }
+        }
+        assert!(locks > 10, "ua.C should take locks ({locks})");
+    }
+
+    #[test]
+    fn warm_working_set_spans_the_declared_size() {
+        let mut t = NpbTrace::new(NpbApp::FtB, 32);
+        let mut pages = HashSet::new();
+        for tid in 0..32 {
+            for _ in 0..20_000 {
+                if let Instr::Load(a) | Instr::Store(a) = t.next(tid) {
+                    if (WARM_BASE..COLD_BASE).contains(&a) {
+                        pages.insert(a >> 20); // 1 MB granules
+                    }
+                }
+            }
+        }
+        let covered_mb = pages.len() as u64;
+        let declared_mb = t.profile().warm_bytes >> 20;
+        assert!(
+            covered_mb > declared_mb / 2,
+            "covered {covered_mb} MB of {declared_mb} MB"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The synthetic workload profile: region sizes, access mix, locality and
+//! synchronization cadence.
+
+/// A stationary synthetic workload description for one application.
+///
+/// Probabilities are per *instruction*; `p_fp + p_other + p_mem` should sum
+/// to 1 (validated by [`Profile::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Application label.
+    pub name: &'static str,
+    /// Probability an instruction is floating-point.
+    pub p_fp: f64,
+    /// Probability an instruction is non-FP, non-memory.
+    pub p_other: f64,
+    /// Probability an instruction is a memory operation.
+    pub p_mem: f64,
+    /// Of memory operations, fraction that are stores.
+    pub store_frac: f64,
+    /// Per-thread hot region size [bytes] (L1/L2-resident).
+    pub hot_bytes: u64,
+    /// Total warm region size [bytes] — the L3-contended working set,
+    /// partitioned across threads.
+    pub warm_bytes: u64,
+    /// Total cold region size [bytes] — effectively uncacheable.
+    pub cold_bytes: u64,
+    /// Of memory operations: probability of hitting hot / warm / cold /
+    /// shared regions (must sum to 1).
+    pub p_hot: f64,
+    /// Warm-region probability.
+    pub p_warm: f64,
+    /// Cold-region probability.
+    pub p_cold: f64,
+    /// Shared-region probability (coherence traffic).
+    pub p_shared: f64,
+    /// Mean sequential run length in cache lines (spatial locality).
+    pub seq_run_lines: u32,
+    /// Fraction of warm accesses that go to a neighbour thread's partition
+    /// (OpenMP halo exchange style).
+    pub p_neighbor: f64,
+    /// Instructions between barriers, per thread (0 = no barriers).
+    pub barrier_interval: u64,
+    /// Instructions between lock acquisitions, per thread (0 = none).
+    pub lock_interval: u64,
+    /// Instructions a lock is held.
+    pub lock_hold: u64,
+}
+
+/// Shared region size [bytes] — small, heavily contended.
+pub const SHARED_BYTES: u64 = 4 << 20;
+
+impl Profile {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.p_fp + self.p_other + self.p_mem;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("{}: instruction mix sums to {sum}", self.name));
+        }
+        let rsum = self.p_hot + self.p_warm + self.p_cold + self.p_shared;
+        if (rsum - 1.0).abs() > 1e-9 {
+            return Err(format!("{}: region mix sums to {rsum}", self.name));
+        }
+        for (what, v) in [
+            ("store_frac", self.store_frac),
+            ("p_neighbor", self.p_neighbor),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {what} out of range: {v}", self.name));
+            }
+        }
+        if self.hot_bytes < 4096 || self.warm_bytes < 1 << 20 || self.cold_bytes < 1 << 20 {
+            return Err(format!("{}: regions too small", self.name));
+        }
+        if self.seq_run_lines == 0 {
+            return Err(format!("{}: zero run length", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Profile {
+        Profile {
+            name: "test",
+            p_fp: 0.4,
+            p_other: 0.3,
+            p_mem: 0.3,
+            store_frac: 0.3,
+            hot_bytes: 64 << 10,
+            warm_bytes: 64 << 20,
+            cold_bytes: 4 << 30,
+            p_hot: 0.6,
+            p_warm: 0.3,
+            p_cold: 0.05,
+            p_shared: 0.05,
+            seq_run_lines: 8,
+            p_neighbor: 0.1,
+            barrier_interval: 50_000,
+            lock_interval: 0,
+            lock_hold: 20,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        assert_eq!(base().validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_mix_fails() {
+        let mut p = base();
+        p.p_fp = 0.9;
+        assert!(p.validate().unwrap_err().contains("instruction mix"));
+        let mut p = base();
+        p.p_hot = 0.9;
+        assert!(p.validate().unwrap_err().contains("region mix"));
+    }
+}

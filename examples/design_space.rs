@@ -1,0 +1,72 @@
+//! Design-space exploration: how the three cell technologies trade off
+//! capacity, speed, area and power as the cache grows — the kind of study
+//! the paper's introduction motivates for stacked last-level caches.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use cacti_d::core::{optimize, AccessMode, MemoryKind, MemorySpec};
+use cacti_d::tech::{CellTechnology, TechNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("capacity sweep @ 32nm, 8-way, 64B lines, single bank");
+    println!(
+        "{:>10} {:>10} {:>9} {:>9} {:>10} {:>9} {:>10}",
+        "capacity", "tech", "acc ns", "cyc ns", "area mm2", "Erd nJ", "leak W"
+    );
+    for shift in [20u32, 21, 22, 23, 24, 25] {
+        let capacity = 1u64 << shift;
+        for cell in [
+            CellTechnology::Sram,
+            CellTechnology::LpDram,
+            CellTechnology::CommDram,
+        ] {
+            let spec = MemorySpec::builder()
+                .capacity_bytes(capacity)
+                .block_bytes(64)
+                .associativity(8)
+                .banks(1)
+                .cell_tech(cell)
+                .node(TechNode::N32)
+                .kind(MemoryKind::Cache {
+                    access_mode: AccessMode::Normal,
+                })
+                .build()?;
+            let s = optimize(&spec)?;
+            println!(
+                "{:>9}M {:>10} {:>9.3} {:>9.3} {:>10.3} {:>9.3} {:>10.4}",
+                capacity >> 20,
+                cell.to_string(),
+                s.access_ns(),
+                s.random_cycle * 1e9,
+                s.area_mm2(),
+                s.read_energy_nj(),
+                s.leakage_power,
+            );
+        }
+    }
+
+    println!("\nnode sweep: 1MB SRAM across the four ITRS nodes");
+    for node in [TechNode::N90, TechNode::N65, TechNode::N45, TechNode::N32] {
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1 << 20)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(CellTechnology::Sram)
+            .node(node)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()?;
+        let s = optimize(&spec)?;
+        println!(
+            "  {node}: access {:.3} ns, area {:.3} mm^2, read {:.3} nJ",
+            s.access_ns(),
+            s.area_mm2(),
+            s.read_energy_nj(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: model one cache with CACTI-D and print its key metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cacti_d::core::{optimize, AccessMode, MemoryKind, MemorySpec};
+use cacti_d::tech::{CellTechnology, TechNode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2 MB 8-way SRAM cache with 64 B lines at the 32 nm node.
+    let spec = MemorySpec::builder()
+        .capacity_bytes(2 << 20)
+        .block_bytes(64)
+        .associativity(8)
+        .banks(1)
+        .cell_tech(CellTechnology::Sram)
+        .node(TechNode::N32)
+        .kind(MemoryKind::Cache {
+            access_mode: AccessMode::Normal,
+        })
+        .build()?;
+
+    let sol = optimize(&spec)?;
+
+    println!("2MB 8-way SRAM cache @ 32nm");
+    println!("  organization      : {:?}", sol.org);
+    println!("  access time       : {:.3} ns", sol.access_ns());
+    println!("  random cycle time : {:.3} ns", sol.random_cycle * 1e9);
+    println!(
+        "  interleave cycle  : {:.3} ns (multisubbank interleaving)",
+        sol.interleave_cycle * 1e9
+    );
+    println!("  area              : {:.3} mm^2", sol.area_mm2());
+    println!("  area efficiency   : {:.1} %", sol.area_efficiency * 100.0);
+    println!("  read energy       : {:.3} nJ", sol.read_energy_nj());
+    println!("  write energy      : {:.3} nJ", sol.write_energy * 1e9);
+    println!("  leakage power     : {:.3} W", sol.leakage_power);
+
+    // The same cache in the two DRAM technologies, for comparison.
+    for cell in [CellTechnology::LpDram, CellTechnology::CommDram] {
+        let mut spec2 = spec.clone();
+        spec2.cell_tech = cell;
+        let s = optimize(&spec2)?;
+        println!(
+            "{cell}: access {:.3} ns, cycle {:.3} ns, area {:.3} mm^2, leak {:.4} W, refresh {:.4} W",
+            s.access_ns(),
+            s.random_cycle * 1e9,
+            s.area_mm2(),
+            s.leakage_power,
+            s.refresh_power,
+        );
+    }
+    Ok(())
+}

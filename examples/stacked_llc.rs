@@ -1,0 +1,47 @@
+//! A miniature version of the paper's stacked-LLC study: build two system
+//! configurations from live CACTI-D solutions, run one NPB-like workload
+//! through the CMP simulator, and compare performance and power.
+//!
+//! ```text
+//! cargo run --release --example stacked_llc [instructions]
+//! ```
+
+use cacti_d::study::configs::{build, LlcKind};
+use cacti_d::study::figure4::run_one;
+use cacti_d::study::power::{energy_delay, system_power, MemoryHierarchyPower};
+use cacti_d::workloads::NpbApp;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.replace('_', "").parse().ok())
+        .unwrap_or(2_000_000);
+    let app = NpbApp::FtB;
+    println!("running {app} for {n} instructions on two configurations...\n");
+
+    let mut baseline_edp = None;
+    for kind in [LlcKind::NoL3, LlcKind::CmDramC192] {
+        let cfg = build(kind);
+        let run = run_one(&cfg, app, n);
+        let hier = MemoryHierarchyPower::from_run(&cfg, &run.stats);
+        let edp = energy_delay(&hier, run.seconds);
+        println!("{}:", kind.label());
+        println!("  IPC               : {:.2}", run.stats.ipc());
+        println!(
+            "  avg read latency  : {:.1} cycles",
+            run.stats.avg_read_latency()
+        );
+        println!("  L3 hit rate       : {:.2}", run.stats.l3_hit_rate());
+        println!("  hierarchy power   : {:.2} W", hier.total());
+        println!("  system power      : {:.2} W", system_power(&hier));
+        match baseline_edp {
+            None => {
+                baseline_edp = Some(edp);
+                println!("  energy-delay      : 1.000 (baseline)");
+            }
+            Some(base) => println!("  energy-delay      : {:.3} vs nol3", edp / base),
+        }
+        println!();
+    }
+    println!("(the paper's full study is `cargo run --release -p llc-study -- all`)");
+}

@@ -1,0 +1,22 @@
+//! # cacti-d — a Rust reproduction of CACTI-D (ISCA 2008)
+//!
+//! Facade crate re-exporting the whole workspace:
+//!
+//! * [`tech`] — ITRS-style device/wire/cell technology models.
+//! * [`circuit`] — circuit primitives (logical effort, Horowitz, decoders,
+//!   sense amps, repeaters, crossbars).
+//! * [`core`] — the CACTI-D array-organization model, DRAM operational
+//!   models, main-memory chip model and the staged solution optimizer.
+//! * [`sim`] — the cycle-level CMP memory-hierarchy simulator.
+//! * [`workloads`] — synthetic NPB-like workload generators.
+//! * [`study`] — the paper's tables and figures (Tables 1–3, Figures 1,
+//!   4 and 5).
+//!
+//! See the README for a guided tour and `examples/` for runnable
+//! demonstrations.
+pub use cactid_circuit as circuit;
+pub use cactid_core as core;
+pub use cactid_tech as tech;
+pub use llc_study as study;
+pub use memsim as sim;
+pub use npbgen as workloads;

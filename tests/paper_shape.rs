@@ -1,0 +1,107 @@
+//! Integration tests for the paper's headline qualitative results, at a
+//! reduced scale (the full-scale numbers are produced by the benches and
+//! recorded in EXPERIMENTS.md).
+
+use cacti_d::study::configs::{build, LlcKind};
+use cacti_d::study::figure4::run_one;
+use cacti_d::study::power::{energy_delay, MemoryHierarchyPower};
+use cacti_d::study::table2;
+use cacti_d::workloads::NpbApp;
+
+const N: u64 = 800_000;
+
+#[test]
+fn table2_reproduces_within_paper_class_error() {
+    let (_, rows) = table2::table2();
+    let mae = table2::mean_abs_error(&rows);
+    // The paper's CACTI-D averaged 16 %; stay within 2× of that.
+    assert!(mae < 32.0, "Table 2 mean |error| {mae:.1}%");
+}
+
+#[test]
+fn ft_b_ranking_matches_figure4() {
+    // Paper §4.2: ft.B's working set fits the big L3s; the SRAM L3 is too
+    // small, so the DRAM L3s outperform it.
+    let nol3 = run_one(&build(LlcKind::NoL3), NpbApp::FtB, N);
+    let sram = run_one(&build(LlcKind::Sram24), NpbApp::FtB, N);
+    let comm = run_one(&build(LlcKind::CmDramC192), NpbApp::FtB, N);
+    assert!(sram.stats.ipc() > nol3.stats.ipc(), "any L3 helps ft.B");
+    assert!(
+        comm.stats.ipc() > sram.stats.ipc(),
+        "the 24MB SRAM L3 is not big enough for ft.B ({} vs {})",
+        comm.stats.ipc(),
+        sram.stats.ipc()
+    );
+    assert!(comm.stats.avg_read_latency() < nol3.stats.avg_read_latency());
+}
+
+#[test]
+fn ua_c_is_insensitive_to_the_l3() {
+    // Paper §4.2: ua.C's L3 access frequency is very low.
+    let nol3 = run_one(&build(LlcKind::NoL3), NpbApp::UaC, N);
+    let comm = run_one(&build(LlcKind::CmDramC192), NpbApp::UaC, N);
+    let delta = (comm.stats.ipc() / nol3.stats.ipc() - 1.0).abs();
+    assert!(delta < 0.15, "ua.C moved by {delta:.2}");
+}
+
+#[test]
+fn sram_l3_raises_hierarchy_power_comm_l3_barely_does() {
+    // Paper §4.3: SRAM/LP-DRAM L3s increase memory-hierarchy power
+    // (leakage); COMM-DRAM L3s are nearly free.
+    let apps = [NpbApp::BtC, NpbApp::FtB];
+    let mut nol3_p = 0.0;
+    let mut sram_p = 0.0;
+    let mut comm_p = 0.0;
+    for &app in &apps {
+        for (kind, acc) in [
+            (LlcKind::NoL3, &mut nol3_p),
+            (LlcKind::Sram24, &mut sram_p),
+            (LlcKind::CmDramEd96, &mut comm_p),
+        ] {
+            let cfg = build(kind);
+            let run = run_one(&cfg, app, N);
+            *acc += MemoryHierarchyPower::from_run(&cfg, &run.stats).total();
+        }
+    }
+    assert!(
+        sram_p > nol3_p * 1.1,
+        "SRAM L3 must add watts: {sram_p:.2} vs {nol3_p:.2}"
+    );
+    assert!(
+        comm_p < nol3_p * 1.35,
+        "COMM L3 adds little power: {comm_p:.2} vs {nol3_p:.2}"
+    );
+    assert!(comm_p < sram_p, "COMM beats SRAM on hierarchy power");
+}
+
+#[test]
+fn comm_dram_l3_wins_energy_delay_on_fitting_workloads() {
+    // Paper §6: the COMM-DRAM LLCs have the best system energy-delay.
+    let app = NpbApp::FtB;
+    let mut edp = Vec::new();
+    for kind in [LlcKind::NoL3, LlcKind::Sram24, LlcKind::CmDramC192] {
+        let cfg = build(kind);
+        let run = run_one(&cfg, app, N);
+        let h = MemoryHierarchyPower::from_run(&cfg, &run.stats);
+        edp.push(energy_delay(&h, run.seconds));
+    }
+    let (nol3, sram, comm) = (edp[0], edp[1], edp[2]);
+    assert!(
+        comm < nol3,
+        "COMM L3 improves E*D: {comm:.3e} vs {nol3:.3e}"
+    );
+    assert!(
+        comm < sram,
+        "COMM L3 beats SRAM on E*D: {comm:.3e} vs {sram:.3e}"
+    );
+}
+
+#[test]
+fn cycle_breakdown_is_conserved_and_memory_dominated_for_cg() {
+    let cfg = build(LlcKind::NoL3);
+    let run = run_one(&cfg, NpbApp::CgC, N);
+    let total: u64 = run.stats.cycle_breakdown.iter().sum();
+    assert_eq!(total, run.stats.cycles * 32, "thread-cycle conservation");
+    let f = run.stats.breakdown_fractions();
+    assert!(f[3] > 0.5, "cg.C is memory-bound: mem fraction {:.2}", f[3]);
+}

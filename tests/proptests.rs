@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) on the core data structures and model
+//! invariants.
+
+use cacti_d::core::{solve, AccessMode, MemoryKind, MemorySpec};
+use cacti_d::sim::cache::{LineState, SetAssocCache};
+use cacti_d::sim::config::{DramConfig, PagePolicy};
+use cacti_d::sim::dram::DramChannel;
+use cacti_d::tech::{CellTechnology, TechNode, Technology};
+use proptest::prelude::*;
+
+fn dram_cfg(policy: PagePolicy) -> DramConfig {
+    DramConfig {
+        channels: 1,
+        banks: 8,
+        page_bytes: 8 << 10,
+        t_rcd: 31,
+        t_cl: 27,
+        t_rp: 22,
+        t_rc: 109,
+        t_rrd: 6,
+        t_burst: 4,
+        page_policy: policy,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The spec builder never panics; it either builds or returns an error.
+    #[test]
+    fn spec_builder_total(
+        cap_shift in 10u32..34,
+        block_shift in 2u32..9,
+        assoc in 1u32..40,
+        banks_shift in 0u32..5,
+    ) {
+        let _ = MemorySpec::builder()
+            .capacity_bytes(1u64 << cap_shift)
+            .block_bytes(1 << block_shift)
+            .associativity(assoc)
+            .banks(1 << banks_shift)
+            .cell_tech(CellTechnology::Sram)
+            .node(TechNode::N45)
+            .kind(MemoryKind::Cache { access_mode: AccessMode::Normal })
+            .build();
+    }
+
+    /// Every solution of any feasible spec reports positive, finite
+    /// metrics, and capacity is conserved by the organization.
+    #[test]
+    fn solutions_are_physical(
+        cap_shift in 16u32..24,
+        cell_idx in 0usize..3,
+    ) {
+        let cell = CellTechnology::ALL[cell_idx];
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1u64 << cap_shift)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(cell)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache { access_mode: AccessMode::Normal })
+            .build()
+            .unwrap();
+        if let Ok(sols) = solve(&spec) {
+            for s in sols {
+                prop_assert!(s.access_time.is_finite() && s.access_time > 0.0);
+                prop_assert!(s.area.is_finite() && s.area > 0.0);
+                prop_assert!(s.read_energy.is_finite() && s.read_energy > 0.0);
+                prop_assert!(s.leakage_power.is_finite() && s.leakage_power > 0.0);
+                let bits = s.org.rows(&spec) * s.org.cols(&spec)
+                    * s.org.ndwl as u64 * s.org.ndbl as u64;
+                prop_assert_eq!(bits, spec.bank_bytes() * 8);
+            }
+        }
+    }
+
+    /// A cache never holds more lines than its capacity, a line inserted is
+    /// findable until evicted, and eviction reports a previously-present
+    /// line of the same set.
+    #[test]
+    fn cache_capacity_and_lookup_invariants(
+        ops in prop::collection::vec((0u64..4096, prop::bool::ANY), 1..300),
+    ) {
+        let mut cache = SetAssocCache::new(4096, 64, 4); // 16 sets x 4 ways
+        for (line, _write) in &ops {
+            let addr = line * 64;
+            let ev = cache.insert(addr, LineState::Shared);
+            prop_assert!(cache.probe(addr).is_some(), "inserted line present");
+            if let Some(e) = ev {
+                // The evicted line maps to the same set as the inserted one.
+                prop_assert_eq!(cache.set_index(e.addr), cache.set_index(addr));
+                prop_assert!(cache.probe(e.addr).is_none(), "victim gone");
+            }
+            prop_assert!(cache.valid_lines() <= 64);
+        }
+    }
+
+    /// DRAM channel timing invariants under arbitrary request streams:
+    /// completions never precede their request by less than the minimum
+    /// service time, page hits only occur under the open-page policy, and
+    /// every access pays at least CL + burst.
+    #[test]
+    fn dram_channel_time_is_causal(
+        reqs in prop::collection::vec((0u64..(1 << 22), 0u64..50), 1..200),
+        open in prop::bool::ANY,
+    ) {
+        let policy = if open { PagePolicy::Open } else { PagePolicy::Closed };
+        let cfg = dram_cfg(policy);
+        let mut ch = DramChannel::new(cfg.clone());
+        let mut now = 0u64;
+        for (addr, gap) in reqs {
+            now += gap;
+            let a = ch.access(addr, now);
+            let min_service = cfg.t_cl + cfg.t_burst;
+            prop_assert!(a.done_at >= now + min_service, "causality violated");
+            if a.activated {
+                prop_assert!(a.done_at >= now + cfg.t_rcd + min_service);
+            }
+            if !open {
+                prop_assert!(!a.page_hit, "closed page never hits a row");
+            }
+            prop_assert!(!(a.page_hit && a.activated), "hit implies no activate");
+        }
+    }
+
+    /// DRAM sense signal is monotone-decreasing in bitline length and the
+    /// technology tables interpolate within their anchors.
+    #[test]
+    fn dram_signal_monotone(rows_a in 16usize..256, extra in 1usize..256) {
+        let tech = Technology::new(TechNode::N32);
+        let cell = tech.cell(CellTechnology::CommDram);
+        let a = cell.dram_sense_signal(rows_a).unwrap();
+        let b = cell.dram_sense_signal(rows_a + extra).unwrap();
+        prop_assert!(b < a);
+        prop_assert!(a < cell.vdd_cell / 2.0 + 1e-12);
+    }
+}
+
+#[test]
+fn cache_eviction_is_set_local() {
+    // Eviction occurs when a *set* fills, long before the whole cache is
+    // full — verify with a direct conflict chain.
+    let mut cache = SetAssocCache::new(4096, 64, 4);
+    // 5 lines in the same set (stride = sets × line = 16 × 64).
+    for i in 0..5u64 {
+        cache.insert(i * 1024, LineState::Shared);
+    }
+    assert_eq!(cache.valid_lines(), 4);
+}
