@@ -1,0 +1,15 @@
+#!/bin/sh
+# The checks CI runs — all hermetic (no network, no registry deps).
+# Usage: ./ci.sh
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "ci: all checks passed"

@@ -1,0 +1,210 @@
+//! The [`Analyzer`]: the rule registry plus staged lint passes, and the
+//! linted solve/optimize entry points.
+
+use crate::context::LintContext;
+use crate::rule::{Rule, Stage};
+use crate::rules;
+use cactid_core::lint::{Diagnostic, Report, SolutionLinter};
+use cactid_core::{CactiError, MemorySpec, OrgParams, Solution};
+
+/// The diagnostics engine: all twenty registered rules, runnable per
+/// stage over specs, organizations, and solutions.
+///
+/// `Analyzer` implements [`SolutionLinter`], so it can be plugged into
+/// the optimizer via [`cactid_core::solve_with`] /
+/// [`cactid_core::optimize_with`] — or more conveniently through this
+/// crate's [`solve`] / [`optimize`], which also lint the spec first.
+pub struct Analyzer {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Analyzer {
+    /// Builds the engine with the full `CD0001`–`CD0020` registry.
+    pub fn new() -> Self {
+        Analyzer {
+            rules: rules::all(),
+        }
+    }
+
+    /// Iterates over the registered rules in code order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.rules.iter().map(Box::as_ref)
+    }
+
+    /// Looks a rule up by its code (`"CD0015"`).
+    pub fn rule(&self, code: &str) -> Option<&dyn Rule> {
+        self.rules().find(|r| r.code() == code)
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, stages: &[Stage]) -> Report {
+        let mut report = Report::new();
+        for rule in self.rules() {
+            if stages.contains(&rule.stage()) {
+                rule.check(ctx, &mut report);
+            }
+        }
+        report
+    }
+
+    /// Runs the spec-stage rules over a specification.
+    ///
+    /// Works on *any* `MemorySpec`, including ones assembled by hand that
+    /// bypass the builder's validation — that is the point: the linter
+    /// names the violated invariant (`CD` code, field, suggested fix)
+    /// where the builder would only return the first error message.
+    pub fn lint_spec(&self, spec: &MemorySpec) -> Report {
+        self.run(&LintContext::for_spec(spec), &[Stage::Spec])
+    }
+
+    /// Runs the spec- and organization-stage rules over one candidate
+    /// organization.
+    pub fn lint_org(&self, spec: &MemorySpec, org: &OrgParams) -> Report {
+        self.run(
+            &LintContext::for_spec(spec).with_org(org),
+            &[Stage::Spec, Stage::Organization],
+        )
+    }
+
+    /// Runs all three stages over an assembled solution.
+    pub fn lint_solution(&self, spec: &MemorySpec, solution: &Solution) -> Report {
+        self.run(
+            &LintContext::for_spec(spec).with_solution(solution),
+            Stage::ALL,
+        )
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::new()
+    }
+}
+
+impl SolutionLinter for Analyzer {
+    /// Lints one candidate inside the optimizer sweep: organization- and
+    /// solution-stage rules only (the spec is constant across the sweep
+    /// and is linted once by [`solve`] / [`optimize`]).
+    fn lint_candidate(&self, spec: &MemorySpec, solution: &Solution) -> Vec<Diagnostic> {
+        self.run(
+            &LintContext::for_spec(spec).with_solution(solution),
+            &[Stage::Organization, Stage::Solution],
+        )
+        .into_vec()
+    }
+}
+
+fn reject_spec_errors(analyzer: &Analyzer, spec: &MemorySpec) -> Result<(), CactiError> {
+    let report = analyzer.lint_spec(spec);
+    if report.is_clean() {
+        return Ok(());
+    }
+    let first = report
+        .iter()
+        .find(|d| d.severity == cactid_core::Severity::Error)
+        .expect("non-clean report has an error");
+    Err(CactiError::InvalidSpec(format!(
+        "[{}] {} (at {})",
+        first.code, first.message, first.location
+    )))
+}
+
+/// Linted [`cactid_core::solve`]: lints the spec (erroring out on any
+/// `Error`-severity finding), then sweeps organizations with the engine
+/// attached — candidates violating an `Error` rule are rejected, and the
+/// survivors carry their warnings in [`Solution::warnings`].
+///
+/// # Errors
+///
+/// [`CactiError::InvalidSpec`] when a spec rule fires at `Error` severity
+/// (the message carries the rule code and location);
+/// [`CactiError::NoFeasibleSolution`] / [`CactiError::LintRejected`] from
+/// the sweep.
+pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
+    let analyzer = Analyzer::new();
+    reject_spec_errors(&analyzer, spec)?;
+    cactid_core::solve_with(spec, &analyzer)
+}
+
+/// Linted [`cactid_core::optimize`]: like [`solve`] but returns the §2.4
+/// staged-optimization winner, guaranteed free of `Error`-severity
+/// diagnostics.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn optimize(spec: &MemorySpec) -> Result<Solution, CactiError> {
+    let analyzer = Analyzer::new();
+    reject_spec_errors(&analyzer, spec)?;
+    cactid_core::optimize_with(spec, &analyzer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_core::{AccessMode, MemoryKind};
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn l2() -> MemorySpec {
+        MemorySpec::builder()
+            .capacity_bytes(512 << 10)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(CellTechnology::Sram)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_spec_lints_clean_and_solves() {
+        let spec = l2();
+        assert!(Analyzer::new().lint_spec(&spec).is_empty());
+        let sol = optimize(&spec).unwrap();
+        assert!(sol.warnings.is_empty(), "{:?}", sol.warnings);
+    }
+
+    #[test]
+    fn hand_built_broken_spec_is_rejected_with_rule_code() {
+        let mut spec = l2();
+        spec.capacity_bytes = 3 << 19; // bypasses the builder: 3072 sets
+        let err = optimize(&spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("CD0001"), "{msg}");
+        assert!(msg.contains("spec.capacity_bytes"), "{msg}");
+    }
+
+    #[test]
+    fn winner_agrees_with_unlinted_optimizer_on_valid_specs() {
+        let spec = l2();
+        let linted = optimize(&spec).unwrap();
+        let plain = cactid_core::optimize(&spec).unwrap();
+        assert_eq!(linted.org, plain.org);
+    }
+
+    #[test]
+    fn lint_org_runs_spec_and_org_stages() {
+        let spec = l2();
+        let bad = OrgParams {
+            ndwl: 3, // CD0010
+            ndbl: 8,
+            nspd: 1.0,
+            deg_bl_mux: 1,
+            deg_sa_mux: 8,
+        };
+        let report = Analyzer::new().lint_org(&spec, &bad);
+        assert!(report.iter().any(|d| d.code == "CD0010"));
+    }
+
+    #[test]
+    fn rule_lookup_finds_every_code() {
+        let a = Analyzer::new();
+        for rule in a.rules() {
+            assert!(a.rule(rule.code()).is_some());
+        }
+        assert!(a.rule("CD9999").is_none());
+    }
+}

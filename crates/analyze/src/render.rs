@@ -1,0 +1,119 @@
+//! Rustc-style text rendering of diagnostic reports.
+//!
+//! ```text
+//! error[CD0015]: tRCD (13.10 ns) + CAS (15.90 ns) = 29.00 ns exceeds ...
+//!   --> solution.main_memory.timing.cas_latency
+//!   = note: invariant: tRCD + CAS ≤ access, tRC = tRAS + tRP, ... (paper §2.3.2)
+//!   = help: set solution.access_time = 2.9000e-8
+//! ```
+
+use crate::analyzer::Analyzer;
+use cactid_core::lint::Report;
+use std::fmt::Write as _;
+
+/// Renders a full report in rustc style; rule summaries and paper
+/// references are looked up in `analyzer`'s registry. Ends with a summary
+/// line; returns an empty string for an empty report.
+pub fn render(analyzer: &Analyzer, report: &Report) -> String {
+    let mut out = String::new();
+    for d in report {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        let _ = writeln!(out, "  --> {}", d.location);
+        if let Some(rule) = analyzer.rule(d.code) {
+            let _ = writeln!(
+                out,
+                "  = note: invariant: {} (paper {})",
+                rule.summary(),
+                rule.paper_ref()
+            );
+        }
+        if let Some(s) = &d.suggestion {
+            let _ = writeln!(out, "  = help: {s}");
+        }
+        out.push('\n');
+    }
+    if !report.is_empty() {
+        let _ = writeln!(out, "{}", summary_line(report));
+    }
+    out
+}
+
+/// The one-line verdict: `error: 2 errors, 1 warning emitted` or
+/// `lint: no errors, 1 warning emitted` or `lint: clean`.
+pub fn summary_line(report: &Report) -> String {
+    let errors = report.error_count();
+    let warns = report.warn_count();
+    let plural = |n: usize, word: &str| {
+        if n == 1 {
+            format!("1 {word}")
+        } else {
+            format!("{n} {word}s")
+        }
+    };
+    if errors > 0 {
+        let mut s = format!("error: {} ", plural(errors, "error"));
+        if warns > 0 {
+            let _ = write!(s, "and {} ", plural(warns, "warning"));
+        }
+        s.push_str("emitted");
+        s
+    } else if warns > 0 {
+        format!("lint: no errors, {} emitted", plural(warns, "warning"))
+    } else {
+        "lint: clean".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_core::lint::{Diagnostic, Location};
+
+    #[test]
+    fn renders_code_location_note_and_help() {
+        let analyzer = Analyzer::new();
+        let mut report = Report::new();
+        report.push(
+            Diagnostic::error(
+                "CD0007",
+                Location::spec("kind.prefetch"),
+                "prefetch of 4 bits per pin cannot sustain a burst of 8 beats",
+            )
+            .with_suggestion(Location::spec("kind.prefetch"), "8"),
+        );
+        let text = render(&analyzer, &report);
+        assert!(text.contains("error[CD0007]:"), "{text}");
+        assert!(text.contains("--> spec.kind.prefetch"), "{text}");
+        assert!(text.contains("= note: invariant:"), "{text}");
+        assert!(text.contains("(paper §2.1)"), "{text}");
+        assert!(
+            text.contains("= help: set spec.kind.prefetch = 8"),
+            "{text}"
+        );
+        assert!(text.contains("error: 1 error emitted"), "{text}");
+    }
+
+    #[test]
+    fn summary_lines_cover_all_cases() {
+        let mut r = Report::new();
+        assert_eq!(summary_line(&r), "lint: clean");
+        r.push(Diagnostic::warn(
+            "CD0002",
+            Location::spec("block_bytes"),
+            "m",
+        ));
+        assert_eq!(summary_line(&r), "lint: no errors, 1 warning emitted");
+        r.push(Diagnostic::error(
+            "CD0001",
+            Location::spec("capacity_bytes"),
+            "m",
+        ));
+        r.push(Diagnostic::error("CD0003", Location::spec("n_banks"), "m"));
+        assert_eq!(summary_line(&r), "error: 2 errors and 1 warning emitted");
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        assert!(render(&Analyzer::new(), &Report::new()).is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! The lint-rule abstraction: every diagnostic the engine can emit comes
+//! from a [`Rule`] registered in [`crate::rules::all`].
+
+use crate::context::LintContext;
+use cactid_core::lint::Report;
+
+/// The validation stage a rule belongs to.
+///
+/// Stages form a pipeline: spec rules need only a [`cactid_core::MemorySpec`]
+/// (and the Table-1 cell parameters it resolves to), organization rules
+/// additionally need an [`cactid_core::OrgParams`], and solution rules an
+/// assembled [`cactid_core::Solution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Checks on the input specification and its resolved cell technology.
+    Spec,
+    /// Checks on one candidate array organization.
+    Organization,
+    /// Checks on one assembled solution.
+    Solution,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: &'static [Stage] = &[Stage::Spec, Stage::Organization, Stage::Solution];
+}
+
+/// One lint rule: a stable code, the invariant it enforces, and a check.
+///
+/// A rule must be *total*: `check` never panics, even on wildly
+/// inconsistent inputs (that is the point — the engine is what reports
+/// inconsistencies). When the data a rule needs is absent from the context
+/// (e.g. a solution rule run without a solution), the rule emits nothing.
+pub trait Rule {
+    /// Stable diagnostic code, `CD0001`–`CD0020`.
+    fn code(&self) -> &'static str;
+
+    /// The stage whose data this rule examines.
+    fn stage(&self) -> Stage;
+
+    /// One-line statement of the invariant the rule enforces.
+    fn summary(&self) -> &'static str;
+
+    /// The paper section (or table) the invariant comes from, e.g.
+    /// `"§2.3.2"`.
+    fn paper_ref(&self) -> &'static str;
+
+    /// Checks the invariant, appending any findings to `report`.
+    fn check(&self, ctx: &LintContext<'_>, report: &mut Report);
+}

@@ -1,0 +1,75 @@
+//! The rule registry: twenty rules over three stages.
+//!
+//! | Codes            | Stage        | Module     |
+//! |------------------|--------------|------------|
+//! | `CD0001`–`CD0009`| Spec         | [`spec`]   |
+//! | `CD0010`–`CD0014`| Organization | [`org`]    |
+//! | `CD0015`–`CD0020`| Solution     | [`sol`]    |
+
+pub mod org;
+pub mod sol;
+pub mod spec;
+
+use crate::rule::Rule;
+
+/// Builds the full registry, ordered by rule code.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    let mut rules: Vec<Box<dyn Rule>> = Vec::new();
+    rules.extend(spec::all());
+    rules.extend(org::all());
+    rules.extend(sol::all());
+    rules
+}
+
+/// `a ≥ b` up to floating-point noise (relative 1 ppb plus an absolute
+/// floor), the tolerance used by inequality rules on computed timings.
+pub(crate) fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b - (b.abs() * 1e-9 + 1e-15)
+}
+
+/// `a == b` up to the same floating-point tolerance as [`approx_ge`].
+pub(crate) fn approx_eq(a: f64, b: f64) -> bool {
+    approx_ge(a, b) && approx_ge(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_has_twenty_rules_with_unique_sorted_codes() {
+        let rules = all();
+        assert_eq!(rules.len(), 20);
+        let codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+        let unique: BTreeSet<&str> = codes.iter().copied().collect();
+        assert_eq!(unique.len(), 20, "duplicate rule codes");
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted, "registry must be ordered by code");
+        assert_eq!(codes[0], "CD0001");
+        assert_eq!(codes[19], "CD0020");
+    }
+
+    #[test]
+    fn every_rule_documents_itself() {
+        for rule in all() {
+            assert!(!rule.summary().is_empty(), "{} has no summary", rule.code());
+            assert!(
+                rule.paper_ref().starts_with('§') || rule.paper_ref().starts_with("Table"),
+                "{} paper ref {:?}",
+                rule.code(),
+                rule.paper_ref()
+            );
+        }
+    }
+
+    #[test]
+    fn tolerances_behave() {
+        assert!(approx_ge(1.0, 1.0));
+        assert!(approx_ge(1.0, 1.0 + 1e-12));
+        assert!(!approx_ge(1.0, 1.1));
+        assert!(approx_eq(2.0e-9, 2.0e-9));
+        assert!(!approx_eq(2.0e-9, 2.1e-9));
+    }
+}

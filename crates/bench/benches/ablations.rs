@@ -5,152 +5,170 @@
 //! 3. sequential vs normal cache access mode (§3.4's energy argument —
 //!    and why it cannot help a DRAM cache);
 //! 4. the §2.4 `max repeater delay` energy/delay knob.
+//!
+//! The criterion harness compiles only under the `criterion` feature so the
+//! default workspace build stays free of registry dependencies; see
+//! `crates/bench/Cargo.toml`.
 
-use cactid_bench::bench_instructions;
-use cactid_core::{optimize, AccessMode, MemoryKind, MemorySpec, OptimizationOptions};
-use cactid_tech::{CellTechnology, TechNode};
-use criterion::{criterion_group, criterion_main, Criterion};
-use llc_study::configs::{build, LlcKind};
-use llc_study::figure4::run_one;
-use memsim::config::{L3Interface, PagePolicy, SetMapping};
-use npbgen::NpbApp;
+#[cfg(feature = "criterion")]
+mod real {
+    use cactid_bench::bench_instructions;
+    use cactid_core::{optimize, AccessMode, MemoryKind, MemorySpec, OptimizationOptions};
+    use cactid_tech::{CellTechnology, TechNode};
+    use criterion::{criterion_group, Criterion};
+    use llc_study::configs::{build, LlcKind};
+    use llc_study::figure4::run_one;
+    use memsim::config::{L3Interface, PagePolicy, SetMapping};
+    use npbgen::NpbApp;
 
-fn page_policy_ablation(c: &mut Criterion, n: u64) {
-    println!("== ablation: main-memory page policy (mg.B, no L3) ==");
-    let mut results = Vec::new();
-    for policy in [PagePolicy::Open, PagePolicy::Closed] {
-        let mut cfg = build(LlcKind::NoL3);
-        cfg.system.dram.page_policy = policy;
-        let r = run_one(&cfg, NpbApp::MgB, n);
-        println!(
-            "  {policy:?}: ipc {:.2}  lat {:.1}  page hits {}/{} activates",
-            r.stats.ipc(),
-            r.stats.avg_read_latency(),
-            r.stats.counts.mem_page_hits,
-            r.stats.counts.mem_activates,
-        );
-        results.push(r.stats.ipc());
-    }
-    println!(
-        "  open-page speedup on streaming mg.B: {:+.1}%\n",
-        (results[0] / results[1] - 1.0) * 100.0
-    );
-
-    let cfg = build(LlcKind::NoL3);
-    c.bench_function("ablations/open_page_mg_b_100k", |b| {
-        b.iter(|| run_one(&cfg, NpbApp::MgB, 100_000))
-    });
-}
-
-fn set_mapping_ablation(n: u64) {
-    println!("== ablation: Figure 3 set<->page mapping (ft.B, 96MB COMM L3) ==");
-    for mapping in [SetMapping::SetsPerPage, SetMapping::StripedWays] {
-        let mut cfg = build(LlcKind::CmDramEd96);
-        if let Some(l3) = cfg.system.l3.as_mut() {
-            l3.set_mapping = mapping;
+    fn page_policy_ablation(c: &mut Criterion, n: u64) {
+        println!("== ablation: main-memory page policy (mg.B, no L3) ==");
+        let mut results = Vec::new();
+        for policy in [PagePolicy::Open, PagePolicy::Closed] {
+            let mut cfg = build(LlcKind::NoL3);
+            cfg.system.dram.page_policy = policy;
+            let r = run_one(&cfg, NpbApp::MgB, n);
+            println!(
+                "  {policy:?}: ipc {:.2}  lat {:.1}  page hits {}/{} activates",
+                r.stats.ipc(),
+                r.stats.avg_read_latency(),
+                r.stats.counts.mem_page_hits,
+                r.stats.counts.mem_activates,
+            );
+            results.push(r.stats.ipc());
         }
-        let r = run_one(&cfg, NpbApp::FtB, n);
         println!(
-            "  {mapping:?}: ipc {:.2}  lat {:.1}  l3 hit {:.2}",
-            r.stats.ipc(),
-            r.stats.avg_read_latency(),
-            r.stats.l3_hit_rate(),
+            "  open-page speedup on streaming mg.B: {:+.1}%\n",
+            (results[0] / results[1] - 1.0) * 100.0
         );
-    }
-    println!();
-}
 
-fn l3_interface_ablation(n: u64) {
-    println!("== ablation: DRAM-L3 operational interface (ft.B, 96MB COMM L3, paper §3.4) ==");
-    for interface in [L3Interface::SramLike, L3Interface::PageMode] {
-        let mut cfg = build(LlcKind::CmDramEd96);
-        if let Some(l3) = cfg.system.l3.as_mut() {
-            l3.interface = interface;
-        }
-        let r = run_one(&cfg, NpbApp::FtB, n);
-        let hits = r.stats.counts.l3_page_hits;
-        let reads = r.stats.counts.l3_reads.max(1);
-        println!(
-            "  {interface:?}: ipc {:.2}  lat {:.1}  row-hit rate {:.2}",
-            r.stats.ipc(),
-            r.stats.avg_read_latency(),
-            hits as f64 / reads as f64,
-        );
+        let cfg = build(LlcKind::NoL3);
+        c.bench_function("ablations/open_page_mg_b_100k", |b| {
+            b.iter(|| run_one(&cfg, NpbApp::MgB, 100_000))
+        });
     }
-    println!(
-        "  (the paper argues the page-hit ratio of an LLC is too low for an open-page
+
+    fn set_mapping_ablation(n: u64) {
+        println!("== ablation: Figure 3 set<->page mapping (ft.B, 96MB COMM L3) ==");
+        for mapping in [SetMapping::SetsPerPage, SetMapping::StripedWays] {
+            let mut cfg = build(LlcKind::CmDramEd96);
+            if let Some(l3) = cfg.system.l3.as_mut() {
+                l3.set_mapping = mapping;
+            }
+            let r = run_one(&cfg, NpbApp::FtB, n);
+            println!(
+                "  {mapping:?}: ipc {:.2}  lat {:.1}  l3 hit {:.2}",
+                r.stats.ipc(),
+                r.stats.avg_read_latency(),
+                r.stats.l3_hit_rate(),
+            );
+        }
+        println!();
+    }
+
+    fn l3_interface_ablation(n: u64) {
+        println!("== ablation: DRAM-L3 operational interface (ft.B, 96MB COMM L3, paper §3.4) ==");
+        for interface in [L3Interface::SramLike, L3Interface::PageMode] {
+            let mut cfg = build(LlcKind::CmDramEd96);
+            if let Some(l3) = cfg.system.l3.as_mut() {
+                l3.interface = interface;
+            }
+            let r = run_one(&cfg, NpbApp::FtB, n);
+            let hits = r.stats.counts.l3_page_hits;
+            let reads = r.stats.counts.l3_reads.max(1);
+            println!(
+                "  {interface:?}: ipc {:.2}  lat {:.1}  row-hit rate {:.2}",
+                r.stats.ipc(),
+                r.stats.avg_read_latency(),
+                hits as f64 / reads as f64,
+            );
+        }
+        println!(
+            "  (the paper argues the page-hit ratio of an LLC is too low for an open-page
    interface to win — SRAM-like + multisubbank interleaving is the right choice)
 "
-    );
-}
+        );
+    }
 
-fn access_mode_ablation() {
-    println!("== ablation: cache access mode energy (8MB, 8-way, 32nm) ==");
-    for cell in [CellTechnology::Sram, CellTechnology::LpDram] {
-        for mode in [AccessMode::Normal, AccessMode::Sequential] {
+    fn access_mode_ablation() {
+        println!("== ablation: cache access mode energy (8MB, 8-way, 32nm) ==");
+        for cell in [CellTechnology::Sram, CellTechnology::LpDram] {
+            for mode in [AccessMode::Normal, AccessMode::Sequential] {
+                let spec = MemorySpec::builder()
+                    .capacity_bytes(8 << 20)
+                    .block_bytes(64)
+                    .associativity(8)
+                    .banks(1)
+                    .cell_tech(cell)
+                    .node(TechNode::N32)
+                    .kind(MemoryKind::Cache { access_mode: mode })
+                    .build()
+                    .expect("valid");
+                let sol = optimize(&spec).expect("solves");
+                println!(
+                    "  {cell} {mode:?}: access {:.2} ns  read {:.3} nJ",
+                    sol.access_ns(),
+                    sol.read_energy_nj(),
+                );
+            }
+        }
+        println!("  (sequential mode saves SRAM sense energy; DRAM must sense the full row)\n");
+    }
+
+    fn repeater_relax_ablation() {
+        println!("== ablation: max-repeater-delay knob (24MB SRAM, 32nm) ==");
+        for relax in [1.0, 1.5, 2.0, 3.0] {
             let spec = MemorySpec::builder()
-                .capacity_bytes(8 << 20)
+                .capacity_bytes(24 << 20)
                 .block_bytes(64)
-                .associativity(8)
-                .banks(1)
-                .cell_tech(cell)
+                .associativity(12)
+                .banks(8)
+                .cell_tech(CellTechnology::Sram)
                 .node(TechNode::N32)
-                .kind(MemoryKind::Cache { access_mode: mode })
+                .kind(MemoryKind::Cache {
+                    access_mode: AccessMode::Normal,
+                })
+                .optimization(OptimizationOptions {
+                    repeater_relax: relax,
+                    ..OptimizationOptions::default()
+                })
                 .build()
                 .expect("valid");
             let sol = optimize(&spec).expect("solves");
             println!(
-                "  {cell} {mode:?}: access {:.2} ns  read {:.3} nJ",
+                "  relax {relax:.1}: access {:.2} ns  read {:.3} nJ  leakage {:.2} W",
                 sol.access_ns(),
                 sol.read_energy_nj(),
+                sol.leakage_power,
             );
         }
+        println!();
     }
-    println!("  (sequential mode saves SRAM sense energy; DRAM must sense the full row)\n");
-}
 
-fn repeater_relax_ablation() {
-    println!("== ablation: max-repeater-delay knob (24MB SRAM, 32nm) ==");
-    for relax in [1.0, 1.5, 2.0, 3.0] {
-        let spec = MemorySpec::builder()
-            .capacity_bytes(24 << 20)
-            .block_bytes(64)
-            .associativity(12)
-            .banks(8)
-            .cell_tech(CellTechnology::Sram)
-            .node(TechNode::N32)
-            .kind(MemoryKind::Cache {
-                access_mode: AccessMode::Normal,
-            })
-            .optimization(OptimizationOptions {
-                repeater_relax: relax,
-                ..OptimizationOptions::default()
-            })
-            .build()
-            .expect("valid");
-        let sol = optimize(&spec).expect("solves");
-        println!(
-            "  relax {relax:.1}: access {:.2} ns  read {:.3} nJ  leakage {:.2} W",
-            sol.access_ns(),
-            sol.read_energy_nj(),
-            sol.leakage_power,
-        );
+    fn bench(c: &mut Criterion) {
+        let n = bench_instructions().min(2_000_000);
+        page_policy_ablation(c, n);
+        set_mapping_ablation(n);
+        l3_interface_ablation(n);
+        access_mode_ablation();
+        repeater_relax_ablation();
     }
-    println!();
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = bench
+    );
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-fn bench(c: &mut Criterion) {
-    let n = bench_instructions().min(2_000_000);
-    page_policy_ablation(c, n);
-    set_mapping_ablation(n);
-    l3_interface_ablation(n);
-    access_mode_ablation();
-    repeater_relax_ablation();
+fn main() {
+    #[cfg(feature = "criterion")]
+    real::run();
+    #[cfg(not(feature = "criterion"))]
+    eprintln!("ablations: built without the `criterion` feature; see crates/bench/Cargo.toml");
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-);
-criterion_main!(benches);

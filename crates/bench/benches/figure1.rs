@@ -1,19 +1,37 @@
 //! Regenerates Figure 1 (Xeon L3 validation bubbles) and measures one
 //! knob-sweep evaluation.
+//!
+//! The criterion harness compiles only under the `criterion` feature so the
+//! default workspace build stays free of registry dependencies; see
+//! `crates/bench/Cargo.toml`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(feature = "criterion")]
+mod real {
+    use criterion::{criterion_group, Criterion};
 
-fn bench(c: &mut Criterion) {
-    println!("{}", llc_study::figure1::render());
+    fn bench(c: &mut Criterion) {
+        println!("{}", llc_study::figure1::render());
 
-    c.bench_function("figure1/knob_sweep", |b| {
-        b.iter(llc_study::figure1::figure1)
-    });
+        c.bench_function("figure1/knob_sweep", |b| {
+            b.iter(llc_study::figure1::figure1)
+        });
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = bench
+    );
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-);
-criterion_main!(benches);
+fn main() {
+    #[cfg(feature = "criterion")]
+    real::run();
+    #[cfg(not(feature = "criterion"))]
+    eprintln!("figure1: built without the `criterion` feature; see crates/bench/Cargo.toml");
+}

@@ -1,40 +1,58 @@
 //! Regenerates Figure 4 (IPC, average read latency, cycle breakdown) at
 //! `CACTID_BENCH_INSTR` instructions per (app, config) and measures one
 //! representative simulation.
+//!
+//! The criterion harness compiles only under the `criterion` feature so the
+//! default workspace build stays free of registry dependencies; see
+//! `crates/bench/Cargo.toml`.
 
-use cactid_bench::bench_instructions;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use llc_study::configs::{build, LlcKind};
-use llc_study::figure4;
-use npbgen::NpbApp;
+#[cfg(feature = "criterion")]
+mod real {
+    use cactid_bench::bench_instructions;
+    use criterion::{criterion_group, Criterion, Throughput};
+    use llc_study::configs::{build, LlcKind};
+    use llc_study::figure4;
+    use npbgen::NpbApp;
 
-fn bench(c: &mut Criterion) {
-    let n = bench_instructions();
-    eprintln!("figure4: running 8 apps x 6 configs x {n} instructions ...");
-    let study = figure4::run_study(n);
-    println!("{}", figure4::render_a(&study));
-    println!("{}", figure4::render_b(&study));
-    // Headline series: execution-time reduction vs nol3 (paper §6 reports
-    // 39 % / 43 % average for the COMM-DRAM L3s at 10 B instructions).
-    println!("average execution-time reduction vs nol3:");
-    for &kind in LlcKind::ALL.iter().skip(1) {
-        let avg: f64 = NpbApp::ALL
-            .iter()
-            .map(|&a| figure4::speedup_vs_nol3(&study, a, kind))
-            .sum::<f64>()
-            / NpbApp::ALL.len() as f64;
-        println!("  {:11} {:+5.1}%", kind.label(), avg * 100.0);
+    fn bench(c: &mut Criterion) {
+        let n = bench_instructions();
+        eprintln!("figure4: running 8 apps x 6 configs x {n} instructions ...");
+        let study = figure4::run_study(n);
+        println!("{}", figure4::render_a(&study));
+        println!("{}", figure4::render_b(&study));
+        // Headline series: execution-time reduction vs nol3 (paper §6 reports
+        // 39 % / 43 % average for the COMM-DRAM L3s at 10 B instructions).
+        println!("average execution-time reduction vs nol3:");
+        for &kind in LlcKind::ALL.iter().skip(1) {
+            let avg: f64 = NpbApp::ALL
+                .iter()
+                .map(|&a| figure4::speedup_vs_nol3(&study, a, kind))
+                .sum::<f64>()
+                / NpbApp::ALL.len() as f64;
+            println!("  {:11} {:+5.1}%", kind.label(), avg * 100.0);
+        }
+
+        let cfg = build(LlcKind::Sram24);
+        let mut g = c.benchmark_group("figure4");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(200_000));
+        g.bench_function("simulate_ft_b_sram24_200k", |b| {
+            b.iter(|| figure4::run_one(&cfg, NpbApp::FtB, 200_000))
+        });
+        g.finish();
     }
 
-    let cfg = build(LlcKind::Sram24);
-    let mut g = c.benchmark_group("figure4");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(200_000));
-    g.bench_function("simulate_ft_b_sram24_200k", |b| {
-        b.iter(|| figure4::run_one(&cfg, NpbApp::FtB, 200_000))
-    });
-    g.finish();
+    criterion_group!(benches, bench);
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    #[cfg(feature = "criterion")]
+    real::run();
+    #[cfg(not(feature = "criterion"))]
+    eprintln!("figure4: built without the `criterion` feature; see crates/bench/Cargo.toml");
+}

@@ -1,29 +1,47 @@
 //! Regenerates Figure 5 (memory-hierarchy power, system power,
 //! energy-delay) at `CACTID_BENCH_INSTR` instructions per pair and measures
 //! the power-model assembly.
+//!
+//! The criterion harness compiles only under the `criterion` feature so the
+//! default workspace build stays free of registry dependencies; see
+//! `crates/bench/Cargo.toml`.
 
-use cactid_bench::bench_instructions;
-use criterion::{criterion_group, criterion_main, Criterion};
-use llc_study::configs::LlcKind;
-use llc_study::{figure4, figure5, MemoryHierarchyPower};
-use std::hint::black_box;
+#[cfg(feature = "criterion")]
+mod real {
+    use cactid_bench::bench_instructions;
+    use criterion::{criterion_group, Criterion};
+    use llc_study::configs::LlcKind;
+    use llc_study::{figure4, figure5, MemoryHierarchyPower};
+    use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let n = bench_instructions();
-    eprintln!("figure5: running 8 apps x 6 configs x {n} instructions ...");
-    let study = figure4::run_study(n);
-    let rows = figure5::figure5(&study);
-    println!("{}", figure5::render_a(&rows));
-    println!("{}", figure5::render_b(&rows));
+    fn bench(c: &mut Criterion) {
+        let n = bench_instructions();
+        eprintln!("figure5: running 8 apps x 6 configs x {n} instructions ...");
+        let study = figure4::run_study(n);
+        let rows = figure5::figure5(&study);
+        println!("{}", figure5::render_a(&rows));
+        println!("{}", figure5::render_b(&rows));
 
-    // Bench the power-model assembly itself on a real run.
-    let (cfg, runs) = &study[1]; // sram config
-    let stats = runs[2].stats.clone(); // ft.B
-    assert_eq!(cfg.kind, LlcKind::Sram24);
-    c.bench_function("figure5/power_model_assembly", |b| {
-        b.iter(|| MemoryHierarchyPower::from_run(black_box(cfg), black_box(&stats)))
-    });
+        // Bench the power-model assembly itself on a real run.
+        let (cfg, runs) = &study[1]; // sram config
+        let stats = runs[2].stats.clone(); // ft.B
+        assert_eq!(cfg.kind, LlcKind::Sram24);
+        c.bench_function("figure5/power_model_assembly", |b| {
+            b.iter(|| MemoryHierarchyPower::from_run(black_box(cfg), black_box(&stats)))
+        });
+    }
+
+    criterion_group!(benches, bench);
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    #[cfg(feature = "criterion")]
+    real::run();
+    #[cfg(not(feature = "criterion"))]
+    eprintln!("figure5: built without the `criterion` feature; see crates/bench/Cargo.toml");
+}

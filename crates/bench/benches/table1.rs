@@ -1,26 +1,44 @@
 //! Regenerates Table 1 (technology characteristics) and measures the
 //! technology-model lookup cost.
+//!
+//! The criterion harness compiles only under the `criterion` feature so the
+//! default workspace build stays free of registry dependencies; see
+//! `crates/bench/Cargo.toml`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+#[cfg(feature = "criterion")]
+mod real {
+    use criterion::{criterion_group, Criterion};
+    use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    // Print the reproduced table once.
-    println!("{}", llc_study::table1::render(cactid_tech::TechNode::N32));
+    fn bench(c: &mut Criterion) {
+        // Print the reproduced table once.
+        println!("{}", llc_study::table1::render(cactid_tech::TechNode::N32));
 
-    c.bench_function("table1/render_32nm", |b| {
-        b.iter(|| llc_study::table1::table1(black_box(cactid_tech::TechNode::N32)))
-    });
-    c.bench_function("table1/technology_lookup", |b| {
-        let tech = cactid_tech::Technology::new(cactid_tech::TechNode::N32);
-        b.iter(|| {
-            for &ct in cactid_tech::CellTechnology::ALL {
-                black_box(tech.cell(ct));
-                black_box(tech.peripheral_device(ct));
-            }
-        })
-    });
+        c.bench_function("table1/render_32nm", |b| {
+            b.iter(|| llc_study::table1::table1(black_box(cactid_tech::TechNode::N32)))
+        });
+        c.bench_function("table1/technology_lookup", |b| {
+            let tech = cactid_tech::Technology::new(cactid_tech::TechNode::N32);
+            b.iter(|| {
+                for &ct in cactid_tech::CellTechnology::ALL {
+                    black_box(tech.cell(ct));
+                    black_box(tech.peripheral_device(ct));
+                }
+            })
+        });
+    }
+
+    criterion_group!(benches, bench);
+
+    pub fn run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+fn main() {
+    #[cfg(feature = "criterion")]
+    real::run();
+    #[cfg(not(feature = "criterion"))]
+    eprintln!("table1: built without the `criterion` feature; see crates/bench/Cargo.toml");
+}

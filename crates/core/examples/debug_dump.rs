@@ -63,8 +63,8 @@ fn row(name: &str, s: &Solution) {
         e.bitline * 1e9,
         e.sense * 1e9,
         e.column * 1e9,
-        s.tag.as_ref().map(|t| t.access_time() * 1e9).unwrap_or(0.0),
-        s.tag.as_ref().map(|t| t.read_energy() * 1e9).unwrap_or(0.0),
+        s.tag.as_ref().map_or(0.0, |t| t.access_time() * 1e9),
+        s.tag.as_ref().map_or(0.0, |t| t.read_energy() * 1e9),
     );
 }
 
@@ -154,7 +154,8 @@ fn main() {
         })
         .build()
         .unwrap();
-    for s in [optimize(&micron).unwrap()] {
+    {
+        let s = optimize(&micron).unwrap();
         let mm = s.main_memory.as_ref().unwrap();
         println!(
             "model: eff {:5.1}% tRCD {:5.2} CL {:5.2} tRAS {:5.2} tRP {:5.2} tRC {:5.2} tRRD {:5.2}ns ACT {:6.3}nJ RD {:6.3} WR {:6.3} refr {:7.3}mW standby {:6.1}mW area {:6.1}mm2",
@@ -215,9 +216,6 @@ fn main() {
         ),
         ("micron", micron.clone()),
     ] {
-        println!(
-            "{n}: {} candidates",
-            solve(&spec).map(|v| v.len()).unwrap_or(0)
-        );
+        println!("{n}: {} candidates", solve(&spec).map_or(0, |v| v.len()));
     }
 }

@@ -90,12 +90,12 @@ pub struct ArrayInput {
 impl ArrayInput {
     /// Bits on one activated stripe.
     pub fn stripe_bits(&self) -> u64 {
-        self.cols * self.ndwl as u64
+        self.cols * u64::from(self.ndwl)
     }
 
     /// Total bits stored in the bank.
     pub fn bank_bits(&self) -> u64 {
-        self.stripe_bits() * self.rows * self.ndbl as u64
+        self.stripe_bits() * self.rows * u64::from(self.ndbl)
     }
 }
 
@@ -267,22 +267,22 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     let dec = decoder.evaluate(periph, 0.0);
     let dec_strip_w = dec.area / array_h.max(f);
 
-    let sa_pitch = 2.0 * cell.width * input.deg_bl_mux as f64;
+    let sa_pitch = 2.0 * cell.width * f64::from(input.deg_bl_mux);
     // DRAM sense amps must regenerate the whole bitline; SRAM amps sense
     // onto isolated latch nodes.
     let sa_c_extra = if is_dram { c_bl } else { 0.0 };
     let sa = SenseAmp::design_with_load(periph, sa_pitch, sa_c_extra, cell.sense_gm_derate);
     let sa_eval = sa.evaluate(periph, sense_signal, cell.vdd_cell);
-    let n_sa_per_subarray = (input.cols / input.deg_bl_mux as u64) as f64;
+    let n_sa_per_subarray = (input.cols / u64::from(input.deg_bl_mux)) as f64;
     let sa_strip_h = (n_sa_per_subarray * sa_eval.area) / array_w.max(f);
 
     let sub_w = array_w + dec_strip_w;
     let sub_h = array_h + sa_strip_h + cal::SUBARRAY_EDGE_F * f;
     let wire = tech.wire(WireType::SemiGlobal);
     let spine_w =
-        (input.address_bits as u64 + input.output_bits) as f64 * wire.pitch * cal::SPINE_FILL;
-    let bank_w = input.ndwl as f64 * sub_w + spine_w;
-    let bank_h = input.ndbl as f64 * sub_h + cal::CONTROL_STRIP_F * f;
+        (u64::from(input.address_bits) + input.output_bits) as f64 * wire.pitch * cal::SPINE_FILL;
+    let bank_w = f64::from(input.ndwl) * sub_w + spine_w;
+    let bank_h = f64::from(input.ndbl) * sub_h + cal::CONTROL_STRIP_F * f;
 
     // ---- H-trees ----
     let htree_len = (bank_w / 2.0 + bank_h / 2.0).max(10.0 * f);
@@ -361,8 +361,8 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     // ---- Energy ----
     let stripe_bits = input.stripe_bits() as f64;
     let vdd_c = cell.vdd_cell;
-    let e_htree_in = input.address_bits as f64 * 0.5 * ht_in.energy;
-    let e_decode = input.ndwl as f64 * dec.energy;
+    let e_htree_in = f64::from(input.address_bits) * 0.5 * ht_in.energy;
+    let e_decode = f64::from(input.ndwl) * dec.energy;
     let e_bitline = if is_dram {
         // Every stripe bitline makes a half-VDD sense excursion, then a
         // full restore + precharge; the storage cell is rewritten.
@@ -373,7 +373,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
         let swing = cal::SRAM_BL_SWING_MULT * cell.v_sense_margin;
         stripe_bits * c_bl * vdd_c * swing
     };
-    let n_sensed = stripe_bits / input.deg_bl_mux as f64 * input.sense_fraction;
+    let n_sensed = stripe_bits / f64::from(input.deg_bl_mux) * input.sense_fraction;
     let e_sense = n_sensed * sa_eval.energy;
     let e_column = input.output_bits as f64
         * (0.5 * ht_out.energy + sa_mux_eval.energy + bl_mux_eval.energy + out_eval.energy)
@@ -392,20 +392,21 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     let write_energy = energy.total() - 0.3 * e_column + write_extra;
 
     // ---- Leakage ----
-    let n_subarrays = (input.ndwl * input.ndbl) as f64;
-    let stripe_periph_leak = input.ndwl as f64
+    let n_subarrays = f64::from(input.ndwl * input.ndbl);
+    let stripe_periph_leak = f64::from(input.ndwl)
         * (dec.leakage
             + n_sa_per_subarray * sa_eval.leakage
             + n_sa_per_subarray * (bl_mux_eval.leakage + sa_mux_eval.leakage) / 8.0
             + out_eval.leakage);
     let cell_leak = input.bank_bits() as f64 * cell.leak_per_cell * vdd_c;
-    let shared_leak = ht_in.leakage + ht_out.leakage + csl_eval.leakage + input.ndwl as f64 * 0.0;
+    let shared_leak =
+        ht_in.leakage + ht_out.leakage + csl_eval.leakage + f64::from(input.ndwl) * 0.0;
     let idle_factor = if input.sleep_transistors {
         cal::SLEEP_FACTOR
     } else {
         1.0
     };
-    let ndbl = input.ndbl as f64;
+    let ndbl = f64::from(input.ndbl);
     let stripe_scale = 1.0 + (ndbl - 1.0) * idle_factor;
     let leakage = stripe_periph_leak * stripe_scale
         + cell_leak * ((1.0 / ndbl) + (1.0 - 1.0 / ndbl) * idle_factor)
@@ -414,7 +415,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
 
     // ---- Refresh ----
     let (refresh_power, row_refresh_energy) = if is_dram {
-        let rows_total = (input.rows * input.ndbl as u64) as f64;
+        let rows_total = (input.rows * u64::from(input.ndbl)) as f64;
         let e_row = e_decode + e_bitline + e_sense;
         (rows_total * e_row / cell.retention_time, e_row)
     } else {
@@ -428,7 +429,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
             bitline: t_bitline,
             sense: t_sense,
             mux: t_mux,
-            column_decode: if is_dram { 0.0 } else { 0.0 },
+            column_decode: 0.0,
             htree_out: t_htree_out,
             precharge: t_precharge,
             restore: t_restore,

@@ -2,6 +2,7 @@
 //! 64-bit channel (paper §3.1: "each channel connected to a single-ranked
 //! 8 GB DIMM made up of 8 Gb DDR4-3200 devices").
 
+use crate::error::CactiError;
 use crate::main_memory::MainMemoryResult;
 use crate::spec::{MemoryKind, MemorySpec};
 
@@ -53,34 +54,42 @@ pub struct DimmResult {
 
 /// Assembles DIMM-level numbers from a main-memory chip solution.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `spec` is not a main-memory spec or the chip IO width does
-/// not divide the channel width.
-pub fn assemble(spec: &MemorySpec, chip: &MainMemoryResult, dimm: DimmConfig) -> DimmResult {
+/// [`CactiError::InvalidSpec`] if `spec` is not a main-memory spec or the
+/// chip IO width does not divide the channel width.
+pub fn assemble(
+    spec: &MemorySpec,
+    chip: &MainMemoryResult,
+    dimm: DimmConfig,
+) -> Result<DimmResult, CactiError> {
     let MemoryKind::MainMemory { io_bits, .. } = spec.kind else {
-        panic!("DIMM assembly requires a main-memory spec");
+        return Err(CactiError::InvalidSpec(
+            "DIMM assembly requires a main-memory spec".to_string(),
+        ));
     };
-    assert!(
-        dimm.channel_bits % io_bits == 0,
-        "chip IO width must divide the channel width"
-    );
+    if io_bits == 0 || !dimm.channel_bits.is_multiple_of(io_bits) {
+        return Err(CactiError::InvalidSpec(format!(
+            "chip IO width x{io_bits} must divide the {}-bit channel",
+            dimm.channel_bits
+        )));
+    }
     let chips_per_rank = dimm.channel_bits / io_bits;
     let total_chips = chips_per_rank * dimm.ranks;
     let e = &chip.energies;
-    let n = chips_per_rank as f64;
-    let peak_bandwidth = dimm.data_rate_mts as f64 * 1e6 * (dimm.channel_bits as f64 / 8.0);
-    DimmResult {
+    let n = f64::from(chips_per_rank);
+    let peak_bandwidth = f64::from(dimm.data_rate_mts) * 1e6 * (f64::from(dimm.channel_bits) / 8.0);
+    Ok(DimmResult {
         chips_per_rank,
         total_chips,
-        capacity_bytes: spec.capacity_bytes * total_chips as u64,
+        capacity_bytes: spec.capacity_bytes * u64::from(total_chips),
         line_read_energy: n * (e.activate + e.read),
         line_write_energy: n * (e.activate + e.write),
-        standby_power: total_chips as f64 * e.standby_power,
-        refresh_power: total_chips as f64 * e.refresh_power,
+        standby_power: f64::from(total_chips) * e.standby_power,
+        refresh_power: f64::from(total_chips) * e.refresh_power,
         peak_bandwidth,
         t_burst: 64.0 / peak_bandwidth,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +123,8 @@ mod tests {
             &spec,
             sol.main_memory.as_ref().unwrap(),
             DimmConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(d.chips_per_rank, 8);
         assert_eq!(d.total_chips, 8);
         assert_eq!(d.capacity_bytes, 8 << 30);
@@ -142,13 +152,13 @@ mod tests {
             &spec,
             sol.main_memory.as_ref().unwrap(),
             DimmConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(d.chips_per_rank, 16);
         assert_eq!(d.capacity_bytes, 16 << 30);
     }
 
     #[test]
-    #[should_panic(expected = "divide")]
     fn rejects_odd_io_width() {
         let mut spec = chip_spec();
         spec.kind = MemoryKind::MainMemory {
@@ -164,6 +174,7 @@ mod tests {
             channel_bits: 48,
             ..DimmConfig::default()
         };
-        assemble(&spec, sol.main_memory.as_ref().unwrap(), dimm);
+        let err = assemble(&spec, sol.main_memory.as_ref().unwrap(), dimm).unwrap_err();
+        assert!(err.to_string().contains("divide"), "{err}");
     }
 }

@@ -42,6 +42,7 @@
 pub mod array;
 pub mod dimm;
 pub mod error;
+pub mod lint;
 pub mod main_memory;
 pub mod org;
 pub mod solution;
@@ -52,8 +53,9 @@ mod optimizer;
 
 pub use dimm::{DimmConfig, DimmResult};
 pub use error::CactiError;
+pub use lint::{Diagnostic, Location, Report, Severity, SolutionLinter};
 pub use main_memory::{DramEnergies, DramTiming, MainMemoryResult};
-pub use optimizer::{optimize, select, solve};
+pub use optimizer::{optimize, optimize_with, select, solve, solve_with};
 pub use org::OrgParams;
 pub use solution::Solution;
 pub use spec::{AccessMode, MemoryKind, MemorySpec, MemorySpecBuilder, OptimizationOptions};

@@ -5,6 +5,7 @@
 //! interleave cycle time tRRD.
 
 use crate::array::{column_decode_delay, ArrayInput, ArrayResult};
+use crate::error::CactiError;
 use crate::spec::{MemoryKind, MemorySpec};
 use cactid_circuit::repeater::RepeatedWire;
 use cactid_tech::{Technology, WireType};
@@ -97,24 +98,27 @@ pub struct MainMemoryResult {
 /// `bank` is the per-bank [`ArrayResult`] and `input` the organization it
 /// was evaluated for; `spec.kind` must be [`MemoryKind::MainMemory`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `spec` is not a main-memory specification.
+/// [`CactiError::InvalidSpec`] if `spec` is not a main-memory
+/// specification.
 pub fn assemble(
     tech: &Technology,
     spec: &MemorySpec,
     input: &ArrayInput,
     bank: &ArrayResult,
-) -> MainMemoryResult {
+) -> Result<MainMemoryResult, CactiError> {
     let MemoryKind::MainMemory {
         io_bits,
         burst_length,
         ..
     } = spec.kind
     else {
-        panic!("assemble() requires a MainMemory spec");
+        return Err(CactiError::InvalidSpec(
+            "main-memory assembly requires a MainMemory spec".to_string(),
+        ));
     };
-    let n_banks = spec.n_banks as f64;
+    let n_banks = f64::from(spec.n_banks);
     let cell = &input.cell;
 
     // ---- Chip floorplan ----
@@ -154,7 +158,7 @@ pub fn assemble(
 
     let _ = (io_bits, burst_length);
 
-    MainMemoryResult {
+    Ok(MainMemoryResult {
         timing: DramTiming {
             t_rcd,
             cas_latency,
@@ -173,7 +177,7 @@ pub fn assemble(
         },
         chip_area,
         area_efficiency,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -202,8 +206,8 @@ mod tests {
 
     fn eval(tech: &Technology, spec: &MemorySpec, ndwl: u32, ndbl: u32) -> MainMemoryResult {
         let input = ArrayInput {
-            rows: spec.bank_bytes() * 8 / 8192 / ndbl as u64,
-            cols: 8192 / ndwl as u64,
+            rows: spec.bank_bytes() * 8 / 8192 / u64::from(ndbl),
+            cols: 8192 / u64::from(ndwl),
             ndwl,
             ndbl,
             deg_bl_mux: 1,
@@ -217,7 +221,7 @@ mod tests {
             sense_fraction: 1.0,
         };
         let bank = array::evaluate(tech, &input).unwrap();
-        assemble(tech, spec, &input, &bank)
+        assemble(tech, spec, &input, &bank).unwrap()
     }
 
     #[test]

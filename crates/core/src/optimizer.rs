@@ -3,6 +3,7 @@
 
 use crate::array::{self, ArrayInput};
 use crate::error::CactiError;
+use crate::lint::{Severity, SolutionLinter};
 use crate::main_memory;
 use crate::org::{self, OrgParams};
 use crate::solution::Solution;
@@ -28,13 +29,10 @@ fn build_input(tech: &Technology, spec: &MemorySpec, org: &OrgParams) -> ArrayIn
     }
 }
 
-/// Evaluates every feasible organization for `spec` and returns the full
-/// solution set (unfiltered).
-///
-/// # Errors
-///
-/// Returns [`CactiError::NoFeasibleSolution`] when nothing is feasible.
-pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
+fn solve_inner(
+    spec: &MemorySpec,
+    linter: Option<&dyn SolutionLinter>,
+) -> Result<Vec<Solution>, CactiError> {
     let tech = Technology::new(spec.node);
     let tag_result = if spec.kind.is_cache() {
         Some(tag::design_tag(&tech, spec)?)
@@ -43,6 +41,7 @@ pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
     };
 
     let mut out = Vec::new();
+    let mut lint_rejected = 0usize;
     for org in org::enumerate(spec) {
         let input = build_input(&tech, spec, &org);
         let Ok(data) = array::evaluate(&tech, &input) else {
@@ -50,23 +49,56 @@ pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
         };
         let mm = match spec.kind {
             MemoryKind::MainMemory { .. } => {
-                Some(main_memory::assemble(&tech, spec, &input, &data))
+                Some(main_memory::assemble(&tech, spec, &input, &data)?)
             }
             _ => None,
         };
-        out.push(Solution::assemble(
-            spec,
-            org,
-            &input,
-            data,
-            tag_result.clone(),
-            mm,
-        ));
+        let mut sol = Solution::assemble(spec, org, &input, data, tag_result.clone(), mm);
+        if let Some(linter) = linter {
+            let diags = linter.lint_candidate(spec, &sol);
+            if diags.iter().any(|d| d.severity == Severity::Error) {
+                lint_rejected += 1;
+                continue;
+            }
+            sol.warnings = diags;
+        }
+        out.push(sol);
     }
     if out.is_empty() {
-        return Err(CactiError::NoFeasibleSolution);
+        return Err(if lint_rejected > 0 {
+            CactiError::LintRejected(lint_rejected)
+        } else {
+            CactiError::NoFeasibleSolution
+        });
     }
     Ok(out)
+}
+
+/// Evaluates every feasible organization for `spec` and returns the full
+/// solution set (unfiltered).
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] when nothing is feasible.
+pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
+    solve_inner(spec, None)
+}
+
+/// Like [`solve`], but consults a lint engine on every assembled candidate:
+/// candidates with any `Error`-severity diagnostic are rejected from the
+/// solution set, and the surviving candidates carry their non-error
+/// diagnostics in [`Solution::warnings`].
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] when nothing is feasible, or
+/// [`CactiError::LintRejected`] when candidates existed but the linter
+/// rejected every one of them.
+pub fn solve_with(
+    spec: &MemorySpec,
+    linter: &dyn SolutionLinter,
+) -> Result<Vec<Solution>, CactiError> {
+    solve_inner(spec, Some(linter))
 }
 
 /// Applies the staged optimization of §2.4 to a solution set and returns
@@ -78,11 +110,13 @@ pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
 ///    leakage (+ refresh) power, random cycle time and interleave cycle
 ///    time.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `solutions` is empty.
-pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Solution {
-    assert!(!solutions.is_empty(), "solution set must be non-empty");
+/// [`CactiError::NoFeasibleSolution`] if `solutions` is empty.
+pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Result<Solution, CactiError> {
+    if solutions.is_empty() {
+        return Err(CactiError::NoFeasibleSolution);
+    }
     let opt = &spec.opt;
 
     let best_area = solutions
@@ -114,7 +148,7 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Solution {
     let c_min = min_of(|s| s.random_cycle);
     let i_min = min_of(|s| s.interleave_cycle);
 
-    stage2
+    Ok(stage2
         .into_iter()
         .min_by(|a, b| {
             let obj = |s: &Solution| {
@@ -125,8 +159,8 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Solution {
             };
             obj(a).total_cmp(&obj(b))
         })
-        .expect("stage2 is non-empty by construction")
-        .clone()
+        .expect("stage2 is non-empty: the minimum-area solution survives both filters")
+        .clone())
 }
 
 /// Convenience: [`solve`] then [`select`].
@@ -136,7 +170,22 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Solution {
 /// Propagates [`CactiError::NoFeasibleSolution`] from the sweep.
 pub fn optimize(spec: &MemorySpec) -> Result<Solution, CactiError> {
     let all = solve(spec)?;
-    Ok(select(spec, &all))
+    select(spec, &all)
+}
+
+/// Convenience: [`solve_with`] then [`select`] — the winner is guaranteed
+/// free of `Error`-severity diagnostics from `linter`.
+///
+/// # Errors
+///
+/// Propagates [`CactiError::NoFeasibleSolution`] or
+/// [`CactiError::LintRejected`] from the sweep.
+pub fn optimize_with(
+    spec: &MemorySpec,
+    linter: &dyn SolutionLinter,
+) -> Result<Solution, CactiError> {
+    let all = solve_with(spec, linter)?;
+    select(spec, &all)
 }
 
 #[cfg(test)]
@@ -176,7 +225,7 @@ mod tests {
     fn staged_filters_respect_caps() {
         let spec = l2();
         let sols = solve(&spec).unwrap();
-        let chosen = select(&spec, &sols);
+        let chosen = select(&spec, &sols).unwrap();
         let best_area = sols.iter().map(|s| s.area).fold(f64::INFINITY, f64::min);
         assert!(chosen.area <= best_area * (1.0 + spec.opt.max_area_overhead) + 1e-12);
     }
@@ -194,10 +243,10 @@ mod tests {
             ..OptimizationOptions::default()
         };
         let sols = solve(&spec).unwrap();
-        let energy_pick = select(&spec, &sols);
+        let energy_pick = select(&spec, &sols).unwrap();
         spec.opt.weight_dynamic = 0.0;
         spec.opt.weight_cycle = 100.0;
-        let cycle_pick = select(&spec, &sols);
+        let cycle_pick = select(&spec, &sols).unwrap();
         // The two objectives should not pick a strictly worse solution on
         // their own axis.
         assert!(energy_pick.read_energy <= cycle_pick.read_energy + 1e-15);

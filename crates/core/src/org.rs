@@ -31,7 +31,7 @@ impl OrgParams {
         match spec.kind {
             MemoryKind::MainMemory { page_bits, .. } => page_bits,
             _ => {
-                let set_bits = spec.block_bytes as u64 * 8 * spec.associativity as u64;
+                let set_bits = u64::from(spec.block_bytes) * 8 * u64::from(spec.associativity);
                 (set_bits as f64 * self.nspd) as u64
             }
         }
@@ -39,7 +39,7 @@ impl OrgParams {
 
     /// Columns per subarray.
     pub fn cols(&self, spec: &MemorySpec) -> u64 {
-        self.stripe_bits(spec) / self.ndwl as u64
+        self.stripe_bits(spec) / u64::from(self.ndwl)
     }
 
     /// Rows per subarray.
@@ -49,12 +49,12 @@ impl OrgParams {
         if stripe == 0 {
             return 0;
         }
-        bank_bits / stripe / self.ndbl as u64
+        bank_bits / stripe / u64::from(self.ndbl)
     }
 
     /// Total mux factor the organization provides.
     pub fn mux_factor(&self) -> u64 {
-        self.deg_bl_mux as u64 * self.deg_sa_mux as u64
+        u64::from(self.deg_bl_mux) * u64::from(self.deg_sa_mux)
     }
 }
 
@@ -83,7 +83,7 @@ pub fn enumerate(spec: &MemorySpec) -> Vec<OrgParams> {
     let bank_bits = spec.bank_bytes() * 8;
 
     for &nspd in nspd_choices {
-        let set_bits = spec.block_bytes as u64 * 8 * spec.associativity as u64;
+        let set_bits = u64::from(spec.block_bytes) * 8 * u64::from(spec.associativity);
         let stripe_bits = match spec.kind {
             MemoryKind::MainMemory { page_bits, .. } => page_bits,
             _ => {
@@ -105,18 +105,18 @@ pub fn enumerate(spec: &MemorySpec) -> Vec<OrgParams> {
 
         let mut ndwl = 1u32;
         while ndwl <= MAX_NDWL {
-            let cols = stripe_bits / ndwl as u64;
+            let cols = stripe_bits / u64::from(ndwl);
             if cols < MIN_COLS {
                 break;
             }
-            if cols <= MAX_COLS && stripe_bits % ndwl as u64 == 0 {
+            if cols <= MAX_COLS && stripe_bits % u64::from(ndwl) == 0 {
                 let mut ndbl = 1u32;
                 while ndbl <= MAX_NDBL {
                     let total_rows = bank_bits / stripe_bits;
-                    if total_rows % ndbl as u64 != 0 {
+                    if !total_rows.is_multiple_of(u64::from(ndbl)) {
                         break;
                     }
-                    let rows = total_rows / ndbl as u64;
+                    let rows = total_rows / u64::from(ndbl);
                     if rows < MIN_ROWS {
                         break;
                     }
@@ -128,12 +128,14 @@ pub fn enumerate(spec: &MemorySpec) -> Vec<OrgParams> {
                         } else {
                             (0..=3)
                                 .map(|s| 1u32 << s)
-                                .filter(|&d| d <= MAX_BL_MUX && mux_needed % d as u64 == 0)
+                                .filter(|&d| {
+                                    d <= MAX_BL_MUX && mux_needed.is_multiple_of(u64::from(d))
+                                })
                                 .collect()
                         };
                         for deg_bl in bl_choices {
-                            let deg_sa = mux_needed / deg_bl as u64;
-                            if deg_sa == 0 || deg_sa > MAX_SA_MUX as u64 {
+                            let deg_sa = mux_needed / u64::from(deg_bl);
+                            if deg_sa == 0 || deg_sa > u64::from(MAX_SA_MUX) {
                                 continue;
                             }
                             out.push(OrgParams {
@@ -186,7 +188,7 @@ mod tests {
             assert!(rows >= MIN_ROWS && rows.is_power_of_two());
             assert!(cols >= MIN_COLS);
             // Capacity conservation: rows × cols × subarrays == bank bits.
-            let bits = rows * cols * (org.ndwl as u64) * (org.ndbl as u64);
+            let bits = rows * cols * u64::from(org.ndwl) * u64::from(org.ndbl);
             assert_eq!(bits, spec.bank_bytes() * 8, "org {org:?}");
             // Mux factor matches stripe/output ratio.
             assert_eq!(

@@ -2,6 +2,7 @@
 //! data) and chip-level (main-memory) metrics.
 
 use crate::array::{ArrayInput, ArrayResult};
+use crate::lint::Diagnostic;
 use crate::main_memory::MainMemoryResult;
 use crate::org::OrgParams;
 use crate::spec::{AccessMode, MemoryKind, MemorySpec};
@@ -36,6 +37,9 @@ pub struct Solution {
     pub leakage_power: f64,
     /// Total refresh power, all banks [W] (0 for SRAM).
     pub refresh_power: f64,
+    /// Non-error diagnostics attached by the lint engine when the solver
+    /// runs with one (see `solve_with`); empty otherwise.
+    pub warnings: Vec<Diagnostic>,
 }
 
 impl Solution {
@@ -48,7 +52,7 @@ impl Solution {
         tag: Option<TagResult>,
         main_memory: Option<MainMemoryResult>,
     ) -> Solution {
-        let n_banks = spec.n_banks as f64;
+        let n_banks = f64::from(spec.n_banks);
         let cell = &input.cell;
 
         // ---- Access time assembly per access mode ----
@@ -77,7 +81,7 @@ impl Solution {
         let random_cycle = match (&spec.kind, &main_memory) {
             (MemoryKind::MainMemory { .. }, Some(mm)) => mm.timing.t_rc,
             _ => {
-                let tag_cycle = tag.as_ref().map(|t| t.array.random_cycle).unwrap_or(0.0);
+                let tag_cycle = tag.as_ref().map_or(0.0, |t| t.array.random_cycle);
                 data.random_cycle.max(tag_cycle)
             }
         };
@@ -87,26 +91,24 @@ impl Solution {
         let (area, area_efficiency) = if let Some(mm) = &main_memory {
             (mm.chip_area, mm.area_efficiency)
         } else {
-            let tag_area = tag.as_ref().map(|t| t.array.area()).unwrap_or(0.0);
+            let tag_area = tag.as_ref().map_or(0.0, |t| t.array.area());
             let total = n_banks * (data.area() + tag_area);
-            let tag_bits_total = tag
-                .as_ref()
-                .map(|_| spec.sets() * spec.associativity as u64 * spec.tag_bits() as u64)
-                .unwrap_or(0);
+            let tag_bits_total = tag.as_ref().map_or(0, |_| {
+                spec.sets() * u64::from(spec.associativity) * u64::from(spec.tag_bits())
+            });
             let cells = ((spec.capacity_bytes * 8 + tag_bits_total) as f64) * cell.area();
             (total, cells / total)
         };
 
         // ---- Energy / power ----
-        let tag_read = tag.as_ref().map(|t| t.read_energy()).unwrap_or(0.0);
+        let tag_read = tag.as_ref().map_or(0.0, super::tag::TagResult::read_energy);
         let tag_write = tag
             .as_ref()
-            .map(|t| t.array.write_energy + t.comparator_energy)
-            .unwrap_or(0.0);
+            .map_or(0.0, |t| t.array.write_energy + t.comparator_energy);
         let read_energy = data.read_energy() + tag_read;
         let write_energy = data.write_energy + tag_write;
-        let tag_leak = tag.as_ref().map(|t| t.array.leakage).unwrap_or(0.0);
-        let tag_refresh = tag.as_ref().map(|t| t.array.refresh_power).unwrap_or(0.0);
+        let tag_leak = tag.as_ref().map_or(0.0, |t| t.array.leakage);
+        let tag_refresh = tag.as_ref().map_or(0.0, |t| t.array.refresh_power);
         let leakage_power = if let Some(mm) = &main_memory {
             mm.energies.standby_power
         } else {
@@ -132,6 +134,7 @@ impl Solution {
             write_energy,
             leakage_power,
             refresh_power,
+            warnings: Vec::new(),
         }
     }
 

@@ -146,17 +146,17 @@ impl MemorySpec {
 
     /// Capacity of one bank [bytes].
     pub fn bank_bytes(&self) -> u64 {
-        self.capacity_bytes / self.n_banks as u64
+        self.capacity_bytes / u64::from(self.n_banks)
     }
 
     /// Number of sets (whole memory).
     pub fn sets(&self) -> u64 {
-        self.capacity_bytes / (self.block_bytes as u64 * self.associativity as u64)
+        self.capacity_bytes / (u64::from(self.block_bytes) * u64::from(self.associativity))
     }
 
     /// Number of sets in one bank.
     pub fn sets_per_bank(&self) -> u64 {
-        self.sets() / self.n_banks as u64
+        self.sets() / u64::from(self.n_banks)
     }
 
     /// Tag width in bits: address bits minus set-index and block-offset
@@ -173,10 +173,10 @@ impl MemorySpec {
     /// memory.
     pub fn output_bits(&self) -> u64 {
         match self.kind {
-            MemoryKind::Cache { .. } | MemoryKind::Ram => self.block_bytes as u64 * 8,
+            MemoryKind::Cache { .. } | MemoryKind::Ram => u64::from(self.block_bytes) * 8,
             MemoryKind::MainMemory {
                 io_bits, prefetch, ..
-            } => io_bits as u64 * prefetch as u64,
+            } => u64::from(io_bits) * u64::from(prefetch),
         }
     }
 
@@ -188,7 +188,7 @@ impl MemorySpec {
         match self.kind {
             MemoryKind::Cache {
                 access_mode: AccessMode::Sequential,
-            } if self.cell_tech == CellTechnology::Sram => 1.0 / self.associativity as f64,
+            } if self.cell_tech == CellTechnology::Sram => 1.0 / f64::from(self.associativity),
             _ => 1.0,
         }
     }
@@ -204,8 +204,8 @@ impl MemorySpec {
         if self.associativity == 0 {
             return err("associativity must be nonzero");
         }
-        let set_bytes = self.block_bytes as u64 * self.associativity as u64;
-        if self.capacity_bytes % set_bytes != 0 {
+        let set_bytes = u64::from(self.block_bytes) * u64::from(self.associativity);
+        if !self.capacity_bytes.is_multiple_of(set_bytes) {
             return err("capacity must be a whole number of sets");
         }
         let sets = self.capacity_bytes / set_bytes;
@@ -215,10 +215,10 @@ impl MemorySpec {
         if self.n_banks == 0 || !self.n_banks.is_power_of_two() {
             return err("bank count must be a nonzero power of two");
         }
-        if self.capacity_bytes < self.block_bytes as u64 * self.associativity as u64 {
+        if self.capacity_bytes < u64::from(self.block_bytes) * u64::from(self.associativity) {
             return err("capacity smaller than one set");
         }
-        if self.bank_bytes() * self.n_banks as u64 != self.capacity_bytes {
+        if self.bank_bytes() * u64::from(self.n_banks) != self.capacity_bytes {
             return err("capacity must divide evenly across banks");
         }
         if self.sets() == 0 {

@@ -44,8 +44,8 @@ fn fo4(dev: &DeviceParams) -> f64 {
 /// electrically feasible.
 pub fn design_tag(tech: &Technology, spec: &MemorySpec) -> Result<TagResult, CactiError> {
     let sets = spec.sets_per_bank();
-    let tag_bits = spec.tag_bits() as u64;
-    let assoc = spec.associativity as u64;
+    let tag_bits = u64::from(spec.tag_bits());
+    let assoc = u64::from(spec.associativity);
     let cell = tech.cell(spec.cell_tech);
     let periph = tech.peripheral_device(spec.cell_tech);
 
@@ -53,14 +53,14 @@ pub fn design_tag(tech: &Technology, spec: &MemorySpec) -> Result<TagResult, Cac
     for ntspd in [1u64, 2, 4] {
         for ntwl in [1u32, 2, 4] {
             let stripe_bits = assoc * tag_bits * ntspd;
-            let cols = stripe_bits / ntwl as u64;
-            if stripe_bits % ntwl as u64 != 0 || !(32..=4096).contains(&cols) {
+            let cols = stripe_bits / u64::from(ntwl);
+            if stripe_bits % u64::from(ntwl) != 0 || !(32..=4096).contains(&cols) {
                 continue;
             }
             let mut ntbl = 1u32;
             while ntbl <= 128 {
-                let denom = ntspd * ntbl as u64;
-                if sets % denom != 0 {
+                let denom = ntspd * u64::from(ntbl);
+                if !sets.is_multiple_of(denom) {
                     break;
                 }
                 let rows = sets / denom;

@@ -51,20 +51,20 @@ impl SetAssocCache {
     pub fn new(capacity_bytes: u64, line_bytes: u32, associativity: u32) -> SetAssocCache {
         assert!(line_bytes.is_power_of_two() && line_bytes > 0);
         assert!(associativity > 0);
-        let sets = capacity_bytes / (line_bytes as u64 * associativity as u64);
+        let sets = capacity_bytes / (u64::from(line_bytes) * u64::from(associativity));
         assert!(sets > 0, "cache smaller than one set");
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         SetAssocCache {
             sets,
             assoc: associativity,
-            line_bytes: line_bytes as u64,
+            line_bytes: u64::from(line_bytes),
             lines: vec![
                 Line {
                     tag: 0,
                     state: LineState::Invalid,
                     lru: 0,
                 };
-                (sets * associativity as u64) as usize
+                (sets * u64::from(associativity)) as usize
             ],
             lru_clock: 0,
         }
@@ -93,7 +93,7 @@ impl SetAssocCache {
     }
 
     fn slot_range(&self, set: u64) -> std::ops::Range<usize> {
-        let start = (set * self.assoc as u64) as usize;
+        let start = (set * u64::from(self.assoc)) as usize;
         start..start + self.assoc as usize
     }
 

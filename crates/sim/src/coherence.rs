@@ -101,7 +101,7 @@ impl Directory {
 
     /// Current sharers of a line (diagnostics/tests).
     pub fn sharers(&self, line: u64) -> u32 {
-        self.entries.get(&line).map(|e| e.sharers).unwrap_or(0)
+        self.entries.get(&line).map_or(0, |e| e.sharers)
     }
 
     /// Current owner, if dirty-owned.

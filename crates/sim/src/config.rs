@@ -27,7 +27,7 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Number of sets.
     pub fn sets(&self) -> u64 {
-        self.capacity_bytes / (self.line_bytes as u64 * self.associativity as u64)
+        self.capacity_bytes / (u64::from(self.line_bytes) * u64::from(self.associativity))
     }
 }
 
@@ -236,7 +236,7 @@ mod tests {
         let c = SystemConfig::with_sram_l3();
         let l3 = c.l3.unwrap();
         assert_eq!(l3.n_banks, 8);
-        assert_eq!(l3.bank.capacity_bytes * l3.n_banks as u64, 24 << 20);
+        assert_eq!(l3.bank.capacity_bytes * u64::from(l3.n_banks), 24 << 20);
         assert_eq!(l3.bank.sets(), 4096);
     }
 }

@@ -74,11 +74,11 @@ impl DramChannel {
     /// Which bank an address maps to within this channel.
     pub fn bank_of(&self, addr: u64) -> usize {
         // Interleave banks on page-sized granularity for row locality.
-        ((addr / self.cfg.page_bytes) % self.cfg.banks as u64) as usize
+        ((addr / self.cfg.page_bytes) % u64::from(self.cfg.banks)) as usize
     }
 
     fn row_of(&self, addr: u64) -> u64 {
-        addr / (self.cfg.page_bytes * self.cfg.banks as u64)
+        addr / (self.cfg.page_bytes * u64::from(self.cfg.banks))
     }
 
     /// Pushes `t` past any refresh window it lands in (all banks refresh
@@ -206,7 +206,7 @@ mod tests {
         assert!(b.page_hit && !b.activated);
         assert_eq!(b.done_at, a.done_at + c.t_cl + c.t_burst);
         // A different row in the same bank pays precharge + activate.
-        let far = c.page_bytes * c.banks as u64 * 7;
+        let far = c.page_bytes * u64::from(c.banks) * 7;
         let conflict = ch.access(far, b.done_at);
         assert!(conflict.activated && !conflict.page_hit);
         assert!(conflict.done_at >= b.done_at + c.t_rp + c.t_rcd + c.t_cl);

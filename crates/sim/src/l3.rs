@@ -50,7 +50,7 @@ impl L3 {
     /// Bank an address maps to (line-interleaved, as the study's 8 L3 banks
     /// are line-interleaved across the crossbar).
     pub fn bank_of(&self, addr: u64) -> usize {
-        ((addr / self.cfg.bank.line_bytes as u64) % self.cfg.n_banks as u64) as usize
+        ((addr / u64::from(self.cfg.bank.line_bytes)) % u64::from(self.cfg.n_banks)) as usize
     }
 
     /// Subbank a set maps to under the configured set↔page mapping
@@ -58,7 +58,7 @@ impl L3 {
     /// [`SetMapping::SetsPerPage`]; they spread round-robin under
     /// [`SetMapping::StripedWays`].
     pub fn subbank_of(&self, set: u64) -> usize {
-        let n = self.cfg.bank.n_subbanks as u64;
+        let n = u64::from(self.cfg.bank.n_subbanks);
         let sets = self.cfg.bank.sets();
         match self.cfg.set_mapping {
             SetMapping::SetsPerPage => ((set * n) / sets.max(1)) as usize,
@@ -75,16 +75,16 @@ impl L3 {
     /// bank indexes its sets with the line address *divided by* the bank
     /// count (otherwise only 1/n_banks of the sets would ever be used).
     fn local_addr(&self, addr: u64) -> u64 {
-        let lb = self.cfg.bank.line_bytes as u64;
+        let lb = u64::from(self.cfg.bank.line_bytes);
         let line = addr / lb;
-        (line / self.cfg.n_banks as u64) * lb + addr % lb
+        (line / u64::from(self.cfg.n_banks)) * lb + addr % lb
     }
 
     /// Maps a bank-local line address back to the global address space.
     fn global_addr(&self, local: u64, bank: usize) -> u64 {
-        let lb = self.cfg.bank.line_bytes as u64;
+        let lb = u64::from(self.cfg.bank.line_bytes);
         let line = local / lb;
-        (line * self.cfg.n_banks as u64 + bank as u64) * lb
+        (line * u64::from(self.cfg.n_banks) + bank as u64) * lb
     }
 
     /// Looks up `addr` in its bank (refreshes LRU).
@@ -146,8 +146,8 @@ impl L3 {
                 // One DRAM row covers the lines the set↔page mapping groups
                 // together; within a subbank the row is identified by the
                 // set-group plus the way bits above it.
-                let row = (local / self.cfg.bank.line_bytes as u64)
-                    / (self.cfg.bank.sets() / self.cfg.bank.n_subbanks as u64).max(1);
+                let row = (local / u64::from(self.cfg.bank.line_bytes))
+                    / (self.cfg.bank.sets() / u64::from(self.cfg.bank.n_subbanks)).max(1);
                 let bank = &mut self.banks[bank_idx];
                 let start = now.max(bank.port_ready);
                 bank.port_ready = start + self.cfg.bank.interleave_cycles;

@@ -40,6 +40,7 @@ pub mod core;
 pub mod dram;
 pub mod l3;
 pub mod record;
+pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod trace;

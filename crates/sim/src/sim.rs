@@ -257,7 +257,7 @@ impl<T: TraceSource> Simulator<T> {
     /// latency and the level that serviced it.
     fn mem_access(&mut self, core: usize, addr: u64, is_store: bool) -> (u64, StallKind) {
         let now = self.cycle;
-        let line = addr / self.cfg.l1.line_bytes as u64;
+        let line = addr / u64::from(self.cfg.l1.line_bytes);
         let core_u8 = core as u8;
         self.stats.counts.l1_reads += 1;
 
@@ -308,7 +308,7 @@ impl<T: TraceSource> Simulator<T> {
             }
         };
 
-        let xbar = self.cfg.l3.as_ref().map(|l| l.xbar_cycles).unwrap_or(2);
+        let xbar = self.cfg.l3.as_ref().map_or(2, |l| l.xbar_cycles);
         let source = if from_remote {
             Source::RemoteL2
         } else {
@@ -373,7 +373,7 @@ impl<T: TraceSource> Simulator<T> {
     }
 
     fn channel_of(&self, addr: u64) -> usize {
-        ((addr / self.cfg.l1.line_bytes as u64) % self.cfg.dram.channels as u64) as usize
+        ((addr / u64::from(self.cfg.l1.line_bytes)) % u64::from(self.cfg.dram.channels)) as usize
     }
 
     fn dram_read(&mut self, addr: u64, t_req: u64) -> u64 {
@@ -437,7 +437,7 @@ impl<T: TraceSource> Simulator<T> {
     fn fill_l2(&mut self, core: usize, addr: u64, state: LineState) {
         self.stats.counts.l2_writes += 1;
         if let Some(ev) = self.l2[core].insert(addr, state) {
-            let ev_line = ev.addr / self.cfg.l1.line_bytes as u64;
+            let ev_line = ev.addr / u64::from(self.cfg.l1.line_bytes);
             let was_owner = self.dir.evict(ev_line, core as u8);
             // Inclusion: the L1 copy must go too.
             let l1_state = self.l1[core].invalidate(ev.addr);
@@ -583,7 +583,7 @@ mod tests {
         impl TraceSource for BarrierEvery {
             fn next(&mut self, tid: usize) -> Instr {
                 self.1[tid] += 1;
-                if self.1[tid] % self.0 == 0 {
+                if self.1[tid].is_multiple_of(self.0) {
                     Instr::Barrier
                 } else {
                     Instr::Fp

@@ -73,7 +73,7 @@ impl StridedSource {
 impl TraceSource for StridedSource {
     fn next(&mut self, tid: usize) -> Instr {
         let r = self.rng(tid);
-        if (r % 1000) < self.mem_fraction_permille as u64 {
+        if (r % 1000) < u64::from(self.mem_fraction_permille) {
             // Sequential stride within the thread's private region.
             let offset = (r >> 10) % (self.region_bytes / 64) * 64;
             let base = tid as u64 * self.region_bytes;

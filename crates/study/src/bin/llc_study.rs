@@ -81,7 +81,7 @@ fn run_powerdown(instructions: u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let cmd = args.first().map_or("all", String::as_str);
     let n = parse_instructions(&args);
     match cmd {
         "table1" => println!("{}", table1::render(TechNode::N32)),

@@ -110,7 +110,9 @@ pub fn figure1() -> Vec<Figure1Point> {
         };
         let spec = xeon_spec(opt);
         let Ok(sols) = solve(&spec) else { continue };
-        let sol = cactid_core::select(&spec, &sols);
+        let Ok(sol) = cactid_core::select(&spec, &sols) else {
+            continue;
+        };
         out.push(Figure1Point {
             knobs: format!(
                 "area+{:.0}% time+{:.0}% relax{relax:.1}",
@@ -152,7 +154,7 @@ pub fn sparc_point() -> Figure1Point {
     };
     let spec = sparc_spec(opt);
     let sols = solve(&spec).expect("sparc spec solves");
-    let sol = cactid_core::select(&spec, &sols);
+    let sol = cactid_core::select(&spec, &sols).expect("solve returned a non-empty set");
     Figure1Point {
         knobs: "sparc l2 (90nm)".into(),
         access_time: sol.access_time,

@@ -103,7 +103,7 @@ pub fn render_b(study: &[(StudyConfig, Vec<AppRun>)]) -> String {
 }
 
 /// Convenience accessor: the run for (app, kind).
-pub fn find<'a>(study: &'a [(StudyConfig, Vec<AppRun>)], app: NpbApp, kind: LlcKind) -> &'a AppRun {
+pub fn find(study: &[(StudyConfig, Vec<AppRun>)], app: NpbApp, kind: LlcKind) -> &AppRun {
     study
         .iter()
         .find(|(c, _)| c.kind == kind)

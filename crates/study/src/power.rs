@@ -76,7 +76,7 @@ impl MemoryHierarchyPower {
             return MemoryHierarchyPower::default();
         }
         let per_s = 1.0 / seconds;
-        let n_cores = cfg.system.n_cores as f64;
+        let n_cores = f64::from(cfg.system.n_cores);
         let c = &stats.counts;
 
         // L1: data + instruction caches, both of the L1 solution's shape.

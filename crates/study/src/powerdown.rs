@@ -47,7 +47,7 @@ pub fn busy_fraction(cfg: &StudyConfig, stats: &SimStats) -> f64 {
     let c = &stats.counts;
     let act_cycles = c.mem_activates as f64 * d.t_rc as f64;
     let hit_cycles = c.mem_page_hits as f64 * (d.t_cl + d.t_burst) as f64;
-    let bank_time = (stats.cycles * (d.channels * d.banks) as u64) as f64;
+    let bank_time = (stats.cycles * u64::from(d.channels * d.banks)) as f64;
     let u_bank = ((act_cycles + hit_cycles) / bank_time).min(1.0);
     1.0 - (1.0 - u_bank).powi(d.banks as i32)
 }

@@ -18,7 +18,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let head: Vec<String> = headers
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&fmt_row(&head, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));

@@ -41,7 +41,7 @@ pub fn capacity_sweep(
     for &cap in capacities {
         let mut cfg = base.clone();
         let l3 = cfg.system.l3.as_mut().expect("base config has an L3");
-        l3.bank.capacity_bytes = cap / l3.n_banks as u64;
+        l3.bank.capacity_bytes = cap / u64::from(l3.n_banks);
         let trace = NpbTrace::with_class(app, class, cfg.system.n_threads());
         let mut sim = Simulator::new(cfg.system.clone(), trace);
         sim.run(instructions);

@@ -52,7 +52,7 @@ fn column(
     let access_raw = cycles(sol.access_time);
     let ratio = access_raw.div_ceil(MAX_PIPE_STAGES).max(1);
     let area = if per_bank_area {
-        sol.area_mm2() / banks as f64
+        sol.area_mm2() / f64::from(banks)
     } else {
         sol.area_mm2()
     };
@@ -119,7 +119,7 @@ pub fn table3() -> Vec<Table3Column> {
 
 fn human_capacity(bytes: u64) -> String {
     if bytes >= 1 << 30 {
-        format!("{}Gb", bytes * 8 >> 30)
+        format!("{}Gb", (bytes * 8) >> 30)
     } else if bytes >= 1 << 20 {
         format!("{}MB", bytes >> 20)
     } else {

@@ -67,14 +67,8 @@ pub fn render(estimates: &[ThermalEstimate]) -> String {
         ));
     }
     if let (Some(max), Some(min)) = (
-        estimates
-            .iter()
-            .map(|e| e.delta_t)
-            .max_by(|a, b| a.total_cmp(b)),
-        estimates
-            .iter()
-            .map(|e| e.delta_t)
-            .min_by(|a, b| a.total_cmp(b)),
+        estimates.iter().map(|e| e.delta_t).max_by(f64::total_cmp),
+        estimates.iter().map(|e| e.delta_t).min_by(f64::total_cmp),
     ) {
         s.push_str(&format!(
             "  max difference between technologies: {:.2} K (paper: < 1.5 K)\n",

@@ -146,12 +146,10 @@ impl CellParams {
     /// sense margin (and the hard `max_rows_per_subarray` cap).
     pub fn max_feasible_rows(&self) -> usize {
         let mut rows = self.max_rows_per_subarray;
-        if self.technology.is_dram() {
-            while rows > 16 {
-                if self.dram_sense_signal(rows).unwrap() >= self.v_sense_margin {
-                    break;
-                }
-                rows /= 2;
+        while rows > 16 {
+            match self.dram_sense_signal(rows) {
+                Some(signal) if signal < self.v_sense_margin => rows /= 2,
+                _ => break,
             }
         }
         rows
@@ -398,7 +396,7 @@ mod tests {
     #[test]
     fn max_feasible_rows_respects_margin() {
         for &node in TechNode::ALL_WITH_HALF_NODES {
-            for &ty in [CellTechnology::LpDram, CellTechnology::CommDram].iter() {
+            for &ty in &[CellTechnology::LpDram, CellTechnology::CommDram] {
                 let c = cell_params(node, ty);
                 let rows = c.max_feasible_rows();
                 assert!(rows >= 16);
@@ -424,7 +422,7 @@ mod tests {
         for &node in TechNode::ALL {
             let sram = cell_params(node, CellTechnology::Sram);
             assert!(sram.leak_per_cell > 0.0);
-            for &d in [CellTechnology::LpDram, CellTechnology::CommDram].iter() {
+            for &d in &[CellTechnology::LpDram, CellTechnology::CommDram] {
                 assert_eq!(cell_params(node, d).leak_per_cell, 0.0);
             }
         }

@@ -131,11 +131,7 @@ mod tests {
             .map(|&n| Technology::new(n).fo4(DeviceType::Hp))
             .collect();
         for pair in fo4s.windows(2) {
-            assert!(
-                pair[1] < pair[0],
-                "FO4 must shrink with scaling: {:?}",
-                fo4s
-            );
+            assert!(pair[1] < pair[0], "FO4 must shrink with scaling: {fo4s:?}");
         }
         // Sanity band: 32 nm HP FO4 in the ~8–16 ps range.
         let fo4_32 = fo4s[3];

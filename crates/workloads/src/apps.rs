@@ -280,7 +280,7 @@ mod tests {
         assert!(NpbApp::LuC.profile().warm_bytes > 24 << 20);
         // bt/is/mg/sp exceed every L3.
         for app in [NpbApp::BtC, NpbApp::IsC, NpbApp::MgB, NpbApp::SpC] {
-            assert!(app.profile().warm_bytes > 192 << 20, "{:?}", app);
+            assert!(app.profile().warm_bytes > 192 << 20, "{app:?}");
         }
         // cg.C has the least reusable warm locality; ua.C the lowest
         // memory intensity, and it is the only lock user.

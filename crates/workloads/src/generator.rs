@@ -132,7 +132,7 @@ impl NpbTrace {
         let line = Self::rng(t) % lines;
         let addr = base + line * LINE;
         // Start a sequential run from here.
-        let mean = p.seq_run_lines.max(1) as u64;
+        let mean = u64::from(p.seq_run_lines.max(1));
         t.run_left = (Self::rng(t) % (2 * mean)) as u32;
         t.cursor = addr;
         addr
@@ -155,11 +155,14 @@ impl TraceSource for NpbTrace {
                 }
             }
             // Barrier cadence.
-            if p.barrier_interval > 0 && t.instrs % p.barrier_interval == 0 {
+            if p.barrier_interval > 0 && t.instrs.is_multiple_of(p.barrier_interval) {
                 return Instr::Barrier;
             }
             // Lock cadence (only when not already holding one).
-            if p.lock_interval > 0 && t.held_lock.is_none() && t.instrs % p.lock_interval == 0 {
+            if p.lock_interval > 0
+                && t.held_lock.is_none()
+                && t.instrs.is_multiple_of(p.lock_interval)
+            {
                 let id = (Self::rng(t) % 16) as u32;
                 t.held_lock = Some(id);
                 t.lock_release_in = p.lock_hold.max(1);
@@ -228,8 +231,8 @@ mod tests {
                 _ => {}
             }
         }
-        let mem_frac = mem as f64 / n as f64;
-        let fp_frac = fp as f64 / n as f64;
+        let mem_frac = f64::from(mem) / f64::from(n);
+        let fp_frac = f64::from(fp) / f64::from(n);
         assert!((mem_frac - p.p_mem).abs() < 0.02, "mem {mem_frac}");
         assert!((fp_frac - p.p_fp).abs() < 0.02, "fp {fp_frac}");
     }

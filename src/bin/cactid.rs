@@ -5,25 +5,40 @@
 //! cactid --size 1G --banks 8 --cell comm-dram --node 78 --main-memory \
 //!        --io 8 --burst 8 --prefetch 8 --page 8K
 //! cactid --size 8M --cell lp-dram --node 32 --mode sequential --solutions
+//! cactid lint --size 1G --banks 8 --cell comm-dram --node 32 --main-memory
 //! ```
 //!
 //! Prints the optimized solution with full delay/energy breakdowns; with
-//! `--solutions`, lists the whole feasible set instead.
+//! `--solutions`, lists the whole feasible set instead. The `lint`
+//! subcommand runs the `cactid-analyze` diagnostics engine
+//! (`CD0001`–`CD0020`) over the spec and — when the spec is solvable —
+//! over the optimized solution, printing a rustc-style report;
+//! `--deny-warnings` turns warnings into a non-zero exit.
+//!
+//! The binary lives in the facade crate (not `cactid-core`) because the
+//! `lint` subcommand needs `cactid-analyze`, which depends on the core —
+//! a bin inside the core could not see it.
 
+use cactid_analyze::{render, Analyzer};
 use cactid_core::{
-    optimize, solve, AccessMode, MemoryKind, MemorySpec, OptimizationOptions, Solution,
+    AccessMode, Diagnostic, MemoryKind, MemorySpec, OptimizationOptions, Report, Solution,
 };
 use cactid_tech::{CellTechnology, TechNode};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: cactid --size <bytes|K|M|G> [--block N] [--assoc N] [--banks N]\n\
+        "usage: cactid [lint] --size <bytes|K|M|G> [--block N] [--assoc N] [--banks N]\n\
          \x20      --cell sram|lp-dram|comm-dram --node 90|78|65|45|32\n\
          \x20      [--mode normal|sequential|fast] [--ram]\n\
          \x20      [--main-memory --io N --burst N --prefetch N --page <bits|K>]\n\
          \x20      [--max-area PCT] [--max-time PCT] [--relax X] [--sleep]\n\
-         \x20      [--solutions]"
+         \x20      [--solutions]\n\
+         \n\
+         subcommands:\n\
+         \x20 lint   run the CD0001-CD0020 diagnostics over the spec (and the\n\
+         \x20        optimized solution, when one exists) instead of printing it;\n\
+         \x20        accepts --deny-warnings; exits non-zero on errors"
     );
     exit(2)
 }
@@ -55,9 +70,10 @@ struct Args {
     page_bits: u64,
     opt: OptimizationOptions,
     list_solutions: bool,
+    deny_warnings: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> Args {
     let mut a = Args {
         size: 0,
         block: 64,
@@ -74,8 +90,8 @@ fn parse_args() -> Args {
         page_bits: 8 << 10,
         opt: OptimizationOptions::default(),
         list_solutions: false,
+        deny_warnings: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let next = |i: &mut usize| -> String {
         *i += 1;
@@ -115,15 +131,16 @@ fn parse_args() -> Args {
             "--page" => a.page_bits = parse_size(&next(&mut i)).unwrap_or_else(|| usage()),
             "--max-area" => {
                 a.opt.max_area_overhead =
-                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0
+                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
             }
             "--max-time" => {
                 a.opt.max_access_time_overhead =
-                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0
+                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
             }
             "--relax" => a.opt.repeater_relax = next(&mut i).parse().unwrap_or_else(|_| usage()),
             "--sleep" => a.opt.sleep_transistors = true,
             "--solutions" => a.list_solutions = true,
+            "--deny-warnings" => a.deny_warnings = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -136,6 +153,42 @@ fn parse_args() -> Args {
         usage()
     }
     a
+}
+
+/// Assembles the spec directly from the parsed flags, **bypassing** the
+/// builder's validation — the point of `cactid lint` is to diagnose specs
+/// the builder would reject outright, naming the rule, field, and fix.
+fn spec_from_args(a: &Args) -> MemorySpec {
+    let kind = if a.main_memory {
+        MemoryKind::MainMemory {
+            io_bits: a.io,
+            burst_length: a.burst,
+            prefetch: a.prefetch,
+            page_bits: a.page_bits,
+        }
+    } else if a.ram {
+        MemoryKind::Ram
+    } else {
+        MemoryKind::Cache {
+            access_mode: a.mode,
+        }
+    };
+    let assoc = if matches!(kind, MemoryKind::Cache { .. }) {
+        a.assoc
+    } else {
+        1
+    };
+    MemorySpec {
+        capacity_bytes: a.size,
+        block_bytes: a.block,
+        associativity: assoc,
+        n_banks: a.banks,
+        kind,
+        cell_tech: a.cell,
+        node: a.node,
+        address_bits: 40,
+        opt: a.opt.clone(),
+    }
 }
 
 fn print_solution(sol: &Solution) {
@@ -222,48 +275,91 @@ fn print_solution(sol: &Solution) {
     }
 }
 
+/// The `cactid lint` subcommand: spec-stage diagnostics always; when the
+/// spec has no errors and the optimizer finds a winner, the full
+/// three-stage report over that solution too. Exit 0 only when no errors
+/// (and, under `--deny-warnings`, no warnings) were emitted.
+fn run_lint(a: &Args) -> ! {
+    let spec = spec_from_args(a);
+    let analyzer = Analyzer::new();
+    let spec_report = analyzer.lint_spec(&spec);
+
+    let report = if spec_report.error_count() > 0 {
+        spec_report
+    } else {
+        // The spec is structurally sound: lint the optimized solution so
+        // the organization- and solution-stage rules get a say as well.
+        match cactid_core::optimize_with(&spec, &analyzer) {
+            Ok(sol) => analyzer.lint_solution(&spec, &sol),
+            Err(e) => {
+                print!("{}", render::render(&analyzer, &spec_report));
+                eprintln!("error: the spec lints clean but has no feasible solution: {e}");
+                exit(1)
+            }
+        }
+    };
+
+    print!("{}", render::render(&analyzer, &report));
+    if report.is_empty() {
+        println!("{}", render::summary_line(&report));
+    }
+    let errors = report.error_count();
+    let warns = report.warn_count();
+    if errors > 0 || (a.deny_warnings && warns > 0) {
+        exit(1)
+    }
+    exit(0)
+}
+
+fn print_warnings(analyzer: &Analyzer, warnings: &[Diagnostic]) {
+    if warnings.is_empty() {
+        return;
+    }
+    let report: Report = warnings.iter().cloned().collect();
+    eprint!("{}", render::render(analyzer, &report));
+}
+
 fn main() {
-    let a = parse_args();
-    let kind = if a.main_memory {
-        MemoryKind::MainMemory {
-            io_bits: a.io,
-            burst_length: a.burst,
-            prefetch: a.prefetch,
-            page_bits: a.page_bits,
-        }
-    } else if a.ram {
-        MemoryKind::Ram
-    } else {
-        MemoryKind::Cache {
-            access_mode: a.mode,
-        }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (lint_mode, rest) = match argv.first().map(String::as_str) {
+        Some("lint") => (true, &argv[1..]),
+        _ => (false, &argv[..]),
     };
-    let assoc = if matches!(kind, MemoryKind::Cache { .. }) {
-        a.assoc
-    } else {
-        1
-    };
-    let spec = MemorySpec::builder()
-        .capacity_bytes(a.size)
-        .block_bytes(a.block)
-        .associativity(assoc)
-        .banks(a.banks)
-        .cell_tech(a.cell)
-        .node(a.node)
-        .kind(kind)
-        .optimization(a.opt)
+    let a = parse_args(rest);
+    if lint_mode {
+        run_lint(&a);
+    }
+
+    let spec = spec_from_args(&a);
+    // The classic path still validates eagerly, like the builder would.
+    if let Err(e) = MemorySpec::builder()
+        .capacity_bytes(spec.capacity_bytes)
+        .block_bytes(spec.block_bytes)
+        .associativity(spec.associativity)
+        .banks(spec.n_banks)
+        .cell_tech(spec.cell_tech)
+        .node(spec.node)
+        .kind(spec.kind)
+        .optimization(spec.opt.clone())
         .build()
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            exit(1)
-        });
+    {
+        eprintln!("error: {e}");
+        eprintln!("hint: run `cactid lint` with the same flags for a full diagnosis");
+        exit(1)
+    }
 
     println!(
         "cactid: {} bytes, block {}, assoc {}, banks {}, {} @ {}",
-        a.size, a.block, assoc, a.banks, a.cell, a.node
+        spec.capacity_bytes,
+        spec.block_bytes,
+        spec.associativity,
+        spec.n_banks,
+        spec.cell_tech,
+        spec.node
     );
+    let analyzer = Analyzer::new();
     if a.list_solutions {
-        let sols = solve(&spec).unwrap_or_else(|e| {
+        let sols = cactid_core::solve_with(&spec, &analyzer).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             exit(1)
         });
@@ -287,10 +383,11 @@ fn main() {
         }
         println!("{} feasible organizations", sols.len());
     } else {
-        let sol = optimize(&spec).unwrap_or_else(|e| {
+        let sol = cactid_core::optimize_with(&spec, &analyzer).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             exit(1)
         });
         print_solution(&sol);
+        print_warnings(&analyzer, &sol.warnings);
     }
 }

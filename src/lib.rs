@@ -7,6 +7,8 @@
 //!   sense amps, repeaters, crossbars).
 //! * [`core`] — the CACTI-D array-organization model, DRAM operational
 //!   models, main-memory chip model and the staged solution optimizer.
+//! * [`analyze`] — the diagnostics engine: twenty lint rules over specs,
+//!   organizations and solutions (`cactid lint`, `CD0001`–`CD0020`).
 //! * [`sim`] — the cycle-level CMP memory-hierarchy simulator.
 //! * [`workloads`] — synthetic NPB-like workload generators.
 //! * [`study`] — the paper's tables and figures (Tables 1–3, Figures 1,
@@ -14,6 +16,7 @@
 //!
 //! See the README for a guided tour and `examples/` for runnable
 //! demonstrations.
+pub use cactid_analyze as analyze;
 pub use cactid_circuit as circuit;
 pub use cactid_core as core;
 pub use cactid_tech as tech;

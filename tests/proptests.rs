@@ -1,12 +1,21 @@
-//! Property-based tests (proptest) on the core data structures and model
-//! invariants.
+//! Property-based tests on the core data structures and model invariants.
+//!
+//! Enabled with `cargo test --features proptest`. The suite originally used
+//! the `proptest` crate; to keep the workspace build hermetic (no registry
+//! dependencies) it now drives the same properties with the in-tree
+//! deterministic xorshift64* generator (`memsim::rng`), sampling a fixed
+//! number of cases per property from a fixed seed.
+#![cfg(feature = "proptest")]
 
 use cacti_d::core::{solve, AccessMode, MemoryKind, MemorySpec};
 use cacti_d::sim::cache::{LineState, SetAssocCache};
 use cacti_d::sim::config::{DramConfig, PagePolicy};
 use cacti_d::sim::dram::DramChannel;
+use cacti_d::sim::rng::XorShift64Star;
 use cacti_d::tech::{CellTechnology, TechNode, Technology};
-use proptest::prelude::*;
+
+/// Cases per property — matches the old `ProptestConfig::with_cases(64)`.
+const CASES: u64 = 64;
 
 fn dram_cfg(policy: PagePolicy) -> DramConfig {
     DramConfig {
@@ -23,17 +32,15 @@ fn dram_cfg(policy: PagePolicy) -> DramConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The spec builder never panics; it either builds or returns an error.
-    #[test]
-    fn spec_builder_total(
-        cap_shift in 10u32..34,
-        block_shift in 2u32..9,
-        assoc in 1u32..40,
-        banks_shift in 0u32..5,
-    ) {
+/// The spec builder never panics; it either builds or returns an error.
+#[test]
+fn spec_builder_total() {
+    let mut rng = XorShift64Star::new(0xCAC7_1D01);
+    for _ in 0..CASES {
+        let cap_shift = rng.next_in_range(10, 33) as u32;
+        let block_shift = rng.next_in_range(2, 8) as u32;
+        let assoc = rng.next_in_range(1, 39) as u32;
+        let banks_shift = rng.next_in_range(0, 4) as u32;
         let _ = MemorySpec::builder()
             .capacity_bytes(1u64 << cap_shift)
             .block_bytes(1 << block_shift)
@@ -41,18 +48,21 @@ proptest! {
             .banks(1 << banks_shift)
             .cell_tech(CellTechnology::Sram)
             .node(TechNode::N45)
-            .kind(MemoryKind::Cache { access_mode: AccessMode::Normal })
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
             .build();
     }
+}
 
-    /// Every solution of any feasible spec reports positive, finite
-    /// metrics, and capacity is conserved by the organization.
-    #[test]
-    fn solutions_are_physical(
-        cap_shift in 16u32..24,
-        cell_idx in 0usize..3,
-    ) {
-        let cell = CellTechnology::ALL[cell_idx];
+/// Every solution of any feasible spec reports positive, finite metrics,
+/// and capacity is conserved by the organization.
+#[test]
+fn solutions_are_physical() {
+    let mut rng = XorShift64Star::new(0xCAC7_1D02);
+    for _ in 0..CASES {
+        let cap_shift = rng.next_in_range(16, 23) as u32;
+        let cell = CellTechnology::ALL[rng.next_below(3) as usize];
         let spec = MemorySpec::builder()
             .capacity_bytes(1u64 << cap_shift)
             .block_bytes(64)
@@ -60,81 +70,100 @@ proptest! {
             .banks(1)
             .cell_tech(cell)
             .node(TechNode::N32)
-            .kind(MemoryKind::Cache { access_mode: AccessMode::Normal })
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
             .build()
             .unwrap();
         if let Ok(sols) = solve(&spec) {
             for s in sols {
-                prop_assert!(s.access_time.is_finite() && s.access_time > 0.0);
-                prop_assert!(s.area.is_finite() && s.area > 0.0);
-                prop_assert!(s.read_energy.is_finite() && s.read_energy > 0.0);
-                prop_assert!(s.leakage_power.is_finite() && s.leakage_power > 0.0);
-                let bits = s.org.rows(&spec) * s.org.cols(&spec)
-                    * s.org.ndwl as u64 * s.org.ndbl as u64;
-                prop_assert_eq!(bits, spec.bank_bytes() * 8);
+                assert!(s.access_time.is_finite() && s.access_time > 0.0);
+                assert!(s.area.is_finite() && s.area > 0.0);
+                assert!(s.read_energy.is_finite() && s.read_energy > 0.0);
+                assert!(s.leakage_power.is_finite() && s.leakage_power > 0.0);
+                let bits = s.org.rows(&spec)
+                    * s.org.cols(&spec)
+                    * u64::from(s.org.ndwl)
+                    * u64::from(s.org.ndbl);
+                assert_eq!(bits, spec.bank_bytes() * 8);
             }
         }
     }
+}
 
-    /// A cache never holds more lines than its capacity, a line inserted is
-    /// findable until evicted, and eviction reports a previously-present
-    /// line of the same set.
-    #[test]
-    fn cache_capacity_and_lookup_invariants(
-        ops in prop::collection::vec((0u64..4096, prop::bool::ANY), 1..300),
-    ) {
+/// A cache never holds more lines than its capacity, a line inserted is
+/// findable until evicted, and eviction reports a previously-present line
+/// of the same set.
+#[test]
+fn cache_capacity_and_lookup_invariants() {
+    let mut rng = XorShift64Star::new(0xCAC7_1D03);
+    for _ in 0..CASES {
+        let n_ops = rng.next_in_range(1, 299);
         let mut cache = SetAssocCache::new(4096, 64, 4); // 16 sets x 4 ways
-        for (line, _write) in &ops {
+        for _ in 0..n_ops {
+            let line = rng.next_below(4096);
             let addr = line * 64;
             let ev = cache.insert(addr, LineState::Shared);
-            prop_assert!(cache.probe(addr).is_some(), "inserted line present");
+            assert!(cache.probe(addr).is_some(), "inserted line present");
             if let Some(e) = ev {
                 // The evicted line maps to the same set as the inserted one.
-                prop_assert_eq!(cache.set_index(e.addr), cache.set_index(addr));
-                prop_assert!(cache.probe(e.addr).is_none(), "victim gone");
+                assert_eq!(cache.set_index(e.addr), cache.set_index(addr));
+                assert!(cache.probe(e.addr).is_none(), "victim gone");
             }
-            prop_assert!(cache.valid_lines() <= 64);
+            assert!(cache.valid_lines() <= 64);
         }
     }
+}
 
-    /// DRAM channel timing invariants under arbitrary request streams:
-    /// completions never precede their request by less than the minimum
-    /// service time, page hits only occur under the open-page policy, and
-    /// every access pays at least CL + burst.
-    #[test]
-    fn dram_channel_time_is_causal(
-        reqs in prop::collection::vec((0u64..(1 << 22), 0u64..50), 1..200),
-        open in prop::bool::ANY,
-    ) {
-        let policy = if open { PagePolicy::Open } else { PagePolicy::Closed };
+/// DRAM channel timing invariants under arbitrary request streams:
+/// completions never precede their request by less than the minimum
+/// service time, page hits only occur under the open-page policy, and
+/// every access pays at least CL + burst.
+#[test]
+fn dram_channel_time_is_causal() {
+    let mut rng = XorShift64Star::new(0xCAC7_1D04);
+    for _ in 0..CASES {
+        let open = rng.next_bool(0.5);
+        let policy = if open {
+            PagePolicy::Open
+        } else {
+            PagePolicy::Closed
+        };
         let cfg = dram_cfg(policy);
         let mut ch = DramChannel::new(cfg.clone());
         let mut now = 0u64;
-        for (addr, gap) in reqs {
-            now += gap;
+        let n_reqs = rng.next_in_range(1, 199);
+        for _ in 0..n_reqs {
+            let addr = rng.next_below(1 << 22);
+            now += rng.next_below(50);
             let a = ch.access(addr, now);
             let min_service = cfg.t_cl + cfg.t_burst;
-            prop_assert!(a.done_at >= now + min_service, "causality violated");
+            assert!(a.done_at >= now + min_service, "causality violated");
             if a.activated {
-                prop_assert!(a.done_at >= now + cfg.t_rcd + min_service);
+                assert!(a.done_at >= now + cfg.t_rcd + min_service);
             }
             if !open {
-                prop_assert!(!a.page_hit, "closed page never hits a row");
+                assert!(!a.page_hit, "closed page never hits a row");
             }
-            prop_assert!(!(a.page_hit && a.activated), "hit implies no activate");
+            assert!(!(a.page_hit && a.activated), "hit implies no activate");
         }
     }
+}
 
-    /// DRAM sense signal is monotone-decreasing in bitline length and the
-    /// technology tables interpolate within their anchors.
-    #[test]
-    fn dram_signal_monotone(rows_a in 16usize..256, extra in 1usize..256) {
-        let tech = Technology::new(TechNode::N32);
-        let cell = tech.cell(CellTechnology::CommDram);
+/// DRAM sense signal is monotone-decreasing in bitline length and the
+/// technology tables interpolate within their anchors.
+#[test]
+fn dram_signal_monotone() {
+    let mut rng = XorShift64Star::new(0xCAC7_1D05);
+    let tech = Technology::new(TechNode::N32);
+    let cell = tech.cell(CellTechnology::CommDram);
+    for _ in 0..CASES {
+        let rows_a = rng.next_in_range(16, 255) as usize;
+        let extra = rng.next_in_range(1, 255) as usize;
         let a = cell.dram_sense_signal(rows_a).unwrap();
         let b = cell.dram_sense_signal(rows_a + extra).unwrap();
-        prop_assert!(b < a);
-        prop_assert!(a < cell.vdd_cell / 2.0 + 1e-12);
+        assert!(b < a);
+        assert!(a < cell.vdd_cell / 2.0 + 1e-12);
     }
 }
 
