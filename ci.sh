@@ -12,4 +12,22 @@ cargo clippy --all-targets --workspace -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo doc --workspace --no-deps"
+# missing_docs is a workspace lint, so the docs must build warning-free.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== cactid lint smoke run (example specs)"
+# Exercise the CD0001-CD0022 analyzer end to end, not just in unit tests.
+# Each spec mirrors one examples/ configuration; lint must exit 0 with no
+# diagnostics for all of them (--deny-warnings makes warnings fatal).
+cargo build --release --quiet --bin cactid
+CACTID=target/release/cactid
+$CACTID lint --deny-warnings --size 2M --block 64 --assoc 8 --banks 1 \
+    --cell sram --node 32 >/dev/null
+$CACTID lint --deny-warnings --size 8M --assoc 16 --cell lp-dram --node 32 \
+    --mode sequential >/dev/null
+$CACTID lint --deny-warnings --size 128M --banks 8 --block 8 \
+    --cell comm-dram --node 78 --main-memory --io 8 --burst 8 \
+    --prefetch 8 --page 8K >/dev/null
+
 echo "ci: all checks passed"

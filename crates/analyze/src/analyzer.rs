@@ -7,7 +7,7 @@ use crate::rules;
 use cactid_core::lint::{Diagnostic, Report, SolutionLinter};
 use cactid_core::{CactiError, MemorySpec, OrgParams, Solution};
 
-/// The diagnostics engine: all twenty registered rules, runnable per
+/// The diagnostics engine: all twenty-two registered rules, runnable per
 /// stage over specs, organizations, and solutions.
 ///
 /// `Analyzer` implements [`SolutionLinter`], so it can be plugged into
@@ -19,7 +19,7 @@ pub struct Analyzer {
 }
 
 impl Analyzer {
-    /// Builds the engine with the full `CD0001`–`CD0020` registry.
+    /// Builds the engine with the full `CD0001`–`CD0022` registry.
     pub fn new() -> Self {
         Analyzer {
             rules: rules::all(),

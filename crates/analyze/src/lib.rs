@@ -2,7 +2,7 @@
 //!
 //! A lint engine over the three kinds of objects the CACTI-D model
 //! handles: input **specs**, candidate array **organizations**, and
-//! assembled **solutions**. Twenty rules (`CD0001`–`CD0020`) each enforce
+//! assembled **solutions**. Twenty-two rules (`CD0001`–`CD0022`) each enforce
 //! one invariant from the paper — power-of-two geometry and Table-1
 //! parameter bounds at the spec stage, `Ndwl`/`Ndbl`/mux legality and
 //! wordline-RC sanity at the organization stage, and the §2.3.2 DRAM

@@ -1,10 +1,10 @@
-//! The rule registry: twenty rules over three stages.
+//! The rule registry: twenty-two rules over three stages.
 //!
 //! | Codes            | Stage        | Module     |
 //! |------------------|--------------|------------|
 //! | `CD0001`–`CD0009`| Spec         | [`spec`]   |
 //! | `CD0010`–`CD0014`| Organization | [`org`]    |
-//! | `CD0015`–`CD0020`| Solution     | [`sol`]    |
+//! | `CD0015`–`CD0022`| Solution     | [`sol`]    |
 
 pub mod org;
 pub mod sol;
@@ -38,17 +38,17 @@ mod tests {
     use std::collections::BTreeSet;
 
     #[test]
-    fn registry_has_twenty_rules_with_unique_sorted_codes() {
+    fn registry_has_twenty_two_rules_with_unique_sorted_codes() {
         let rules = all();
-        assert_eq!(rules.len(), 20);
+        assert_eq!(rules.len(), 22);
         let codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
         let unique: BTreeSet<&str> = codes.iter().copied().collect();
-        assert_eq!(unique.len(), 20, "duplicate rule codes");
+        assert_eq!(unique.len(), 22, "duplicate rule codes");
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         assert_eq!(codes, sorted, "registry must be ordered by code");
         assert_eq!(codes[0], "CD0001");
-        assert_eq!(codes[19], "CD0020");
+        assert_eq!(codes[21], "CD0022");
     }
 
     #[test]

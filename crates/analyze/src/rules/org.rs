@@ -6,6 +6,7 @@ use crate::context::LintContext;
 use crate::rule::{Rule, Stage};
 use cactid_core::lint::{Diagnostic, Location, Report};
 use cactid_core::MemoryKind;
+use cactid_units::Seconds;
 
 /// All five organization-stage rules, ordered by code.
 pub fn all() -> Vec<Box<dyn Rule>> {
@@ -311,8 +312,8 @@ impl Rule for SubarrayDims {
         }
         // Dimensional consistency in SI units: the subarray must have
         // positive physical extent and a buildable aspect ratio.
-        let width_m = cols as f64 * ctx.cell.width;
-        let height_m = rows as f64 * ctx.cell.height;
+        let width_m = (cols as f64 * ctx.cell.width).value();
+        let height_m = (rows as f64 * ctx.cell.height).value();
         if width_m <= 0.0 || height_m <= 0.0 {
             report.push(Diagnostic::error(
                 self.code(),
@@ -343,13 +344,13 @@ impl Rule for SubarrayDims {
 pub struct WordlineRc;
 
 /// Hard feasibility cap on `0.38·R·C` of the wordline, matching the array
-/// model's gate [s].
-const WL_RC_LIMIT: f64 = 3.0e-9;
+/// model's gate.
+const WL_RC_LIMIT: Seconds = Seconds::from_si(3.0e-9);
 
 impl WordlineRc {
     /// Distributed-RC delay (`0.38·R·C`) of a wordline spanning `cols`
     /// cells.
-    fn wl_rc(ctx: &LintContext<'_>, cols: u64) -> f64 {
+    fn wl_rc(ctx: &LintContext<'_>, cols: u64) -> Seconds {
         0.38 * (ctx.cell.r_wordline_per_cell * cols as f64)
             * (ctx.cell.c_wordline_per_cell * cols as f64)
     }
@@ -384,8 +385,8 @@ impl Rule for WordlineRc {
                         "wordline RC of {:.2} ns over {cols} columns exceeds the {:.0} ns \
                          unrepeatered-wire budget; unlike the H-tree, a wordline cannot be \
                          repeatered at the cell pitch",
-                        rc * 1e9,
-                        WL_RC_LIMIT * 1e9
+                        rc.value() * 1e9,
+                        WL_RC_LIMIT.value() * 1e9
                     ),
                 )
                 .with_suggestion(Location::org("ndwl"), (org.ndwl.max(1) * 2).to_string()),
@@ -396,8 +397,8 @@ impl Rule for WordlineRc {
                 Location::org("ndwl"),
                 format!(
                     "wordline RC of {:.2} ns is within 20% of the {:.0} ns budget",
-                    rc * 1e9,
-                    WL_RC_LIMIT * 1e9
+                    rc.value() * 1e9,
+                    WL_RC_LIMIT.value() * 1e9
                 ),
             ));
         }

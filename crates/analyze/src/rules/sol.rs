@@ -1,14 +1,15 @@
-//! Solution-stage rules `CD0015`–`CD0020`: DRAM command-timing
-//! inequalities, metric sanity, refresh/structure consistency, and sense
-//! margins on assembled solutions.
+//! Solution-stage rules `CD0015`–`CD0022`: DRAM command-timing
+//! inequalities, metric sanity, refresh/structure consistency, sense
+//! margins, and physical-plausibility windows on assembled solutions.
 
 use crate::context::LintContext;
 use crate::rule::{Rule, Stage};
 use crate::rules::{approx_eq, approx_ge};
 use cactid_core::lint::{Diagnostic, Location, Report};
 use cactid_core::{main_memory, MemoryKind};
+use cactid_units::{Joules, Seconds, Watts};
 
-/// All six solution-stage rules, ordered by code.
+/// All eight solution-stage rules, ordered by code.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(DramTimingInequalities),
@@ -17,6 +18,8 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(AreaEfficiency),
         Box::new(EnergyOrdering),
         Box::new(SenseMargin),
+        Box::new(AccessTimePlausibility),
+        Box::new(EnergyPlausibility),
     ]
 }
 
@@ -44,11 +47,11 @@ impl Rule for DramTimingInequalities {
         let Some(mm) = &sol.main_memory else { return };
         let t = &mm.timing;
         for (field, v) in [
-            ("timing.t_rcd", t.t_rcd),
-            ("timing.cas_latency", t.cas_latency),
-            ("timing.t_ras", t.t_ras),
-            ("timing.t_rp", t.t_rp),
-            ("timing.t_rc", t.t_rc),
+            ("timing.t_rcd", t.t_rcd.value()),
+            ("timing.cas_latency", t.cas_latency.value()),
+            ("timing.t_ras", t.t_ras.value()),
+            ("timing.t_rp", t.t_rp.value()),
+            ("timing.t_rc", t.t_rc.value()),
         ] {
             if !(v.is_finite() && v > 0.0) {
                 report.push(Diagnostic::error(
@@ -60,7 +63,7 @@ impl Rule for DramTimingInequalities {
             }
         }
         let readout = t.t_rcd + t.cas_latency;
-        if !approx_ge(sol.access_time, readout) {
+        if !approx_ge(sol.access_time.value(), readout.value()) {
             report.push(
                 Diagnostic::error(
                     self.code(),
@@ -69,16 +72,19 @@ impl Rule for DramTimingInequalities {
                         "tRCD ({:.2} ns) + CAS ({:.2} ns) = {:.2} ns exceeds the reported \
                          access time of {:.2} ns — data cannot be out before the column \
                          path finishes",
-                        t.t_rcd * 1e9,
-                        t.cas_latency * 1e9,
-                        readout * 1e9,
-                        sol.access_time * 1e9
+                        t.t_rcd.value() * 1e9,
+                        t.cas_latency.value() * 1e9,
+                        readout.value() * 1e9,
+                        sol.access_time.value() * 1e9
                     ),
                 )
-                .with_suggestion(Location::solution("access_time"), format!("{readout:.4e}")),
+                .with_suggestion(
+                    Location::solution("access_time"),
+                    format!("{:.4e}", readout.value()),
+                ),
             );
         }
-        if !approx_eq(t.t_rc, t.t_ras + t.t_rp) {
+        if !approx_eq(t.t_rc.value(), (t.t_ras + t.t_rp).value()) {
             report.push(
                 Diagnostic::error(
                     self.code(),
@@ -86,47 +92,47 @@ impl Rule for DramTimingInequalities {
                     format!(
                         "tRC ({:.2} ns) ≠ tRAS + tRP ({:.2} ns): the row cycle is the \
                          restore window plus precharge by definition",
-                        t.t_rc * 1e9,
-                        (t.t_ras + t.t_rp) * 1e9
+                        t.t_rc.value() * 1e9,
+                        (t.t_ras + t.t_rp).value() * 1e9
                     ),
                 )
                 .with_suggestion(
                     Location::main_memory("timing.t_rc"),
-                    format!("{:.4e}", t.t_ras + t.t_rp),
+                    format!("{:.4e}", (t.t_ras + t.t_rp).value()),
                 ),
             );
         }
-        if !approx_ge(t.t_ras, t.t_rcd) {
+        if !approx_ge(t.t_ras.value(), t.t_rcd.value()) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::main_memory("timing.t_ras"),
                 format!(
                     "tRAS ({:.2} ns) is below tRCD ({:.2} ns): the row would close before \
                      its cells finish restoring",
-                    t.t_ras * 1e9,
-                    t.t_rcd * 1e9
+                    t.t_ras.value() * 1e9,
+                    t.t_rcd.value() * 1e9
                 ),
             ));
         }
-        if !(t.t_rrd.is_finite() && t.t_rrd > 0.0) {
+        if !(t.t_rrd.is_finite() && t.t_rrd.value() > 0.0) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::main_memory("timing.t_rrd"),
                 format!(
                     "tRRD = {:.3e} s must be positive — back-to-back activates are \
                      rate-limited by peak current",
-                    t.t_rrd
+                    t.t_rrd.value()
                 ),
             ));
-        } else if !approx_ge(t.t_rc, t.t_rrd) {
+        } else if !approx_ge(t.t_rc.value(), t.t_rrd.value()) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::main_memory("timing.t_rrd"),
                 format!(
                     "tRRD ({:.2} ns) exceeds tRC ({:.2} ns): bank interleaving would be \
                      slower than reusing one bank",
-                    t.t_rrd * 1e9,
-                    t.t_rc * 1e9
+                    t.t_rrd.value() * 1e9,
+                    t.t_rc.value() * 1e9
                 ),
             ));
         }
@@ -153,12 +159,12 @@ impl Rule for FiniteMetrics {
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let strict = [
-            ("access_time", sol.access_time),
-            ("random_cycle", sol.random_cycle),
-            ("interleave_cycle", sol.interleave_cycle),
-            ("area", sol.area),
-            ("read_energy", sol.read_energy),
-            ("write_energy", sol.write_energy),
+            ("access_time", sol.access_time.value()),
+            ("random_cycle", sol.random_cycle.value()),
+            ("interleave_cycle", sol.interleave_cycle.value()),
+            ("area", sol.area.value()),
+            ("read_energy", sol.read_energy.value()),
+            ("write_energy", sol.write_energy.value()),
         ];
         for (field, v) in strict {
             if !(v.is_finite() && v > 0.0) {
@@ -170,8 +176,8 @@ impl Rule for FiniteMetrics {
             }
         }
         for (field, v) in [
-            ("leakage_power", sol.leakage_power),
-            ("refresh_power", sol.refresh_power),
+            ("leakage_power", sol.leakage_power.value()),
+            ("refresh_power", sol.refresh_power.value()),
         ] {
             if !(v.is_finite() && v >= 0.0) {
                 report.push(Diagnostic::error(
@@ -229,18 +235,19 @@ impl Rule for RefreshConsistency {
             ));
         }
         if spec.cell_tech.is_dram() {
-            if sol.refresh_power <= 0.0 {
+            if sol.refresh_power <= Watts::ZERO {
                 report.push(Diagnostic::error(
                     self.code(),
                     Location::solution("refresh_power"),
                     format!(
                         "{} cells leak their storage charge (retention {:.2e} s) but the \
                          solution pays no refresh power",
-                        spec.cell_tech, ctx.cell.retention_time
+                        spec.cell_tech,
+                        ctx.cell.retention_time.value()
                     ),
                 ));
             }
-        } else if sol.refresh_power != 0.0 {
+        } else if sol.refresh_power != Watts::ZERO {
             report.push(
                 Diagnostic::error(
                     self.code(),
@@ -248,7 +255,7 @@ impl Rule for RefreshConsistency {
                     format!(
                         "an SRAM solution reports {:.3e} W of refresh power; static cells \
                          never refresh",
-                        sol.refresh_power
+                        sol.refresh_power.value()
                     ),
                 )
                 .with_suggestion(Location::solution("refresh_power"), "0.0"),
@@ -321,9 +328,9 @@ impl Rule for EnergyOrdering {
         let Some(mm) = &sol.main_memory else { return };
         let e = &mm.energies;
         for (field, v) in [
-            ("energies.activate", e.activate),
-            ("energies.read", e.read),
-            ("energies.write", e.write),
+            ("energies.activate", e.activate.value()),
+            ("energies.read", e.read.value()),
+            ("energies.write", e.write.value()),
         ] {
             if !(v.is_finite() && v > 0.0) {
                 report.push(Diagnostic::error(
@@ -334,18 +341,19 @@ impl Rule for EnergyOrdering {
                 return;
             }
         }
-        if !approx_ge(e.write, e.read) {
+        if !approx_ge(e.write.value(), e.read.value()) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::main_memory("energies.write"),
                 format!(
                     "WRITE energy ({:.3e} J) is below READ ({:.3e} J): a write drives the \
                      same column path and restores cells on top",
-                    e.write, e.read
+                    e.write.value(),
+                    e.read.value()
                 ),
             ));
         }
-        if !approx_ge(e.activate, e.read) {
+        if !approx_ge(e.activate.value(), e.read.value()) {
             report.push(Diagnostic::warn(
                 self.code(),
                 Location::main_memory("energies.activate"),
@@ -353,19 +361,23 @@ impl Rule for EnergyOrdering {
                     "ACTIVATE energy ({:.3e} J) does not dominate READ ({:.3e} J) — \
                      unusual for a page-based DRAM, where sensing the row is the \
                      expensive step",
-                    e.activate, e.read
+                    e.activate.value(),
+                    e.read.value()
                 ),
             ));
         }
-        if !approx_ge(e.standby_power, main_memory::cal::STANDBY_IO_POWER) {
+        if !approx_ge(
+            e.standby_power.value(),
+            main_memory::cal::STANDBY_IO_POWER.value(),
+        ) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::main_memory("energies.standby_power"),
                 format!(
                     "standby power {:.3} W is below the always-on interface floor of \
                      {:.3} W (DLL, input buffers, charge pumps)",
-                    e.standby_power,
-                    main_memory::cal::STANDBY_IO_POWER
+                    e.standby_power.value(),
+                    main_memory::cal::STANDBY_IO_POWER.value()
                 ),
             ));
         }
@@ -391,14 +403,14 @@ impl Rule for SenseMargin {
     }
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
-        let signal = sol.data.sense_signal;
+        let signal = sol.data.sense_signal.value();
         if !(signal.is_finite() && signal > 0.0) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::solution("data.sense_signal"),
                 format!("sense signal {signal:.3e} V must be positive and finite"),
             ));
-        } else if !approx_ge(signal, ctx.cell.v_sense_margin) {
+        } else if !approx_ge(signal, ctx.cell.v_sense_margin.value()) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::solution("data.sense_signal"),
@@ -407,18 +419,126 @@ impl Rule for SenseMargin {
                      {:.0} mV — reads would be nondeterministic",
                     signal * 1e3,
                     ctx.spec.cell_tech,
-                    ctx.cell.v_sense_margin * 1e3
+                    ctx.cell.v_sense_margin.value() * 1e3
                 ),
             ));
         }
         if let Some(tag) = &sol.tag {
-            if !(tag.array.sense_signal.is_finite() && tag.array.sense_signal > 0.0) {
+            let tag_signal = tag.array.sense_signal.value();
+            if !(tag_signal.is_finite() && tag_signal > 0.0) {
                 report.push(Diagnostic::error(
                     self.code(),
                     Location::solution("tag.array.sense_signal"),
                     format!(
-                        "tag array sense signal {:.3e} V must be positive and finite",
-                        tag.array.sense_signal
+                        "tag array sense signal {tag_signal:.3e} V must be positive and finite"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `CD0021`: the reported access and cycle times land inside the window
+/// any on-chip memory at these nodes can physically occupy — [1 ps, 1 ms].
+/// Values outside it are dimensionally valid `Seconds` but betray a unit
+/// mix-up at a `from_si`/`value` boundary (e.g. nanoseconds fed as
+/// seconds), which the typed algebra alone cannot catch.
+pub struct AccessTimePlausibility;
+
+/// Fastest plausible access for any array the model can build: 1 ps.
+const ACCESS_TIME_MIN: Seconds = Seconds::from_si(1.0e-12);
+/// Slowest plausible access before the design is nonsense: 1 ms.
+const ACCESS_TIME_MAX: Seconds = Seconds::from_si(1.0e-3);
+
+impl Rule for AccessTimePlausibility {
+    fn code(&self) -> &'static str {
+        "CD0021"
+    }
+    fn stage(&self) -> Stage {
+        Stage::Solution
+    }
+    fn summary(&self) -> &'static str {
+        "access and cycle times must land in the physically plausible [1 ps, 1 ms] window"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§2.3"
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
+        let Some(sol) = ctx.solution else { return };
+        for (field, t) in [
+            ("access_time", sol.access_time),
+            ("random_cycle", sol.random_cycle),
+            ("interleave_cycle", sol.interleave_cycle),
+        ] {
+            // Non-finite and non-positive values are CD0016's to report.
+            if !(t.is_finite() && t > Seconds::ZERO) {
+                continue;
+            }
+            if t < ACCESS_TIME_MIN || t > ACCESS_TIME_MAX {
+                report.push(Diagnostic::warn(
+                    self.code(),
+                    Location::solution(field),
+                    format!(
+                        "{field} = {:.3e} s lies outside the plausible [1 ps, 1 ms] \
+                         window — a time this far out usually means a value crossed a \
+                         `from_si`/`value` boundary in the wrong unit",
+                        t.value()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `CD0022`: per-access dynamic energies land inside [1 fJ, 1 µJ] — the
+/// window spanning a single minimum-geometry gate toggle up to the largest
+/// monolithic array the model can produce. Like `CD0021`, this guards the
+/// raw-`f64` escape hatches, not the algebra.
+pub struct EnergyPlausibility;
+
+/// Least plausible per-access dynamic energy: 1 fJ.
+const DYN_ENERGY_MIN: Joules = Joules::from_si(1.0e-15);
+/// Greatest plausible per-access dynamic energy: 1 µJ.
+const DYN_ENERGY_MAX: Joules = Joules::from_si(1.0e-6);
+
+impl Rule for EnergyPlausibility {
+    fn code(&self) -> &'static str {
+        "CD0022"
+    }
+    fn stage(&self) -> Stage {
+        Stage::Solution
+    }
+    fn summary(&self) -> &'static str {
+        "per-access dynamic energies must land in the plausible [1 fJ, 1 µJ] window"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§2.4"
+    }
+    fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
+        let Some(sol) = ctx.solution else { return };
+        let mut energies = vec![
+            ("read_energy", sol.read_energy),
+            ("write_energy", sol.write_energy),
+        ];
+        if let Some(mm) = &sol.main_memory {
+            energies.push(("main_memory.energies.activate", mm.energies.activate));
+            energies.push(("main_memory.energies.read", mm.energies.read));
+            energies.push(("main_memory.energies.write", mm.energies.write));
+        }
+        for (field, e) in energies {
+            // Non-finite and non-positive values are CD0016/CD0019 material.
+            if !(e.is_finite() && e > Joules::ZERO) {
+                continue;
+            }
+            if e < DYN_ENERGY_MIN || e > DYN_ENERGY_MAX {
+                report.push(Diagnostic::warn(
+                    self.code(),
+                    Location::solution(field),
+                    format!(
+                        "{field} = {:.3e} J lies outside the plausible [1 fJ, 1 µJ] \
+                         window — check for a pJ/nJ scale slip at a serialization \
+                         boundary",
+                        e.value()
                     ),
                 ));
             }
@@ -431,6 +551,7 @@ mod tests {
     use super::*;
     use cactid_core::{AccessMode, MemorySpec, Solution};
     use cactid_tech::{CellTechnology, TechNode};
+    use cactid_units::{Seconds, SquareMeters};
 
     fn cache_solution(cell: CellTechnology) -> (MemorySpec, Solution) {
         let spec = MemorySpec::builder()
@@ -514,7 +635,7 @@ mod tests {
         {
             let mm = sol.main_memory.as_mut().unwrap();
             mm.timing.t_rc = mm.timing.t_ras; // drops tRP
-            mm.timing.t_rrd = -1e-9;
+            mm.timing.t_rrd = Seconds::from_si(-1e-9);
         }
         let r = run(&DramTimingInequalities, &spec, &sol);
         assert!(r.error_count() >= 2, "{:?}", r.as_slice());
@@ -523,8 +644,8 @@ mod tests {
     #[test]
     fn cd0016_triggers_on_nan_access_time() {
         let (spec, mut sol) = cache_solution(CellTechnology::Sram);
-        sol.access_time = f64::NAN;
-        sol.area = -1.0;
+        sol.access_time = Seconds::from_si(f64::NAN);
+        sol.area = SquareMeters::from_si(-1.0);
         let r = run(&FiniteMetrics, &spec, &sol);
         assert_eq!(r.error_count(), 2);
     }
@@ -532,10 +653,10 @@ mod tests {
     #[test]
     fn cd0017_triggers_on_missing_refresh_and_on_sram_refresh() {
         let (lp_spec, mut lp_sol) = cache_solution(CellTechnology::LpDram);
-        lp_sol.refresh_power = 0.0;
+        lp_sol.refresh_power = Watts::ZERO;
         assert!(!run(&RefreshConsistency, &lp_spec, &lp_sol).is_clean());
         let (sram_spec, mut sram_sol) = cache_solution(CellTechnology::Sram);
-        sram_sol.refresh_power = 0.5;
+        sram_sol.refresh_power = Watts::from_si(0.5);
         let r = run(&RefreshConsistency, &sram_spec, &sram_sol);
         assert!(!r.is_clean());
         assert_eq!(
@@ -567,10 +688,43 @@ mod tests {
         {
             let mm = sol.main_memory.as_mut().unwrap();
             mm.energies.write = mm.energies.read / 2.0;
-            mm.energies.standby_power = 0.0;
+            mm.energies.standby_power = Watts::ZERO;
         }
         let r = run(&EnergyOrdering, &spec, &sol);
         assert_eq!(r.error_count(), 2, "{:?}", r.as_slice());
+    }
+
+    #[test]
+    fn cd0021_triggers_on_implausible_access_time() {
+        let (spec, mut sol) = cache_solution(CellTechnology::Sram);
+        // A nanosecond value accidentally recorded as whole seconds.
+        sol.access_time = Seconds::from_si(3.2);
+        let r = run(&AccessTimePlausibility, &spec, &sol);
+        assert_eq!(r.warn_count(), 1, "{:?}", r.as_slice());
+        assert!(r.iter().next().unwrap().message.contains("1 ps"));
+        // Sub-picosecond is equally implausible.
+        sol.access_time = Seconds::from_si(1.0e-14);
+        assert_eq!(run(&AccessTimePlausibility, &spec, &sol).warn_count(), 1);
+    }
+
+    #[test]
+    fn cd0021_leaves_nonfinite_times_to_cd0016() {
+        let (spec, mut sol) = cache_solution(CellTechnology::Sram);
+        sol.access_time = Seconds::from_si(f64::NAN);
+        assert!(run(&AccessTimePlausibility, &spec, &sol).is_empty());
+    }
+
+    #[test]
+    fn cd0022_triggers_on_implausible_energy() {
+        let (spec, mut sol) = mm_solution();
+        // A nanojoule value accidentally recorded as whole joules.
+        sol.read_energy = Joules::from_si(2.0);
+        {
+            let mm = sol.main_memory.as_mut().unwrap();
+            mm.energies.activate = Joules::from_si(1.0e-17); // below 1 fJ
+        }
+        let r = run(&EnergyPlausibility, &spec, &sol);
+        assert_eq!(r.warn_count(), 2, "{:?}", r.as_slice());
     }
 
     #[test]

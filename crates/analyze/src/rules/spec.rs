@@ -7,6 +7,7 @@ use crate::rule::{Rule, Stage};
 use cactid_core::lint::{Diagnostic, Location, Report};
 use cactid_core::MemoryKind;
 use cactid_tech::{CellTechnology, TechNode};
+use cactid_units::{Amperes, Farads, Ohms, Seconds, Volts};
 
 /// All nine spec-stage rules, ordered by code.
 pub fn all() -> Vec<Box<dyn Rule>> {
@@ -305,13 +306,13 @@ impl Rule for CellTable1Bounds {
     }
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let c = &ctx.cell;
-        if !(0.3..=3.0).contains(&c.vdd_cell) {
+        if !(0.3..=3.0).contains(&c.vdd_cell.value()) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::cell("vdd_cell"),
                 format!(
                     "cell VDD {:.2} V is outside the plausible 0.3–3.0 V band",
-                    c.vdd_cell
+                    c.vdd_cell.value()
                 ),
             ));
         }
@@ -321,39 +322,43 @@ impl Rule for CellTable1Bounds {
                 Location::cell("vpp"),
                 format!(
                     "boosted wordline voltage {:.2} V is below the cell VDD {:.2} V",
-                    c.vpp, c.vdd_cell
+                    c.vpp.value(),
+                    c.vdd_cell.value()
                 ),
             ));
         }
-        if !(c.v_sense_margin > 0.0 && c.v_sense_margin <= c.vdd_cell / 2.0) {
+        if !(c.v_sense_margin > Volts::ZERO && c.v_sense_margin <= c.vdd_cell / 2.0) {
             report.push(Diagnostic::error(
                 self.code(),
                 Location::cell("v_sense_margin"),
                 format!(
                     "sense margin {:.0} mV must be positive and at most VDD/2 = {:.0} mV",
-                    c.v_sense_margin * 1e3,
-                    c.vdd_cell / 2.0 * 1e3
+                    c.v_sense_margin.value() * 1e3,
+                    c.vdd_cell.value() / 2.0 * 1e3
                 ),
             ));
         }
         if c.technology.is_dram() {
-            if !(c.c_storage > 0.0 && c.retention_time.is_finite() && c.retention_time > 0.0) {
+            if !(c.c_storage > Farads::ZERO
+                && c.retention_time.is_finite()
+                && c.retention_time > Seconds::ZERO)
+            {
                 report.push(Diagnostic::error(
                     self.code(),
                     Location::cell("retention_time"),
                     "a DRAM cell needs a positive storage capacitance and a finite retention time",
                 ));
-            } else if !(5e-15..=100e-15).contains(&c.c_storage) {
+            } else if !(5e-15..=100e-15).contains(&c.c_storage.value()) {
                 report.push(Diagnostic::warn(
                     self.code(),
                     Location::cell("c_storage"),
                     format!(
                         "storage capacitance {:.1} fF is outside the 5–100 fF Table-1 band",
-                        c.c_storage * 1e15
+                        c.c_storage.value() * 1e15
                     ),
                 ));
             }
-            if c.r_access_on <= 0.0 {
+            if c.r_access_on <= Ohms::ZERO {
                 report.push(Diagnostic::error(
                     self.code(),
                     Location::cell("r_access_on"),
@@ -361,7 +366,7 @@ impl Rule for CellTable1Bounds {
                 ));
             }
         } else {
-            if c.i_cell_read <= 0.0 {
+            if c.i_cell_read <= Amperes::ZERO {
                 report.push(Diagnostic::error(
                     self.code(),
                     Location::cell("i_cell_read"),
@@ -754,7 +759,7 @@ mod tests {
         // A corrupted context (vpp below vdd) triggers.
         let spec = cache_spec();
         let mut ctx = LintContext::for_spec(&spec);
-        ctx.cell.vpp = ctx.cell.vdd_cell - 0.2;
+        ctx.cell.vpp = ctx.cell.vdd_cell - Volts::from_si(0.2);
         let mut report = Report::new();
         CellTable1Bounds.check(&ctx, &mut report);
         assert!(!report.is_clean());

@@ -9,6 +9,7 @@
 //! horizontally.
 
 use cactid_tech::DeviceParams;
+use cactid_units::{Farads, Meters, SquareMeters};
 
 /// Contacted gate pitch in feature sizes — the horizontal extent of one
 /// folded transistor leg (gate + contact + spacing).
@@ -21,15 +22,15 @@ pub const GATE_OVERHEAD_F: f64 = 10.0;
 /// Computed layout footprint of a gate.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GateArea {
-    /// Horizontal extent [m].
-    pub width: f64,
-    /// Vertical extent [m].
-    pub height: f64,
+    /// Horizontal extent.
+    pub width: Meters,
+    /// Vertical extent.
+    pub height: Meters,
 }
 
 impl GateArea {
-    /// Footprint area [m²].
-    pub fn area(&self) -> f64 {
+    /// Footprint area.
+    pub fn area(&self) -> SquareMeters {
         self.width * self.height
     }
 }
@@ -40,8 +41,8 @@ impl GateArea {
 /// # Panics
 ///
 /// Panics if `w`, `h_max` or `f` is not positive.
-pub fn transistor_area(w: f64, h_max: f64, f: f64) -> GateArea {
-    assert!(w > 0.0 && h_max > 0.0 && f > 0.0);
+pub fn transistor_area(w: Meters, h_max: Meters, f: Meters) -> GateArea {
+    assert!(w > Meters::ZERO && h_max > Meters::ZERO && f > Meters::ZERO);
     let legs = (w / h_max).ceil().max(1.0);
     let leg_h = (w / legs).min(h_max);
     GateArea {
@@ -53,8 +54,8 @@ pub fn transistor_area(w: f64, h_max: f64, f: f64) -> GateArea {
 /// Area of a static CMOS gate with NMOS width `w_n` and PMOS width `w_p`
 /// stacked vertically, each folded to fit within `h_max` total height
 /// (split between the N and P devices in proportion to their widths).
-pub fn gate_area(w_n: f64, w_p: f64, h_max: f64, f: f64) -> GateArea {
-    assert!(w_n > 0.0 && w_p > 0.0);
+pub fn gate_area(w_n: Meters, w_p: Meters, h_max: Meters, f: Meters) -> GateArea {
+    assert!(w_n > Meters::ZERO && w_p > Meters::ZERO);
     let h_n = h_max * w_n / (w_n + w_p);
     let h_p = h_max - h_n;
     let n = transistor_area(w_n, h_n.max(f), f);
@@ -67,7 +68,12 @@ pub fn gate_area(w_n: f64, w_p: f64, h_max: f64, f: f64) -> GateArea {
 
 /// Area of an inverter sized for input capacitance `c_in` under `dev`,
 /// pitch-matched to `h_max`.
-pub fn inverter_area_for_cap(dev: &DeviceParams, c_in: f64, h_max: f64, f: f64) -> GateArea {
+pub fn inverter_area_for_cap(
+    dev: &DeviceParams,
+    c_in: Farads,
+    h_max: Meters,
+    f: Meters,
+) -> GateArea {
     let w_n = (c_in / ((1.0 + dev.p_to_n_ratio) * dev.c_gate)).max(dev.min_width);
     let w_p = w_n * dev.p_to_n_ratio;
     gate_area(w_n, w_p, h_max, f)
@@ -78,7 +84,7 @@ mod tests {
     use super::*;
     use cactid_tech::{DeviceType, TechNode, Technology};
 
-    const F: f64 = 32e-9;
+    const F: Meters = Meters::from_si(32e-9);
 
     #[test]
     fn area_grows_with_width() {
@@ -90,11 +96,11 @@ mod tests {
     #[test]
     fn folding_kicks_in_beyond_leg_height() {
         let unfolded = transistor_area(40.0 * F, 50.0 * F, F);
-        assert!((unfolded.width - GATE_PITCH_F * F).abs() < 1e-12);
+        assert!((unfolded.width - GATE_PITCH_F * F).abs() < Meters::from_si(1e-12));
         let folded = transistor_area(200.0 * F, 50.0 * F, F);
         // 200F / 50F = 4 legs.
-        assert!((folded.width - 4.0 * GATE_PITCH_F * F).abs() < 1e-12);
-        assert!(folded.height <= 50.0 * F + 1e-12);
+        assert!((folded.width - 4.0 * GATE_PITCH_F * F).abs() < Meters::from_si(1e-12));
+        assert!(folded.height <= 50.0 * F + Meters::from_si(1e-12));
     }
 
     #[test]
@@ -112,7 +118,7 @@ mod tests {
     fn inverter_area_respects_min_width() {
         let tech = Technology::new(TechNode::N32);
         let dev = tech.device(DeviceType::Hp);
-        let tiny = inverter_area_for_cap(&dev, 1e-18, 50.0 * F, F);
+        let tiny = inverter_area_for_cap(&dev, Farads::from_si(1e-18), 50.0 * F, F);
         let min_expected = gate_area(dev.min_width, dev.min_width * 2.0, 50.0 * F, F);
         assert!((tiny.area() - min_expected.area()).abs() / min_expected.area() < 1e-9);
     }
@@ -120,6 +126,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_zero_width() {
-        transistor_area(0.0, 1.0, 1e-9);
+        transistor_area(Meters::ZERO, Meters::from_si(1.0), Meters::from_si(1e-9));
     }
 }

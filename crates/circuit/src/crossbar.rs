@@ -6,19 +6,20 @@ use crate::driver::BufferChain;
 use crate::repeater::RepeatedWire;
 use crate::BlockResult;
 use cactid_tech::{DeviceParams, WireParams};
+use cactid_units::{energy_cv2, Joules, Meters, Seconds};
 
 /// An `n_in × n_out` matrix crossbar carrying `width_bits`-wide flits over
-/// a physical span of `side_length` meters per dimension.
+/// a physical span of `side_length` per dimension.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Crossbar {
     /// Number of input ports.
     pub n_in: usize,
     /// Number of output ports.
     pub n_out: usize,
-    /// Datapath width per port [bits].
+    /// Datapath width per port \[bits\].
     pub width_bits: usize,
-    /// Physical length a flit traverses in each dimension [m].
-    pub side_length: f64,
+    /// Physical length a flit traverses in each dimension.
+    pub side_length: Meters,
 }
 
 impl Crossbar {
@@ -27,9 +28,9 @@ impl Crossbar {
     /// # Panics
     ///
     /// Panics if any dimension is zero or `side_length` is not positive.
-    pub fn new(n_in: usize, n_out: usize, width_bits: usize, side_length: f64) -> Crossbar {
+    pub fn new(n_in: usize, n_out: usize, width_bits: usize, side_length: Meters) -> Crossbar {
         assert!(n_in > 0 && n_out > 0 && width_bits > 0);
-        assert!(side_length > 0.0);
+        assert!(side_length > Meters::ZERO);
         Crossbar {
             n_in,
             n_out,
@@ -48,22 +49,19 @@ impl Crossbar {
         let crosspoint_w = 10.0 * dev.min_width;
         let c_crosspoints = dev.cap_drain(crosspoint_w) * self.n_out as f64;
         let row = RepeatedWire::design(dev, wire, self.side_length, 1.0);
-        let row_eval = row.evaluate(dev, wire, 0.0);
+        let row_eval = row.evaluate(dev, wire, Seconds::ZERO);
         let col = RepeatedWire::design(dev, wire, self.side_length, 1.0);
         let col_eval = col.evaluate(dev, wire, row_eval.ramp_out);
         // Input driver sized for the wire + crosspoint load.
         let c_line = wire.cap(self.side_length) + c_crosspoints;
-        let drv = BufferChain::design(dev, dev.c_inv_min(), c_line).evaluate(dev, 0.0);
+        let drv = BufferChain::design(dev, dev.c_inv_min(), c_line).evaluate(dev, Seconds::ZERO);
 
         let delay = drv.delay + row_eval.delay + col_eval.delay;
         let bits = self.width_bits as f64;
         // Half the bits toggle on average.
         let energy = 0.5
             * bits
-            * (drv.energy
-                + row_eval.energy
-                + col_eval.energy
-                + 0.5 * c_crosspoints * dev.vdd * dev.vdd);
+            * (drv.energy + row_eval.energy + col_eval.energy + energy_cv2(c_crosspoints, dev.vdd));
         let per_line_leak = drv.leakage + row_eval.leakage + col_eval.leakage;
         let leakage = bits * (self.n_in + self.n_out) as f64 * per_line_leak;
         // Wiring-dominated area: n_in·width tracks × n_out·width tracks.
@@ -80,9 +78,9 @@ impl Crossbar {
         }
     }
 
-    /// Energy to move `bytes` of payload through the crossbar, in joules —
-    /// scales the per-flit evaluation by the number of flits needed.
-    pub fn transfer_energy(&self, dev: &DeviceParams, wire: &WireParams, bytes: usize) -> f64 {
+    /// Energy to move `bytes` of payload through the crossbar — scales the
+    /// per-flit evaluation by the number of flits needed.
+    pub fn transfer_energy(&self, dev: &DeviceParams, wire: &WireParams, bytes: usize) -> Joules {
         let flits = (bytes * 8).div_ceil(self.width_bits);
         self.evaluate(dev, wire).energy * flits as f64
     }
@@ -102,17 +100,21 @@ mod tests {
     fn eight_by_eight_llc_crossbar_is_sub_ns() {
         let (d, w) = setup();
         // ~5 mm span, 128-bit flits: the LLC-study configuration scale.
-        let xbar = Crossbar::new(8, 8, 128, 5e-3);
+        let xbar = Crossbar::new(8, 8, 128, Meters::mm(5.0));
         let r = xbar.evaluate(&d, &w);
-        assert!(r.delay > 50e-12 && r.delay < 2e-9, "{:e}", r.delay);
-        assert!(r.energy > 0.0);
+        assert!(
+            r.delay > Seconds::ps(50.0) && r.delay < Seconds::ns(2.0),
+            "{}",
+            r.delay
+        );
+        assert!(r.energy > Joules::ZERO);
     }
 
     #[test]
     fn wider_flits_cost_more_energy() {
         let (d, w) = setup();
-        let narrow = Crossbar::new(8, 8, 64, 3e-3).evaluate(&d, &w);
-        let wide = Crossbar::new(8, 8, 256, 3e-3).evaluate(&d, &w);
+        let narrow = Crossbar::new(8, 8, 64, Meters::mm(3.0)).evaluate(&d, &w);
+        let wide = Crossbar::new(8, 8, 256, Meters::mm(3.0)).evaluate(&d, &w);
         assert!(wide.energy > narrow.energy);
         assert_eq!(wide.delay, narrow.delay);
     }
@@ -120,7 +122,7 @@ mod tests {
     #[test]
     fn transfer_energy_scales_with_payload() {
         let (d, w) = setup();
-        let xbar = Crossbar::new(8, 8, 128, 3e-3);
+        let xbar = Crossbar::new(8, 8, 128, Meters::mm(3.0));
         let e64 = xbar.transfer_energy(&d, &w, 64);
         let e128 = xbar.transfer_energy(&d, &w, 128);
         assert!((e128 / e64 - 2.0).abs() < 1e-9);
@@ -129,6 +131,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn rejects_zero_ports() {
-        Crossbar::new(0, 8, 128, 1e-3);
+        Crossbar::new(0, 8, 128, Meters::mm(1.0));
     }
 }

@@ -6,6 +6,7 @@ use crate::driver::BufferChain;
 use crate::horowitz::stage;
 use crate::BlockResult;
 use cactid_tech::DeviceParams;
+use cactid_units::{energy_cv2, Farads, Meters, Ohms, Seconds, Volts};
 
 /// Bits decoded per predecode group (1-of-8 predecoding).
 const PREDEC_GROUP_BITS: usize = 3;
@@ -24,18 +25,18 @@ pub struct Decoder {
     pub n_groups: usize,
     /// Driver chain from a predecode output onto the predecode line.
     predec_driver: BufferChain,
-    /// Capacitive load of one predecode line [F].
-    c_predec_line: f64,
+    /// Capacitive load of one predecode line.
+    c_predec_line: Farads,
     /// Wordline driver chain (final NAND output → wordline).
     wl_driver: BufferChain,
-    /// Wordline lumped capacitance [F].
-    c_wordline: f64,
-    /// Wordline distributed resistance [Ω].
-    r_wordline: f64,
-    /// Voltage the wordline swings to (V_PP for DRAM) [V].
-    v_wordline: f64,
-    /// Height budget per row for pitch-matching (the cell height) [m].
-    wl_pitch: f64,
+    /// Wordline lumped capacitance.
+    c_wordline: Farads,
+    /// Wordline distributed resistance.
+    r_wordline: Ohms,
+    /// Voltage the wordline swings to (V_PP for DRAM).
+    v_wordline: Volts,
+    /// Height budget per row for pitch-matching (the cell height).
+    wl_pitch: Meters,
 }
 
 impl Decoder {
@@ -51,11 +52,11 @@ impl Decoder {
     pub fn design(
         dev: &DeviceParams,
         n_rows: usize,
-        c_wordline: f64,
-        r_wordline: f64,
-        v_wordline: f64,
-        predec_wire_cap: f64,
-        wl_pitch: f64,
+        c_wordline: Farads,
+        r_wordline: Ohms,
+        v_wordline: Volts,
+        predec_wire_cap: Farads,
+        wl_pitch: Meters,
     ) -> Decoder {
         assert!(
             n_rows >= 2 && n_rows.is_power_of_two(),
@@ -90,7 +91,7 @@ impl Decoder {
 
     /// Evaluates the decode path: delay of the activated path, energy per
     /// access, leakage of the whole decode structure, and its layout area.
-    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: f64) -> BlockResult {
+    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: Seconds) -> BlockResult {
         // --- Predecode NAND3 + line driver ---
         let w_pn = NAND_INPUT_W_MULT * dev.min_width;
         let nand_stack_r = dev.res_on_n(w_pn) * PREDEC_GROUP_BITS as f64;
@@ -116,9 +117,9 @@ impl Decoder {
         // Two predecode lines toggle per group (one rises, one falls).
         let e_predec =
             self.n_groups as f64 * (self.c_predec_line * dev.vdd * dev.vdd + 2.0 * pd.energy / 2.0);
-        let e_fnand = 0.5 * dev.cap_drain(w_fn * 3.0) * dev.vdd * dev.vdd;
+        let e_fnand = energy_cv2(dev.cap_drain(w_fn * 3.0), dev.vdd);
         // The wordline rises and falls every access: full C·V².
-        let e_wl = wl.energy + 0.5 * self.c_wordline * self.v_wordline * self.v_wordline;
+        let e_wl = wl.energy + energy_cv2(self.c_wordline, self.v_wordline);
         let energy = e_predec + e_fnand + e_wl;
 
         // --- Leakage (every row's NAND + driver leaks) ---
@@ -149,10 +150,10 @@ impl Decoder {
         }
     }
 
-    /// The horizontal width the decode strip adds to a subarray [m]:
+    /// The horizontal width the decode strip adds to a subarray:
     /// area divided by the array height it runs along.
-    pub fn strip_width(&self, dev: &DeviceParams) -> f64 {
-        let r = self.evaluate(dev, 0.0);
+    pub fn strip_width(&self, dev: &DeviceParams) -> Meters {
+        let r = self.evaluate(dev, Seconds::ZERO);
         r.area / (self.n_rows as f64 * self.wl_pitch)
     }
 }
@@ -168,14 +169,22 @@ mod tests {
 
     fn mk(n_rows: usize) -> Decoder {
         let d = dev();
-        Decoder::design(&d, n_rows, 50e-15, 2.0e3, d.vdd, 10e-15, 0.3e-6)
+        Decoder::design(
+            &d,
+            n_rows,
+            Farads::ff(50.0),
+            Ohms::kohm(2.0),
+            d.vdd,
+            Farads::ff(10.0),
+            Meters::from_si(0.3e-6),
+        )
     }
 
     #[test]
     fn more_rows_cost_more_leakage_and_area() {
         let d = dev();
-        let small = mk(64).evaluate(&d, 0.0);
-        let big = mk(512).evaluate(&d, 0.0);
+        let small = mk(64).evaluate(&d, Seconds::ZERO);
+        let big = mk(512).evaluate(&d, Seconds::ZERO);
         assert!(big.leakage > small.leakage);
         assert!(big.area > small.area);
         // Delay grows only logarithmically — should be within 2×.
@@ -185,17 +194,51 @@ mod tests {
     #[test]
     fn boosted_wordline_costs_energy() {
         let d = dev();
-        let normal = Decoder::design(&d, 256, 60e-15, 3e3, d.vdd, 10e-15, 0.1e-6);
-        let boosted = Decoder::design(&d, 256, 60e-15, 3e3, 2.6, 10e-15, 0.1e-6);
-        assert!(boosted.evaluate(&d, 0.0).energy > normal.evaluate(&d, 0.0).energy);
+        let normal = Decoder::design(
+            &d,
+            256,
+            Farads::ff(60.0),
+            Ohms::kohm(3.0),
+            d.vdd,
+            Farads::ff(10.0),
+            Meters::from_si(0.1e-6),
+        );
+        let boosted = Decoder::design(
+            &d,
+            256,
+            Farads::ff(60.0),
+            Ohms::kohm(3.0),
+            Volts::from_si(2.6),
+            Farads::ff(10.0),
+            Meters::from_si(0.1e-6),
+        );
+        assert!(
+            boosted.evaluate(&d, Seconds::ZERO).energy > normal.evaluate(&d, Seconds::ZERO).energy
+        );
     }
 
     #[test]
     fn heavier_wordline_is_slower() {
         let d = dev();
-        let light = Decoder::design(&d, 256, 20e-15, 1e3, d.vdd, 10e-15, 0.1e-6);
-        let heavy = Decoder::design(&d, 256, 400e-15, 20e3, d.vdd, 10e-15, 0.1e-6);
-        assert!(heavy.evaluate(&d, 0.0).delay > light.evaluate(&d, 0.0).delay);
+        let light = Decoder::design(
+            &d,
+            256,
+            Farads::ff(20.0),
+            Ohms::kohm(1.0),
+            d.vdd,
+            Farads::ff(10.0),
+            Meters::from_si(0.1e-6),
+        );
+        let heavy = Decoder::design(
+            &d,
+            256,
+            Farads::ff(400.0),
+            Ohms::kohm(20.0),
+            d.vdd,
+            Farads::ff(10.0),
+            Meters::from_si(0.1e-6),
+        );
+        assert!(heavy.evaluate(&d, Seconds::ZERO).delay > light.evaluate(&d, Seconds::ZERO).delay);
     }
 
     #[test]
@@ -207,8 +250,12 @@ mod tests {
     #[test]
     fn delay_is_nanoscale_sane() {
         let d = dev();
-        let r = mk(256).evaluate(&d, 0.0);
+        let r = mk(256).evaluate(&d, Seconds::ZERO);
         // A 256-row decode at 32 nm should land well under a nanosecond.
-        assert!(r.delay > 10e-12 && r.delay < 1e-9, "{:e}", r.delay);
+        assert!(
+            r.delay > Seconds::ps(10.0) && r.delay < Seconds::ns(1.0),
+            "{}",
+            r.delay
+        );
     }
 }

@@ -5,14 +5,15 @@ use crate::horowitz::stage;
 use crate::logical_effort::size_chain;
 use crate::BlockResult;
 use cactid_tech::DeviceParams;
+use cactid_units::{energy_cv2, Farads, Joules, Meters, Seconds, SquareMeters, Volts, Watts};
 
 /// Per-stage evaluation detail, exposed for tests and debugging.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageResult {
-    /// Input capacitance of this stage [F].
-    pub c_in: f64,
-    /// Delay contributed by this stage [s].
-    pub delay: f64,
+    /// Input capacitance of this stage.
+    pub c_in: Farads,
+    /// Delay contributed by this stage.
+    pub delay: Seconds,
 }
 
 /// A chain of inverters sized to drive a capacitive load, the workhorse
@@ -20,10 +21,10 @@ pub struct StageResult {
 /// drivers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BufferChain {
-    /// Input capacitance of each stage [F], first to last.
-    pub stage_caps: Vec<f64>,
-    /// The load the chain was designed for [F].
-    pub c_load: f64,
+    /// Input capacitance of each stage, first to last.
+    pub stage_caps: Vec<Farads>,
+    /// The load the chain was designed for.
+    pub c_load: Farads,
 }
 
 impl BufferChain {
@@ -33,10 +34,10 @@ impl BufferChain {
     /// # Panics
     ///
     /// Panics if `c_in` or `c_load` is not positive.
-    pub fn design(dev: &DeviceParams, c_in: f64, c_load: f64) -> BufferChain {
+    pub fn design(dev: &DeviceParams, c_in: Farads, c_load: Farads) -> BufferChain {
         let c_in = c_in.max(dev.c_inv_min());
         let chain = size_chain(c_in, c_load, 1.0, 1);
-        let stage_caps = chain.cap_ratios.iter().map(|r| r * c_in).collect();
+        let stage_caps = chain.cap_ratios.iter().map(|r| *r * c_in).collect();
         BufferChain { stage_caps, c_load }
     }
 
@@ -45,26 +46,31 @@ impl BufferChain {
         self.stage_caps.len()
     }
 
-    /// NMOS width of stage `i` under `dev` [m].
-    pub fn stage_width_n(&self, dev: &DeviceParams, i: usize) -> f64 {
+    /// NMOS width of stage `i` under `dev`.
+    pub fn stage_width_n(&self, dev: &DeviceParams, i: usize) -> Meters {
         (self.stage_caps[i] / ((1.0 + dev.p_to_n_ratio) * dev.c_gate)).max(dev.min_width)
     }
 
     /// Evaluates delay/energy/leakage/area of the chain given the input
     /// transition time `input_ramp`, switching at `dev.vdd`.
-    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: f64) -> BlockResult {
+    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: Seconds) -> BlockResult {
         self.evaluate_at(dev, input_ramp, dev.vdd)
     }
 
     /// Like [`BufferChain::evaluate`] but switching the *final* load at
     /// `v_swing` (e.g. a boosted-V_PP wordline) while internal stages swing
     /// the device VDD.
-    pub fn evaluate_at(&self, dev: &DeviceParams, input_ramp: f64, v_swing: f64) -> BlockResult {
-        let mut delay = 0.0;
+    pub fn evaluate_at(
+        &self,
+        dev: &DeviceParams,
+        input_ramp: Seconds,
+        v_swing: Volts,
+    ) -> BlockResult {
+        let mut delay = Seconds::ZERO;
         let mut ramp = input_ramp;
-        let mut energy = 0.0;
-        let mut leak = 0.0;
-        let mut area = 0.0;
+        let mut energy = Joules::ZERO;
+        let mut leak = Watts::ZERO;
+        let mut area = SquareMeters::ZERO;
         // Recover the feature size from the device's minimum width
         // (min_width = 2.5 F by construction in cactid-tech).
         let f = dev.min_width / 2.5;
@@ -87,7 +93,7 @@ impl BufferChain {
             // Activity convention: one full transition per access; energy
             // drawn from the supply to charge the node is C·V² but averaged
             // over rising/falling accesses we charge it every other access.
-            energy += 0.5 * (c_self + c_next) * v * v;
+            energy += energy_cv2(c_self + c_next, v);
             leak += dev.leak_power((w_n + w_p) / 2.0);
             area +=
                 inverter_area_for_cap(dev, self.stage_caps[i], DEFAULT_LEG_HEIGHT_F * f, f).area();
@@ -114,8 +120,10 @@ mod tests {
     #[test]
     fn bigger_load_is_slower_and_hungrier() {
         let d = dev();
-        let small = BufferChain::design(&d, d.c_inv_min(), 20e-15).evaluate(&d, 0.0);
-        let big = BufferChain::design(&d, d.c_inv_min(), 2000e-15).evaluate(&d, 0.0);
+        let small =
+            BufferChain::design(&d, d.c_inv_min(), Farads::ff(20.0)).evaluate(&d, Seconds::ZERO);
+        let big =
+            BufferChain::design(&d, d.c_inv_min(), Farads::ff(2000.0)).evaluate(&d, Seconds::ZERO);
         assert!(big.delay > small.delay);
         assert!(big.energy > small.energy);
         assert!(big.leakage > small.leakage);
@@ -128,16 +136,17 @@ mod tests {
         let tech = Technology::new(TechNode::N32);
         let fo4 = tech.fo4(DeviceType::Hp);
         // Driving 1000× the min inverter cap should take ~5 stages ≈ 5 FO4.
-        let r = BufferChain::design(&d, d.c_inv_min(), 1000.0 * d.c_inv_min()).evaluate(&d, 0.0);
-        assert!(r.delay > 2.0 * fo4 && r.delay < 12.0 * fo4, "{:e}", r.delay);
+        let r = BufferChain::design(&d, d.c_inv_min(), 1000.0 * d.c_inv_min())
+            .evaluate(&d, Seconds::ZERO);
+        assert!(r.delay > 2.0 * fo4 && r.delay < 12.0 * fo4, "{}", r.delay);
     }
 
     #[test]
     fn boosted_swing_raises_energy_only() {
         let d = dev();
-        let chain = BufferChain::design(&d, d.c_inv_min(), 500e-15);
-        let normal = chain.evaluate_at(&d, 0.0, d.vdd);
-        let boosted = chain.evaluate_at(&d, 0.0, 2.6);
+        let chain = BufferChain::design(&d, d.c_inv_min(), Farads::ff(500.0));
+        let normal = chain.evaluate_at(&d, Seconds::ZERO, d.vdd);
+        let boosted = chain.evaluate_at(&d, Seconds::ZERO, Volts::from_si(2.6));
         assert!(boosted.energy > normal.energy);
         assert_eq!(boosted.delay, normal.delay);
     }
@@ -145,9 +154,9 @@ mod tests {
     #[test]
     fn slow_input_propagates() {
         let d = dev();
-        let chain = BufferChain::design(&d, d.c_inv_min(), 100e-15);
-        let fast = chain.evaluate(&d, 0.0);
-        let slow = chain.evaluate(&d, 100e-12);
+        let chain = BufferChain::design(&d, d.c_inv_min(), Farads::ff(100.0));
+        let fast = chain.evaluate(&d, Seconds::ZERO);
+        let slow = chain.evaluate(&d, Seconds::ps(100.0));
         assert!(slow.delay > fast.delay);
     }
 }

@@ -6,19 +6,21 @@
 //! for MOS Circuits*, 1983 — and the CACTI 5.1 technical report for the
 //! exact form used here.
 
+use cactid_units::Seconds;
+
 /// Horowitz delay of one gate stage.
 ///
-/// * `input_ramp` — input transition time [s] (0 for an ideal step),
-/// * `tf` — the stage's RC time constant `R_drive × C_load` [s],
+/// * `input_ramp` — input transition time (zero for an ideal step),
+/// * `tf` — the stage's RC time constant `R_drive × C_load`,
 /// * `vs` — switching threshold as a fraction of VDD (typically 0.5).
 ///
-/// Returns the propagation delay [s]. With a step input this degenerates to
-/// the familiar `tf·|ln vs|` (≈ `0.69·tf` for `vs = 0.5`).
-pub fn horowitz(input_ramp: f64, tf: f64, vs: f64) -> f64 {
+/// Returns the propagation delay. With a step input this degenerates to the
+/// familiar `tf·|ln vs|` (≈ `0.69·tf` for `vs = 0.5`).
+pub fn horowitz(input_ramp: Seconds, tf: Seconds, vs: f64) -> Seconds {
     debug_assert!(vs > 0.0 && vs < 1.0, "switching threshold must be in (0,1)");
-    debug_assert!(tf >= 0.0 && input_ramp >= 0.0);
-    if tf == 0.0 {
-        return 0.0;
+    debug_assert!(tf >= Seconds::ZERO && input_ramp >= Seconds::ZERO);
+    if tf == Seconds::ZERO {
+        return Seconds::ZERO;
     }
     let a = input_ramp / tf;
     // b models the fraction of the input transition during which the gate
@@ -31,12 +33,12 @@ pub fn horowitz(input_ramp: f64, tf: f64, vs: f64) -> f64 {
 /// Output transition time implied by a Horowitz stage: the delay divided by
 /// the remaining voltage fraction, the convention CACTI uses to chain
 /// stages.
-pub fn ramp_from_delay(delay: f64, vs: f64) -> f64 {
+pub fn ramp_from_delay(delay: Seconds, vs: f64) -> Seconds {
     delay / (1.0 - vs)
 }
 
 /// Convenience: evaluate a stage and return `(delay, output_ramp)`.
-pub fn stage(input_ramp: f64, tf: f64, vs: f64) -> (f64, f64) {
+pub fn stage(input_ramp: Seconds, tf: Seconds, vs: f64) -> (Seconds, Seconds) {
     let d = horowitz(input_ramp, tf, vs);
     (d, ramp_from_delay(d, vs))
 }
@@ -47,35 +49,38 @@ mod tests {
 
     #[test]
     fn step_input_reduces_to_logarithmic_rc() {
-        let tf = 10e-12;
-        let d = horowitz(0.0, tf, 0.5);
+        let tf = Seconds::ps(10.0);
+        let d = horowitz(Seconds::ZERO, tf, 0.5);
         let expected = tf * 0.5f64.ln().abs();
         assert!((d - expected).abs() / expected < 1e-12);
     }
 
     #[test]
     fn slower_input_means_longer_delay() {
-        let tf = 10e-12;
-        let fast = horowitz(1e-12, tf, 0.5);
-        let slow = horowitz(40e-12, tf, 0.5);
+        let tf = Seconds::ps(10.0);
+        let fast = horowitz(Seconds::ps(1.0), tf, 0.5);
+        let slow = horowitz(Seconds::ps(40.0), tf, 0.5);
         assert!(slow > fast);
     }
 
     #[test]
     fn delay_monotone_in_tf() {
-        let d1 = horowitz(5e-12, 5e-12, 0.5);
-        let d2 = horowitz(5e-12, 10e-12, 0.5);
+        let d1 = horowitz(Seconds::ps(5.0), Seconds::ps(5.0), 0.5);
+        let d2 = horowitz(Seconds::ps(5.0), Seconds::ps(10.0), 0.5);
         assert!(d2 > d1);
     }
 
     #[test]
     fn zero_tf_is_zero_delay() {
-        assert_eq!(horowitz(5e-12, 0.0, 0.5), 0.0);
+        assert_eq!(
+            horowitz(Seconds::ps(5.0), Seconds::ZERO, 0.5),
+            Seconds::ZERO
+        );
     }
 
     #[test]
     fn ramp_is_delay_scaled() {
-        let (d, r) = stage(0.0, 8e-12, 0.5);
-        assert!((r - 2.0 * d).abs() < 1e-18);
+        let (d, r) = stage(Seconds::ZERO, Seconds::ps(8.0), 0.5);
+        assert!((r - 2.0 * d).abs() < Seconds::from_si(1e-18));
     }
 }

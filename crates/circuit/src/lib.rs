@@ -10,22 +10,24 @@
 //! sense amplifiers, and an Orion-style crossbar model used for the L2↔L3
 //! interconnect in the LLC study.
 //!
-//! Everything is expressed in SI units and parameterized by a
-//! [`cactid_tech::DeviceParams`] so the same circuit works across device
-//! classes (HP / long-channel HP / LSTP / LOP) and nodes.
+//! Everything is expressed in the typed SI quantities of [`cactid_units`]
+//! and parameterized by a [`cactid_tech::DeviceParams`] so the same circuit
+//! works across device classes (HP / long-channel HP / LSTP / LOP) and
+//! nodes — and a dimensionally wrong formula is a compile error.
 //!
 //! # Example: sizing a driver chain
 //!
 //! ```
 //! use cactid_tech::{Technology, TechNode, DeviceType};
 //! use cactid_circuit::driver::BufferChain;
+//! use cactid_units::{Farads, Seconds};
 //!
 //! let tech = Technology::new(TechNode::N32);
 //! let dev = tech.device(DeviceType::Hp);
 //! // Drive a 200 fF load from a minimum-size inverter.
-//! let chain = BufferChain::design(&dev, dev.c_inv_min(), 200e-15);
-//! let result = chain.evaluate(&dev, 0.0);
-//! assert!(result.delay > 0.0 && result.delay < 1e-9);
+//! let chain = BufferChain::design(&dev, dev.c_inv_min(), Farads::ff(200.0));
+//! let result = chain.evaluate(&dev, Seconds::ZERO);
+//! assert!(result.delay > Seconds::ZERO && result.delay < Seconds::ns(1.0));
 //! ```
 
 pub mod area;
@@ -46,20 +48,22 @@ pub use horowitz::horowitz;
 pub use repeater::RepeatedWire;
 pub use sense_amp::SenseAmp;
 
+use cactid_units::{Joules, Seconds, SquareMeters, Watts};
+
 /// Aggregate electrical result of evaluating a circuit block: the quantities
 /// every block contributes to the array model.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct BlockResult {
-    /// Propagation delay through the block [s].
-    pub delay: f64,
-    /// 10–90 %-style output transition time handed to the next stage [s].
-    pub ramp_out: f64,
-    /// Dynamic energy per activation [J].
-    pub energy: f64,
-    /// Standby leakage power [W].
-    pub leakage: f64,
-    /// Layout area [m²].
-    pub area: f64,
+    /// Propagation delay through the block.
+    pub delay: Seconds,
+    /// 10–90 %-style output transition time handed to the next stage.
+    pub ramp_out: Seconds,
+    /// Dynamic energy per activation.
+    pub energy: Joules,
+    /// Standby leakage power.
+    pub leakage: Watts,
+    /// Layout area.
+    pub area: SquareMeters,
 }
 
 impl BlockResult {
@@ -83,24 +87,24 @@ mod tests {
     #[test]
     fn block_result_then_accumulates() {
         let a = BlockResult {
-            delay: 1e-10,
-            ramp_out: 2e-10,
-            energy: 1e-12,
-            leakage: 1e-3,
-            area: 1e-9,
+            delay: Seconds::from_si(1e-10),
+            ramp_out: Seconds::from_si(2e-10),
+            energy: Joules::from_si(1e-12),
+            leakage: Watts::from_si(1e-3),
+            area: SquareMeters::from_si(1e-9),
         };
         let b = BlockResult {
-            delay: 3e-10,
-            ramp_out: 5e-10,
-            energy: 2e-12,
-            leakage: 2e-3,
-            area: 2e-9,
+            delay: Seconds::from_si(3e-10),
+            ramp_out: Seconds::from_si(5e-10),
+            energy: Joules::from_si(2e-12),
+            leakage: Watts::from_si(2e-3),
+            area: SquareMeters::from_si(2e-9),
         };
         let c = a.then(&b);
-        assert!((c.delay - 4e-10).abs() < 1e-20);
-        assert_eq!(c.ramp_out, 5e-10);
-        assert!((c.energy - 3e-12).abs() < 1e-24);
-        assert!((c.leakage - 3e-3).abs() < 1e-12);
-        assert!((c.area - 3e-9).abs() < 1e-18);
+        assert!((c.delay - Seconds::from_si(4e-10)).abs() < Seconds::from_si(1e-20));
+        assert_eq!(c.ramp_out, Seconds::from_si(5e-10));
+        assert!((c.energy - Joules::from_si(3e-12)).abs() < Joules::from_si(1e-24));
+        assert!((c.leakage - Watts::from_si(3e-3)).abs() < Watts::from_si(1e-12));
+        assert!((c.area - SquareMeters::from_si(3e-9)).abs() < SquareMeters::from_si(1e-18));
     }
 }

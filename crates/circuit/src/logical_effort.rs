@@ -4,6 +4,8 @@
 //! by logical effort: pick the number of stages so the per-stage effort is
 //! near the optimum (~4), then distribute sizes geometrically.
 
+use cactid_units::Farads;
+
 /// Logical effort of common gates (relative to an inverter's `g = 1`),
 /// assuming a P:N ratio of 2.
 pub fn gate_logical_effort(fanin: usize, is_nand: bool) -> f64 {
@@ -41,9 +43,9 @@ pub const OPT_STAGE_EFFORT: f64 = 4.0;
 /// # Panics
 ///
 /// Panics if `c_in` or `c_load` is not positive.
-pub fn size_chain(c_in: f64, c_load: f64, g_total: f64, min_stages: usize) -> EffortChain {
-    assert!(c_in > 0.0, "c_in must be positive");
-    assert!(c_load > 0.0, "c_load must be positive");
+pub fn size_chain(c_in: Farads, c_load: Farads, g_total: f64, min_stages: usize) -> EffortChain {
+    assert!(c_in > Farads::ZERO, "c_in must be positive");
+    assert!(c_load > Farads::ZERO, "c_load must be positive");
     let path_effort = (g_total * c_load / c_in).max(1.0);
     // Optimal stage count.
     let n_float = path_effort.ln() / OPT_STAGE_EFFORT.ln();
@@ -81,7 +83,7 @@ mod tests {
 
     #[test]
     fn chain_effort_near_optimum() {
-        let chain = size_chain(1e-15, 256e-15, 1.0, 1);
+        let chain = size_chain(Farads::ff(1.0), Farads::ff(256.0), 1.0, 1);
         assert!(chain.stage_effort > 2.0 && chain.stage_effort < 8.0);
         assert_eq!(chain.cap_ratios.len(), chain.n_stages);
         // First stage is unit-sized.
@@ -90,20 +92,20 @@ mod tests {
 
     #[test]
     fn bigger_load_needs_more_stages() {
-        let small = size_chain(1e-15, 16e-15, 1.0, 1);
-        let big = size_chain(1e-15, 65536e-15, 1.0, 1);
+        let small = size_chain(Farads::ff(1.0), Farads::ff(16.0), 1.0, 1);
+        let big = size_chain(Farads::ff(1.0), Farads::ff(65536.0), 1.0, 1);
         assert!(big.n_stages > small.n_stages);
     }
 
     #[test]
     fn min_stages_respected() {
-        let chain = size_chain(1e-15, 2e-15, 1.0, 3);
+        let chain = size_chain(Farads::ff(1.0), Farads::ff(2.0), 1.0, 3);
         assert_eq!(chain.n_stages, 3);
     }
 
     #[test]
     #[should_panic(expected = "c_load must be positive")]
     fn rejects_nonpositive_load() {
-        size_chain(1e-15, 0.0, 1.0, 1);
+        size_chain(Farads::ff(1.0), Farads::ZERO, 1.0, 1);
     }
 }

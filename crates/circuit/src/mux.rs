@@ -3,14 +3,15 @@
 use crate::horowitz::stage;
 use crate::BlockResult;
 use cactid_tech::DeviceParams;
+use cactid_units::{energy_cv2, Farads, Meters, Seconds};
 
 /// A `degree`:1 pass-transistor mux on a capacitive node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PassMux {
     /// Mux degree (1 = pass-through, modeled as zero cost).
     pub degree: usize,
-    /// Pass-device width [m].
-    pub w_pass: f64,
+    /// Pass-device width.
+    pub w_pass: Meters,
 }
 
 impl PassMux {
@@ -23,8 +24,8 @@ impl PassMux {
         }
     }
 
-    /// Evaluates one traversal driving `c_out` [F].
-    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: f64, c_out: f64) -> BlockResult {
+    /// Evaluates one traversal driving `c_out`.
+    pub fn evaluate(&self, dev: &DeviceParams, input_ramp: Seconds, c_out: Farads) -> BlockResult {
         if self.degree <= 1 {
             return BlockResult {
                 ramp_out: input_ramp,
@@ -36,9 +37,9 @@ impl PassMux {
         let c_node = dev.cap_drain(self.w_pass) * self.degree as f64 + c_out;
         let tf = r * c_node;
         let (delay, ramp_out) = stage(input_ramp, tf, 0.5);
-        let energy = 0.5 * c_node * dev.vdd * dev.vdd
+        let energy = energy_cv2(c_node, dev.vdd)
             // Select-line toggle.
-            + 0.5 * dev.cap_gate(self.w_pass) * dev.vdd * dev.vdd;
+            + energy_cv2(dev.cap_gate(self.w_pass), dev.vdd);
         let leakage = dev.leak_power(self.w_pass * self.degree as f64 * 0.5);
         let f = dev.min_width / 2.5;
         let area = self.degree as f64 * self.w_pass * 4.0 * f;
@@ -56,6 +57,7 @@ impl PassMux {
 mod tests {
     use super::*;
     use cactid_tech::{DeviceType, TechNode, Technology};
+    use cactid_units::Joules;
 
     fn dev() -> DeviceParams {
         Technology::new(TechNode::N32).device(DeviceType::Hp)
@@ -65,17 +67,17 @@ mod tests {
     fn degree_one_is_free() {
         let d = dev();
         let m = PassMux::design(&d, 1);
-        let r = m.evaluate(&d, 5e-12, 100e-15);
-        assert_eq!(r.delay, 0.0);
-        assert_eq!(r.energy, 0.0);
-        assert_eq!(r.ramp_out, 5e-12);
+        let r = m.evaluate(&d, Seconds::ps(5.0), Farads::ff(100.0));
+        assert_eq!(r.delay, Seconds::ZERO);
+        assert_eq!(r.energy, Joules::ZERO);
+        assert_eq!(r.ramp_out, Seconds::ps(5.0));
     }
 
     #[test]
     fn higher_degree_is_slower_and_leakier() {
         let d = dev();
-        let m2 = PassMux::design(&d, 2).evaluate(&d, 0.0, 50e-15);
-        let m8 = PassMux::design(&d, 8).evaluate(&d, 0.0, 50e-15);
+        let m2 = PassMux::design(&d, 2).evaluate(&d, Seconds::ZERO, Farads::ff(50.0));
+        let m8 = PassMux::design(&d, 8).evaluate(&d, Seconds::ZERO, Farads::ff(50.0));
         assert!(m8.delay > m2.delay);
         assert!(m8.leakage > m2.leakage);
         assert!(m8.area > m2.area);

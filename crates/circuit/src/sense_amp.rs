@@ -9,20 +9,21 @@
 use crate::area::transistor_area;
 use crate::BlockResult;
 use cactid_tech::DeviceParams;
+use cactid_units::{Farads, Meters, Seconds, Volts};
 
 /// A sense amplifier instance (one per bitline pair after bitline muxing).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SenseAmp {
-    /// Width of each cross-coupled device [m].
-    pub w_latch: f64,
-    /// Internal latch node capacitance [F], including any external load the
+    /// Width of each cross-coupled device.
+    pub w_latch: Meters,
+    /// Internal latch node capacitance, including any external load the
     /// latch must regenerate (the full bitline, for DRAM).
-    pub c_latch: f64,
-    /// Internal (latch-only) capacitance used for energy accounting [F] —
+    pub c_latch: Farads,
+    /// Internal (latch-only) capacitance used for energy accounting —
     /// external bitline energy is accounted by the array model.
-    pub c_internal: f64,
-    /// Bitline-pair pitch this amp must fit within [m].
-    pub pitch: f64,
+    pub c_internal: Farads,
+    /// Bitline-pair pitch this amp must fit within.
+    pub pitch: Meters,
     /// Fraction of the device transconductance available (offset
     /// compensation and conservative biasing derate it; 1.0 = ideal).
     pub gm_derate: f64,
@@ -31,8 +32,8 @@ pub struct SenseAmp {
 impl SenseAmp {
     /// Designs a sense amp under `dev`, pitch-matched to `pitch` (two cell
     /// widths for a folded differential pair).
-    pub fn design(dev: &DeviceParams, pitch: f64) -> SenseAmp {
-        SenseAmp::design_with_load(dev, pitch, 0.0, 1.0)
+    pub fn design(dev: &DeviceParams, pitch: Meters) -> SenseAmp {
+        SenseAmp::design_with_load(dev, pitch, Farads::ZERO, 1.0)
     }
 
     /// Designs a sense amp that must regenerate an additional external
@@ -44,12 +45,12 @@ impl SenseAmp {
     /// Panics if `gm_derate` is not in `(0, 1]` or `c_extra` is negative.
     pub fn design_with_load(
         dev: &DeviceParams,
-        pitch: f64,
-        c_extra: f64,
+        pitch: Meters,
+        c_extra: Farads,
         gm_derate: f64,
     ) -> SenseAmp {
         assert!(gm_derate > 0.0 && gm_derate <= 1.0, "gm_derate in (0,1]");
-        assert!(c_extra >= 0.0);
+        assert!(c_extra >= Farads::ZERO);
         let w_latch = 8.0 * dev.min_width;
         // Two cross-coupled inverters: gate + drain of the opposing pair.
         let c_internal = (dev.c_gate + dev.c_drain) * w_latch * (1.0 + dev.p_to_n_ratio);
@@ -63,13 +64,16 @@ impl SenseAmp {
     }
 
     /// Regeneration delay to amplify an input differential of `v_in` to a
-    /// full `v_latch` swing [s].
+    /// full `v_latch` swing.
     ///
     /// # Panics
     ///
     /// Panics if `v_in` is not positive or exceeds `v_latch`.
-    pub fn delay(&self, dev: &DeviceParams, v_in: f64, v_latch: f64) -> f64 {
-        assert!(v_in > 0.0, "sense input differential must be positive");
+    pub fn delay(&self, dev: &DeviceParams, v_in: Volts, v_latch: Volts) -> Seconds {
+        assert!(
+            v_in > Volts::ZERO,
+            "sense input differential must be positive"
+        );
         assert!(v_in <= v_latch, "input differential larger than swing");
         let gm = dev.g_m * self.w_latch * self.gm_derate;
         let tau = self.c_latch / gm;
@@ -77,7 +81,7 @@ impl SenseAmp {
     }
 
     /// Evaluates one sensing event at latch swing `v_latch`.
-    pub fn evaluate(&self, dev: &DeviceParams, v_in: f64, v_latch: f64) -> BlockResult {
+    pub fn evaluate(&self, dev: &DeviceParams, v_in: Volts, v_latch: Volts) -> BlockResult {
         let delay = self.delay(dev, v_in, v_latch);
         // The latch nodes make a full differential transition; external
         // (bitline) energy is accounted by the array model.
@@ -101,26 +105,29 @@ impl SenseAmp {
 mod tests {
     use super::*;
     use cactid_tech::{DeviceType, TechNode, Technology};
+    use cactid_units::Joules;
 
     fn dev() -> DeviceParams {
         Technology::new(TechNode::N32).device(DeviceType::HpLongChannel)
     }
 
+    const PITCH: Meters = Meters::from_si(0.13e-6);
+
     #[test]
     fn smaller_input_signal_takes_longer() {
         let d = dev();
-        let sa = SenseAmp::design(&d, 0.13e-6);
-        let strong = sa.delay(&d, 0.2, 0.9);
-        let weak = sa.delay(&d, 0.05, 0.9);
+        let sa = SenseAmp::design(&d, PITCH);
+        let strong = sa.delay(&d, Volts::from_si(0.2), Volts::from_si(0.9));
+        let weak = sa.delay(&d, Volts::from_si(0.05), Volts::from_si(0.9));
         assert!(weak > strong);
     }
 
     #[test]
     fn delay_in_tens_of_ps() {
         let d = dev();
-        let sa = SenseAmp::design(&d, 0.13e-6);
-        let t = sa.delay(&d, 0.1, 0.9);
-        assert!(t > 1e-12 && t < 300e-12, "{t:e}");
+        let sa = SenseAmp::design(&d, PITCH);
+        let t = sa.delay(&d, Volts::from_si(0.1), Volts::from_si(0.9));
+        assert!(t > Seconds::ps(1.0) && t < Seconds::ps(300.0), "{t}");
     }
 
     #[test]
@@ -128,16 +135,27 @@ mod tests {
         let tech = Technology::new(TechNode::N32);
         let hp = tech.device(DeviceType::Hp);
         let lstp = tech.device(DeviceType::Lstp);
-        let sa_hp = SenseAmp::design(&hp, 0.13e-6);
-        let sa_lstp = SenseAmp::design(&lstp, 0.13e-6);
-        assert!(sa_lstp.delay(&lstp, 0.1, 1.0) > sa_hp.delay(&hp, 0.1, 0.9));
+        let sa_hp = SenseAmp::design(&hp, PITCH);
+        let sa_lstp = SenseAmp::design(&lstp, PITCH);
+        assert!(
+            sa_lstp.delay(&lstp, Volts::from_si(0.1), Volts::from_si(1.0))
+                > sa_hp.delay(&hp, Volts::from_si(0.1), Volts::from_si(0.9))
+        );
     }
 
     #[test]
     fn tight_pitch_grows_area() {
         let d = dev();
-        let tight = SenseAmp::design(&d, 0.064e-6).evaluate(&d, 0.1, 0.9);
-        let loose = SenseAmp::design(&d, 1.0e-6).evaluate(&d, 0.1, 0.9);
+        let tight = SenseAmp::design(&d, Meters::from_si(0.064e-6)).evaluate(
+            &d,
+            Volts::from_si(0.1),
+            Volts::from_si(0.9),
+        );
+        let loose = SenseAmp::design(&d, Meters::um(1.0)).evaluate(
+            &d,
+            Volts::from_si(0.1),
+            Volts::from_si(0.9),
+        );
         // Same devices, tighter pitch → more folding → at least as much area.
         assert!(tight.area >= loose.area * 0.5);
     }
@@ -145,20 +163,31 @@ mod tests {
     #[test]
     fn external_load_slows_sensing_without_energy_cost() {
         let d = dev();
-        let bare = SenseAmp::design(&d, 0.13e-6);
-        let loaded = SenseAmp::design_with_load(&d, 0.13e-6, 80e-15, 1.0);
-        assert!(loaded.delay(&d, 0.1, 0.9) > 3.0 * bare.delay(&d, 0.1, 0.9));
-        let eb = bare.evaluate(&d, 0.1, 0.9).energy;
-        let el = loaded.evaluate(&d, 0.1, 0.9).energy;
-        assert!((eb - el).abs() < 1e-20, "latch-internal energy only");
+        let bare = SenseAmp::design(&d, PITCH);
+        let loaded = SenseAmp::design_with_load(&d, PITCH, Farads::ff(80.0), 1.0);
+        assert!(
+            loaded.delay(&d, Volts::from_si(0.1), Volts::from_si(0.9))
+                > 3.0 * bare.delay(&d, Volts::from_si(0.1), Volts::from_si(0.9))
+        );
+        let eb = bare
+            .evaluate(&d, Volts::from_si(0.1), Volts::from_si(0.9))
+            .energy;
+        let el = loaded
+            .evaluate(&d, Volts::from_si(0.1), Volts::from_si(0.9))
+            .energy;
+        assert!(
+            (eb - el).abs() < Joules::from_si(1e-20),
+            "latch-internal energy only"
+        );
     }
 
     #[test]
     fn gm_derate_slows_sensing() {
         let d = dev();
-        let ideal = SenseAmp::design_with_load(&d, 0.13e-6, 0.0, 1.0);
-        let derated = SenseAmp::design_with_load(&d, 0.13e-6, 0.0, 0.2);
-        let r = derated.delay(&d, 0.1, 0.9) / ideal.delay(&d, 0.1, 0.9);
+        let ideal = SenseAmp::design_with_load(&d, PITCH, Farads::ZERO, 1.0);
+        let derated = SenseAmp::design_with_load(&d, PITCH, Farads::ZERO, 0.2);
+        let r = derated.delay(&d, Volts::from_si(0.1), Volts::from_si(0.9))
+            / ideal.delay(&d, Volts::from_si(0.1), Volts::from_si(0.9));
         assert!((r - 5.0).abs() < 1e-9);
     }
 
@@ -166,6 +195,6 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_signal() {
         let d = dev();
-        SenseAmp::design(&d, 0.13e-6).delay(&d, 0.0, 0.9);
+        SenseAmp::design(&d, PITCH).delay(&d, Volts::ZERO, Volts::from_si(0.9));
     }
 }

@@ -63,8 +63,8 @@ fn row(name: &str, s: &Solution) {
         e.bitline * 1e9,
         e.sense * 1e9,
         e.column * 1e9,
-        s.tag.as_ref().map_or(0.0, |t| t.access_time() * 1e9),
-        s.tag.as_ref().map_or(0.0, |t| t.read_energy() * 1e9),
+        s.tag.as_ref().map_or(0.0, |t| t.access_time().value() * 1e9),
+        s.tag.as_ref().map_or(0.0, |t| t.read_energy().value() * 1e9),
     );
 }
 

@@ -17,6 +17,7 @@ use cactid_circuit::mux::PassMux;
 use cactid_circuit::repeater::RepeatedWire;
 use cactid_circuit::sense_amp::SenseAmp;
 use cactid_tech::{CellParams, DeviceParams, Technology, WireType};
+use cactid_units::{Farads, Joules, Meters, Seconds, SquareMeters, Volts, Watts};
 
 /// Tuning constants, grouped so the validation experiments (Tables 2–3,
 /// Figure 1) can be calibrated transparently. Values are physical-order
@@ -99,53 +100,53 @@ impl ArrayInput {
     }
 }
 
-/// Delay breakdown of one access path [s].
+/// Delay breakdown of one access path.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DelayBreakdown {
     /// Address H-tree from bank edge to stripe.
-    pub htree_in: f64,
+    pub htree_in: Seconds,
     /// Predecode + row decode + wordline rise.
-    pub decode: f64,
+    pub decode: Seconds,
     /// Bitline development (SRAM discharge / DRAM charge share).
-    pub bitline: f64,
+    pub bitline: Seconds,
     /// Sense amplification.
-    pub sense: f64,
+    pub sense: Seconds,
     /// Bitline-mux + sense-amp-mux traversal.
-    pub mux: f64,
+    pub mux: Seconds,
     /// Column-select decode (serial only for the main-memory interface).
-    pub column_decode: f64,
+    pub column_decode: Seconds,
     /// Data H-tree back to the bank edge.
-    pub htree_out: f64,
+    pub htree_out: Seconds,
     /// Bitline precharge (cycle-time component).
-    pub precharge: f64,
+    pub precharge: Seconds,
     /// DRAM cell restore/writeback (cycle-time component; 0 for SRAM).
-    pub restore: f64,
+    pub restore: Seconds,
 }
 
-/// Energy breakdown of one access [J].
+/// Energy breakdown of one access.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBreakdown {
     /// Address distribution.
-    pub htree_in: f64,
+    pub htree_in: Joules,
     /// Decoders + wordline (at V_PP for DRAM).
-    pub decode: f64,
+    pub decode: Joules,
     /// Bitline swing (+ restore/precharge for DRAM).
-    pub bitline: f64,
+    pub bitline: Joules,
     /// Sense amplifiers.
-    pub sense: f64,
+    pub sense: Joules,
     /// Column path: muxes + data return H-tree.
-    pub column: f64,
+    pub column: Joules,
 }
 
 impl EnergyBreakdown {
-    /// Total energy [J].
-    pub fn total(&self) -> f64 {
+    /// Total energy.
+    pub fn total(&self) -> Joules {
         self.htree_in + self.decode + self.bitline + self.sense + self.column
     }
 
     /// Row-activation portion (everything before the column path) —
     /// the DRAM ACTIVATE command energy.
-    pub fn activate(&self) -> f64 {
+    pub fn activate(&self) -> Joules {
         self.htree_in + self.decode + self.bitline + self.sense
     }
 }
@@ -157,52 +158,52 @@ pub struct ArrayResult {
     pub delay: DelayBreakdown,
     /// Read energy components.
     pub energy: EnergyBreakdown,
-    /// Write energy per access [J].
-    pub write_energy: f64,
-    /// Random cycle time [s].
-    pub random_cycle: f64,
-    /// Multisubbank interleave cycle time [s] (paper §2.3.4).
-    pub interleave_cycle: f64,
-    /// Bank standby leakage [W].
-    pub leakage: f64,
-    /// Bank refresh power [W] (0 for SRAM).
-    pub refresh_power: f64,
-    /// Bank width [m].
-    pub width: f64,
-    /// Bank height [m].
-    pub height: f64,
-    /// DRAM sense signal actually available [V] (margin for SRAM).
-    pub sense_signal: f64,
-    /// Energy to refresh one row stripe [J] (0 for SRAM).
-    pub row_refresh_energy: f64,
+    /// Write energy per access.
+    pub write_energy: Joules,
+    /// Random cycle time.
+    pub random_cycle: Seconds,
+    /// Multisubbank interleave cycle time (paper §2.3.4).
+    pub interleave_cycle: Seconds,
+    /// Bank standby leakage.
+    pub leakage: Watts,
+    /// Bank refresh power (0 for SRAM).
+    pub refresh_power: Watts,
+    /// Bank width.
+    pub width: Meters,
+    /// Bank height.
+    pub height: Meters,
+    /// DRAM sense signal actually available (margin for SRAM).
+    pub sense_signal: Volts,
+    /// Energy to refresh one row stripe (0 for SRAM).
+    pub row_refresh_energy: Joules,
 }
 
 impl ArrayResult {
-    /// Random access time: everything from address-in to data-out [s].
-    pub fn access_time(&self) -> f64 {
+    /// Random access time: everything from address-in to data-out.
+    pub fn access_time(&self) -> Seconds {
         let d = &self.delay;
         d.htree_in + d.decode + d.bitline + d.sense + d.mux + d.column_decode + d.htree_out
     }
 
-    /// Time until data is latched in the sense amps (DRAM tRCD) [s].
-    pub fn t_row_to_sense(&self) -> f64 {
+    /// Time until data is latched in the sense amps (DRAM tRCD).
+    pub fn t_row_to_sense(&self) -> Seconds {
         let d = &self.delay;
         d.htree_in + d.decode + d.bitline + d.sense
     }
 
-    /// Column path after sensing (DRAM CAS core latency) [s].
-    pub fn t_column(&self) -> f64 {
+    /// Column path after sensing (DRAM CAS core latency).
+    pub fn t_column(&self) -> Seconds {
         let d = &self.delay;
         d.column_decode + d.mux + d.htree_out
     }
 
-    /// Bank area [m²].
-    pub fn area(&self) -> f64 {
+    /// Bank area.
+    pub fn area(&self) -> SquareMeters {
         self.width * self.height
     }
 
-    /// Total read energy per access [J].
-    pub fn read_energy(&self) -> f64 {
+    /// Total read energy per access.
+    pub fn read_energy(&self) -> Joules {
         self.energy.total()
     }
 }
@@ -229,7 +230,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     let wl_rc = 0.38
         * (cell.r_wordline_per_cell * input.cols as f64)
         * (cell.c_wordline_per_cell * input.cols as f64);
-    if wl_rc > 3e-9 {
+    if wl_rc > Seconds::from_si(3e-9) {
         return Err(CactiError::NoFeasibleSolution);
     }
 
@@ -264,13 +265,13 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
         predec_wire,
         cell.height,
     );
-    let dec = decoder.evaluate(periph, 0.0);
+    let dec = decoder.evaluate(periph, Seconds::ZERO);
     let dec_strip_w = dec.area / array_h.max(f);
 
     let sa_pitch = 2.0 * cell.width * f64::from(input.deg_bl_mux);
     // DRAM sense amps must regenerate the whole bitline; SRAM amps sense
     // onto isolated latch nodes.
-    let sa_c_extra = if is_dram { c_bl } else { 0.0 };
+    let sa_c_extra = if is_dram { c_bl } else { Farads::ZERO };
     let sa = SenseAmp::design_with_load(periph, sa_pitch, sa_c_extra, cell.sense_gm_derate);
     let sa_eval = sa.evaluate(periph, sense_signal, cell.vdd_cell);
     let n_sa_per_subarray = (input.cols / u64::from(input.deg_bl_mux)) as f64;
@@ -287,8 +288,8 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     // ---- H-trees ----
     let htree_len = (bank_w / 2.0 + bank_h / 2.0).max(10.0 * f);
     let ht = RepeatedWire::design(periph, &wire, htree_len, input.repeater_relax);
-    let ht_in = ht.evaluate(periph, &wire, 0.0);
-    let ht_out = ht.evaluate(periph, &wire, 0.0);
+    let ht_in = ht.evaluate(periph, &wire, Seconds::ZERO);
+    let ht_out = ht.evaluate(periph, &wire, Seconds::ZERO);
     let ht_stage = ht.stage_delay(periph, &wire);
 
     // ---- Row path ----
@@ -298,7 +299,11 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
 
     let derate = cell.timing_derate;
     let (t_bitline, t_restore) = if is_dram {
-        let c_eff = cell.c_storage * c_bl / (cell.c_storage + c_bl);
+        // Escape hatch: F²/F has no named quantity; series capacitance of
+        // the cell and bitline computed on raw SI values.
+        let c_eff = Farads::from_si(
+            cell.c_storage.value() * c_bl.value() / (cell.c_storage + c_bl).value(),
+        );
         let t_share = derate * cal::TAU_SHARE * (cell.r_access_on + r_bl / 2.0) * c_eff;
         // The restore tail is slow: the access device loses overdrive as
         // the cell node approaches VDD (restore_saturation), and worst-case
@@ -311,26 +316,26 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     } else {
         let t_dis = c_bl * (cal::SRAM_BL_SWING_MULT * cell.v_sense_margin) / cell.i_cell_read
             + 0.38 * r_bl * c_bl;
-        (t_dis, 0.0)
+        (t_dis, Seconds::ZERO)
     };
     let t_sense = derate * sa_eval.delay;
 
     // ---- Column path ----
     let bl_mux = PassMux::design(periph, input.deg_bl_mux as usize);
     let sa_in_cap = periph.cap_gate(sa.w_latch);
-    let bl_mux_eval = bl_mux.evaluate(periph, 0.0, sa_in_cap);
+    let bl_mux_eval = bl_mux.evaluate(periph, Seconds::ZERO, sa_in_cap);
     let sa_mux = PassMux::design(periph, input.deg_sa_mux as usize);
     // The mux output drives the data H-tree's first repeater.
     let ht_in_cap = periph.cap_gate(ht.w_rep * (1.0 + periph.p_to_n_ratio));
     let out_drv = BufferChain::design(periph, 4.0 * periph.c_inv_min(), 20.0 * ht_in_cap);
-    let out_eval = out_drv.evaluate(periph, 0.0);
-    let sa_mux_eval = sa_mux.evaluate(periph, 0.0, out_drv.stage_caps[0]);
+    let out_eval = out_drv.evaluate(periph, Seconds::ZERO);
+    let sa_mux_eval = sa_mux.evaluate(periph, Seconds::ZERO, out_drv.stage_caps[0]);
     let t_mux = bl_mux_eval.delay + sa_mux_eval.delay + out_eval.delay;
 
     // Column-select decode: sized to drive one CSL across the stripe.
     let csl_load = wire.cap(array_w) + 8.0 * periph.c_inv_min();
     let csl = BufferChain::design(periph, periph.c_inv_min(), csl_load);
-    let csl_eval = csl.evaluate(periph, 0.0);
+    let csl_eval = csl.evaluate(periph, Seconds::ZERO);
     let t_column_decode = csl_eval.delay;
 
     let t_htree_out = ht_out.delay;
@@ -399,8 +404,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
             + n_sa_per_subarray * (bl_mux_eval.leakage + sa_mux_eval.leakage) / 8.0
             + out_eval.leakage);
     let cell_leak = input.bank_bits() as f64 * cell.leak_per_cell * vdd_c;
-    let shared_leak =
-        ht_in.leakage + ht_out.leakage + csl_eval.leakage + f64::from(input.ndwl) * 0.0;
+    let shared_leak = ht_in.leakage + ht_out.leakage + csl_eval.leakage;
     let idle_factor = if input.sleep_transistors {
         cal::SLEEP_FACTOR
     } else {
@@ -419,7 +423,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
         let e_row = e_decode + e_bitline + e_sense;
         (rows_total * e_row / cell.retention_time, e_row)
     } else {
-        (0.0, 0.0)
+        (Watts::ZERO, Joules::ZERO)
     };
 
     Ok(ArrayResult {
@@ -429,7 +433,7 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
             bitline: t_bitline,
             sense: t_sense,
             mux: t_mux,
-            column_decode: 0.0,
+            column_decode: Seconds::ZERO,
             htree_out: t_htree_out,
             precharge: t_precharge,
             restore: t_restore,
@@ -449,12 +453,12 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
 
 /// Column-decode latency helper for the main-memory interface, where the
 /// column select happens serially after the row opens.
-pub fn column_decode_delay(tech: &Technology, input: &ArrayInput) -> f64 {
+pub fn column_decode_delay(tech: &Technology, input: &ArrayInput) -> Seconds {
     let wire = tech.wire(WireType::SemiGlobal);
     let array_w = input.cols as f64 * input.cell.width;
     let csl_load = wire.cap(array_w) + 8.0 * input.periph.c_inv_min();
     let csl = BufferChain::design(&input.periph, input.periph.c_inv_min(), csl_load);
-    csl.evaluate(&input.periph, 0.0).delay
+    csl.evaluate(&input.periph, Seconds::ZERO).delay
 }
 
 #[cfg(test)]
@@ -486,12 +490,12 @@ mod tests {
         let input = mk_input(&tech, CellTechnology::Sram, 128, 256);
         let r = evaluate(&tech, &input).unwrap();
         assert!(
-            r.access_time() > 50e-12 && r.access_time() < 2e-9,
-            "{:e}",
+            r.access_time() > Seconds::ps(50.0) && r.access_time() < Seconds::ns(2.0),
+            "{}",
             r.access_time()
         );
-        assert_eq!(r.delay.restore, 0.0);
-        assert_eq!(r.refresh_power, 0.0);
+        assert_eq!(r.delay.restore, Seconds::ZERO);
+        assert_eq!(r.refresh_power, Watts::ZERO);
     }
 
     #[test]
@@ -499,8 +503,8 @@ mod tests {
         let tech = Technology::new(TechNode::N32);
         let input = mk_input(&tech, CellTechnology::LpDram, 128, 256);
         let r = evaluate(&tech, &input).unwrap();
-        assert!(r.delay.restore > 0.0);
-        assert!(r.refresh_power > 0.0);
+        assert!(r.delay.restore > Seconds::ZERO);
+        assert!(r.refresh_power > Watts::ZERO);
         // Destructive readout: cycle time exceeds the SRAM-equivalent.
         assert!(r.random_cycle > r.delay.bitline + r.delay.sense);
     }
@@ -556,7 +560,7 @@ mod tests {
         let r = evaluate(&tech, &mk_input(&tech, CellTechnology::Sram, 128, 256)).unwrap();
         let e = r.energy;
         let total = e.htree_in + e.decode + e.bitline + e.sense + e.column;
-        assert!((r.read_energy() - total).abs() < 1e-18);
+        assert!((r.read_energy() - total).abs() < Joules::from_si(1e-18));
         assert!(e.activate() <= total);
     }
 }

@@ -5,11 +5,12 @@
 use crate::error::CactiError;
 use crate::main_memory::MainMemoryResult;
 use crate::spec::{MemoryKind, MemorySpec};
+use cactid_units::{Joules, Seconds, Watts};
 
 /// A DIMM description: how chips populate a channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DimmConfig {
-    /// Channel data width [bits] (64 for DDR).
+    /// Channel data width \[bits\] (64 for DDR).
     pub channel_bits: u32,
     /// Ranks on the DIMM.
     pub ranks: u32,
@@ -35,21 +36,21 @@ pub struct DimmResult {
     pub chips_per_rank: u32,
     /// Total chips on the DIMM.
     pub total_chips: u32,
-    /// DIMM capacity [bytes].
+    /// DIMM capacity \[bytes\].
     pub capacity_bytes: u64,
     /// Energy to read one 64-byte line (rank ACT + RD across all chips,
-    /// closed-page) [J].
-    pub line_read_energy: f64,
-    /// Energy to write one 64-byte line [J].
-    pub line_write_energy: f64,
-    /// DIMM standby power [W].
-    pub standby_power: f64,
-    /// DIMM refresh power [W].
-    pub refresh_power: f64,
+    /// closed-page).
+    pub line_read_energy: Joules,
+    /// Energy to write one 64-byte line.
+    pub line_write_energy: Joules,
+    /// DIMM standby power.
+    pub standby_power: Watts,
+    /// DIMM refresh power.
+    pub refresh_power: Watts,
     /// Peak channel bandwidth [bytes/s].
     pub peak_bandwidth: f64,
-    /// Time to burst one 64-byte line on the channel [s].
-    pub t_burst: f64,
+    /// Time to burst one 64-byte line on the channel.
+    pub t_burst: Seconds,
 }
 
 /// Assembles DIMM-level numbers from a main-memory chip solution.
@@ -88,7 +89,7 @@ pub fn assemble(
         standby_power: f64::from(total_chips) * e.standby_power,
         refresh_power: f64::from(total_chips) * e.refresh_power,
         peak_bandwidth,
-        t_burst: 64.0 / peak_bandwidth,
+        t_burst: Seconds::from_si(64.0 / peak_bandwidth),
     })
 }
 
@@ -130,12 +131,12 @@ mod tests {
         assert_eq!(d.capacity_bytes, 8 << 30);
         // DDR4-3200 on 64 bits: 25.6 GB/s, 2.5 ns per 64 B line.
         assert!((d.peak_bandwidth - 25.6e9).abs() / 25.6e9 < 1e-9);
-        assert!((d.t_burst - 2.5e-9).abs() < 1e-12);
+        assert!((d.t_burst - Seconds::from_si(2.5e-9)).abs() < Seconds::from_si(1e-12));
         // Rank line-read energy: ~8× the chip's ACT+RD (paper Table 3's
         // 14.2 nJ per cache line is this quantity).
-        assert!(d.line_read_energy > 5e-9 && d.line_read_energy < 20e-9);
+        assert!(d.line_read_energy > Joules::nj(5.0) && d.line_read_energy < Joules::nj(20.0));
         assert!(d.line_write_energy > d.line_read_energy * 0.9);
-        assert!(d.standby_power > 0.0 && d.refresh_power > 0.0);
+        assert!(d.standby_power > Watts::ZERO && d.refresh_power > Watts::ZERO);
     }
 
     #[test]

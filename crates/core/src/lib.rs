@@ -8,7 +8,7 @@
 //! cell technology (SRAM / LP-DRAM / COMM-DRAM), technology node and
 //! optimization knobs — the solver sweeps array organizations
 //! ([`org::OrgParams`]), evaluates each with circuit-level models
-//! ([`array`]), and selects a winner using the paper's staged optimization
+//! ([`mod@array`]), and selects a winner using the paper's staged optimization
 //! (§2.4). Caches get a tag array and access-mode-aware assembly; main
 //! memory gets the chip-level DRAM command model of §2.1/§2.3.5 (tRCD, CAS
 //! latency, tRC, tRRD, ACTIVATE/READ/WRITE energies, refresh power).
@@ -64,6 +64,7 @@ pub use spec::{AccessMode, MemoryKind, MemorySpec, MemorySpecBuilder, Optimizati
 mod tests {
     use super::*;
     use cactid_tech::{CellTechnology, TechNode};
+    use cactid_units::Watts;
 
     #[test]
     fn three_technologies_rank_as_the_paper_says() {
@@ -100,7 +101,7 @@ mod tests {
         // Leakage orderings from Table 3.
         assert!(comm.leakage_power < lp.leakage_power / 10.0);
         assert!(sram.leakage_power > lp.leakage_power);
-        assert!(sram.refresh_power == 0.0);
+        assert!(sram.refresh_power == Watts::ZERO);
         assert!(lp.refresh_power > comm.refresh_power, "short LP retention");
     }
 }

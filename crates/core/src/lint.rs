@@ -3,7 +3,7 @@
 //! This module holds only the *record types* — [`Diagnostic`], [`Severity`],
 //! [`Location`], [`Report`] — and the [`SolutionLinter`] hook through which
 //! the optimizer consults an external rule engine. The rules themselves
-//! (codes `CD0001`–`CD0020`) live in the `cactid-analyze` crate, which
+//! (codes `CD0001`–`CD0022`) live in the `cactid-analyze` crate, which
 //! depends on this one; keeping the records here lets the optimizer reject
 //! candidates that violate Error-severity invariants without a dependency
 //! cycle.
@@ -126,7 +126,7 @@ impl fmt::Display for Location {
 /// One finding from the rule engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable rule code, `CD0001`..`CD0020`.
+    /// Stable rule code, `CD0001`..`CD0022`.
     pub code: &'static str,
     /// How serious the finding is.
     pub severity: Severity,

@@ -9,12 +9,15 @@ use crate::error::CactiError;
 use crate::spec::{MemoryKind, MemorySpec};
 use cactid_circuit::repeater::RepeatedWire;
 use cactid_tech::{Technology, WireType};
+use cactid_units::{Joules, Meters, Seconds, SquareMeters, Volts, Watts};
 
 /// Calibration constants for the chip-level model (see EXPERIMENTS.md).
 pub mod cal {
+    use cactid_units::{Farads, Joules, Seconds, Watts};
+
     /// Fixed interface overhead added to the CAS latency: command decode,
-    /// DLL/clock synchronization and output serialization [s].
-    pub const IO_OVERHEAD: f64 = 8.0e-9;
+    /// DLL/clock synchronization and output serialization.
+    pub const IO_OVERHEAD: Seconds = Seconds::from_si(8.0e-9);
     /// Worst-case guard-banding multiplier applied to the row timings
     /// (tRCD / tRAS / tRP): JEDEC datasheet numbers are specified for the
     /// slowest cell at the worst voltage/temperature corner, not for the
@@ -26,8 +29,8 @@ pub mod cal {
     pub const MM_CELL_MARGIN: f64 = 7.5;
     /// Per-command control overhead energy (command/address receivers,
     /// control logic, V_PP charge-pump inefficiency), referenced to 1.5 V
-    /// and scaled by the cell voltage squared [J].
-    pub const E_CMD_OVERHEAD: f64 = 0.40e-9;
+    /// and scaled by the cell voltage squared.
+    pub const E_CMD_OVERHEAD: Joules = Joules::from_si(0.40e-9);
     /// Wordline-lower + equalization start overhead folded into tRP as a
     /// fraction of the decode path.
     pub const TRP_DECODE_FRACTION: f64 = 0.3;
@@ -35,49 +38,49 @@ pub mod cal {
     /// recovery constraint on back-to-back activates).
     pub const TRRD_TRC_FRACTION: f64 = 0.15;
     /// Effective pad/IO switched capacitance per data pin, including
-    /// termination [F].
-    pub const C_IO_PIN: f64 = 6.0e-12;
+    /// termination.
+    pub const C_IO_PIN: Farads = Farads::from_si(6.0e-12);
     /// Chip-level floorplan overhead (spine, pads, charge pumps) as a
     /// fraction of summed bank area.
     pub const CHIP_OVERHEAD: f64 = 0.16;
     /// Always-on interface standby power (DLL, input buffers, charge
-    /// pumps) [W].
-    pub const STANDBY_IO_POWER: f64 = 0.050;
+    /// pumps).
+    pub const STANDBY_IO_POWER: Watts = Watts::from_si(0.050);
 }
 
 /// Chip-level timing parameters of a main-memory DRAM.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
-    /// Activate-to-column command delay [s].
-    pub t_rcd: f64,
-    /// CAS (column) latency [s].
-    pub cas_latency: f64,
-    /// Activate-to-precharge minimum (row restore complete) [s].
-    pub t_ras: f64,
-    /// Precharge time [s].
-    pub t_rp: f64,
-    /// Row cycle time, `tRAS + tRP` [s].
-    pub t_rc: f64,
-    /// Activate-to-activate (different bank) delay [s].
-    pub t_rrd: f64,
-    /// Burst transfer duration on the interface [s] (interface-speed
+    /// Activate-to-column command delay.
+    pub t_rcd: Seconds,
+    /// CAS (column) latency.
+    pub cas_latency: Seconds,
+    /// Activate-to-precharge minimum (row restore complete).
+    pub t_ras: Seconds,
+    /// Precharge time.
+    pub t_rp: Seconds,
+    /// Row cycle time, `tRAS + tRP`.
+    pub t_rc: Seconds,
+    /// Activate-to-activate (different bank) delay.
+    pub t_rrd: Seconds,
+    /// Burst transfer duration on the interface (interface-speed
     /// dependent; filled by the caller when a data rate is known).
-    pub t_burst: f64,
+    pub t_burst: Seconds,
 }
 
 /// Chip-level per-command energies and standby power.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramEnergies {
-    /// ACTIVATE (+ implied PRECHARGE) energy per command [J].
-    pub activate: f64,
-    /// READ energy per burst [J].
-    pub read: f64,
-    /// WRITE energy per burst [J].
-    pub write: f64,
-    /// Refresh power, whole chip [W].
-    pub refresh_power: f64,
-    /// Standby (leakage + interface) power, whole chip [W].
-    pub standby_power: f64,
+    /// ACTIVATE (+ implied PRECHARGE) energy per command.
+    pub activate: Joules,
+    /// READ energy per burst.
+    pub read: Joules,
+    /// WRITE energy per burst.
+    pub write: Joules,
+    /// Refresh power, whole chip.
+    pub refresh_power: Watts,
+    /// Standby (leakage + interface) power, whole chip.
+    pub standby_power: Watts,
 }
 
 /// Complete chip-level result for a main-memory specification.
@@ -87,8 +90,8 @@ pub struct MainMemoryResult {
     pub timing: DramTiming,
     /// Command energies.
     pub energies: DramEnergies,
-    /// Chip area [m²].
-    pub chip_area: f64,
+    /// Chip area.
+    pub chip_area: SquareMeters,
     /// Cell-area / chip-area efficiency (0–1).
     pub area_efficiency: f64,
 }
@@ -131,8 +134,9 @@ pub fn assemble(
     let chip_side = chip_area.sqrt();
     let wire = tech.wire(WireType::Global);
     let periph = &input.periph;
-    let chip_wire = RepeatedWire::design(periph, &wire, (chip_side / 2.0).max(1e-6), 1.0);
-    let chip_path = chip_wire.evaluate(periph, &wire, 0.0);
+    let chip_wire =
+        RepeatedWire::design(periph, &wire, (chip_side / 2.0).max(Meters::um(1.0)), 1.0);
+    let chip_path = chip_wire.evaluate(periph, &wire, Seconds::ZERO);
 
     // ---- Timing (row timings carry the JEDEC-style guard band) ----
     let t_rcd = cal::MM_TIMING_MARGIN * bank.t_row_to_sense();
@@ -146,7 +150,9 @@ pub fn assemble(
 
     // ---- Energies ----
     let burst_bits = spec.output_bits() as f64;
-    let e_cmd = cal::E_CMD_OVERHEAD * (cell.vdd_cell / 1.5) * (cell.vdd_cell / 1.5);
+    let e_cmd = cal::E_CMD_OVERHEAD
+        * (cell.vdd_cell / Volts::from_si(1.5))
+        * (cell.vdd_cell / Volts::from_si(1.5));
     let activate = bank.energy.activate() + e_cmd;
     let e_io = burst_bits * cal::C_IO_PIN * cell.vdd_cell * cell.vdd_cell;
     let e_chip_wires = burst_bits * 0.5 * chip_path.energy;
@@ -166,7 +172,7 @@ pub fn assemble(
             t_rp,
             t_rc,
             t_rrd,
-            t_burst: 0.0,
+            t_burst: Seconds::ZERO,
         },
         energies: DramEnergies {
             activate,
@@ -229,7 +235,7 @@ mod tests {
         let (tech, spec) = micron_like();
         let r = eval(&tech, &spec, 16, 64);
         assert!(r.timing.t_rc >= r.timing.t_ras);
-        assert!((r.timing.t_rc - (r.timing.t_ras + r.timing.t_rp)).abs() < 1e-15);
+        assert!((r.timing.t_rc - (r.timing.t_ras + r.timing.t_rp)).abs() < Seconds::from_si(1e-15));
         assert!(r.timing.t_ras >= r.timing.t_rcd);
         assert!(r.timing.t_rrd < r.timing.t_rc, "interleaving must help");
     }
@@ -240,13 +246,13 @@ mod tests {
         let r = eval(&tech, &spec, 16, 64);
         // DDR3-class: tRCD and CL around 10–20 ns, tRC around 35–70 ns.
         assert!(
-            r.timing.t_rcd > 5e-9 && r.timing.t_rcd < 25e-9,
-            "tRCD {:e}",
+            r.timing.t_rcd > Seconds::ns(5.0) && r.timing.t_rcd < Seconds::ns(25.0),
+            "tRCD {}",
             r.timing.t_rcd
         );
         assert!(
-            r.timing.t_rc > 25e-9 && r.timing.t_rc < 90e-9,
-            "tRC {:e}",
+            r.timing.t_rc > Seconds::ns(25.0) && r.timing.t_rc < Seconds::ns(90.0),
+            "tRC {}",
             r.timing.t_rc
         );
     }
@@ -257,7 +263,7 @@ mod tests {
         let r = eval(&tech, &spec, 16, 64);
         assert!(r.energies.activate > r.energies.read);
         assert!(r.energies.write > r.energies.read);
-        assert!(r.energies.refresh_power > 0.0);
+        assert!(r.energies.refresh_power > Watts::ZERO);
         assert!(r.energies.standby_power >= cal::STANDBY_IO_POWER);
     }
 

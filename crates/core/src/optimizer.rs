@@ -119,22 +119,29 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Result<Solution, Cac
     }
     let opt = &spec.opt;
 
+    // The scoring below is the designated raw-f64 escape hatch: the
+    // normalized weighted objective mixes energy, power and time ratios
+    // into one dimensionless score, so the quantities drop to `.value()`
+    // here and nowhere else in the solver.
     let best_area = solutions
         .iter()
-        .map(|s| s.area)
+        .map(|s| s.area.value())
         .fold(f64::INFINITY, f64::min);
     let area_cap = best_area * (1.0 + opt.max_area_overhead);
-    let stage1: Vec<&Solution> = solutions.iter().filter(|s| s.area <= area_cap).collect();
+    let stage1: Vec<&Solution> = solutions
+        .iter()
+        .filter(|s| s.area.value() <= area_cap)
+        .collect();
 
     let best_t = stage1
         .iter()
-        .map(|s| s.access_time)
+        .map(|s| s.access_time.value())
         .fold(f64::INFINITY, f64::min);
     let t_cap = best_t * (1.0 + opt.max_access_time_overhead);
     let stage2: Vec<&Solution> = stage1
         .iter()
         .copied()
-        .filter(|s| s.access_time <= t_cap)
+        .filter(|s| s.access_time.value() <= t_cap)
         .collect();
 
     let min_of = |f: fn(&Solution) -> f64| {
@@ -143,19 +150,20 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Result<Solution, Cac
             .map(|s| f(s).max(1e-30))
             .fold(f64::INFINITY, f64::min)
     };
-    let e_min = min_of(|s| s.read_energy);
-    let l_min = min_of(|s| s.leakage_power + s.refresh_power);
-    let c_min = min_of(|s| s.random_cycle);
-    let i_min = min_of(|s| s.interleave_cycle);
+    let e_min = min_of(|s| s.read_energy.value());
+    let l_min = min_of(|s| (s.leakage_power + s.refresh_power).value());
+    let c_min = min_of(|s| s.random_cycle.value());
+    let i_min = min_of(|s| s.interleave_cycle.value());
 
     Ok(stage2
         .into_iter()
         .min_by(|a, b| {
             let obj = |s: &Solution| {
-                opt.weight_dynamic * s.read_energy.max(1e-30) / e_min
-                    + opt.weight_leakage * (s.leakage_power + s.refresh_power).max(1e-30) / l_min
-                    + opt.weight_cycle * s.random_cycle.max(1e-30) / c_min
-                    + opt.weight_interleave * s.interleave_cycle.max(1e-30) / i_min
+                opt.weight_dynamic * s.read_energy.value().max(1e-30) / e_min
+                    + opt.weight_leakage * (s.leakage_power + s.refresh_power).value().max(1e-30)
+                        / l_min
+                    + opt.weight_cycle * s.random_cycle.value().max(1e-30) / c_min
+                    + opt.weight_interleave * s.interleave_cycle.value().max(1e-30) / i_min
             };
             obj(a).total_cmp(&obj(b))
         })
@@ -193,6 +201,7 @@ mod tests {
     use super::*;
     use crate::spec::{AccessMode, OptimizationOptions};
     use cactid_tech::{CellTechnology, TechNode};
+    use cactid_units::{Joules, Seconds, SquareMeters, Watts};
 
     fn l2() -> MemorySpec {
         MemorySpec::builder()
@@ -214,10 +223,10 @@ mod tests {
         let sols = solve(&l2()).unwrap();
         assert!(sols.len() > 10, "only {} candidates", sols.len());
         for s in &sols {
-            assert!(s.access_time > 0.0 && s.access_time < 50e-9);
-            assert!(s.area > 0.0);
-            assert!(s.read_energy > 0.0);
-            assert!(s.leakage_power > 0.0);
+            assert!(s.access_time > Seconds::ZERO && s.access_time < Seconds::ns(50.0));
+            assert!(s.area > SquareMeters::ZERO);
+            assert!(s.read_energy > Joules::ZERO);
+            assert!(s.leakage_power > Watts::ZERO);
         }
     }
 
@@ -226,8 +235,11 @@ mod tests {
         let spec = l2();
         let sols = solve(&spec).unwrap();
         let chosen = select(&spec, &sols).unwrap();
-        let best_area = sols.iter().map(|s| s.area).fold(f64::INFINITY, f64::min);
-        assert!(chosen.area <= best_area * (1.0 + spec.opt.max_area_overhead) + 1e-12);
+        let best_area = sols
+            .iter()
+            .map(|s| s.area.value())
+            .fold(f64::INFINITY, f64::min);
+        assert!(chosen.area.value() <= best_area * (1.0 + spec.opt.max_area_overhead) + 1e-12);
     }
 
     #[test]
@@ -249,8 +261,8 @@ mod tests {
         let cycle_pick = select(&spec, &sols).unwrap();
         // The two objectives should not pick a strictly worse solution on
         // their own axis.
-        assert!(energy_pick.read_energy <= cycle_pick.read_energy + 1e-15);
-        assert!(cycle_pick.random_cycle <= energy_pick.random_cycle + 1e-15);
+        assert!(energy_pick.read_energy <= cycle_pick.read_energy + Joules::from_si(1e-15));
+        assert!(cycle_pick.random_cycle <= energy_pick.random_cycle + Seconds::from_si(1e-15));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::main_memory::MainMemoryResult;
 use crate::org::OrgParams;
 use crate::spec::{AccessMode, MemoryKind, MemorySpec};
 use crate::tag::TagResult;
+use cactid_units::{Joules, Seconds, SquareMeters, Watts};
 
 /// One complete solution produced by the solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,24 +20,24 @@ pub struct Solution {
     pub tag: Option<TagResult>,
     /// Chip-level main-memory result, for main-memory specs.
     pub main_memory: Option<MainMemoryResult>,
-    /// End-to-end access time [s].
-    pub access_time: f64,
-    /// Random cycle time [s].
-    pub random_cycle: f64,
-    /// Multisubbank interleave cycle time [s].
-    pub interleave_cycle: f64,
-    /// Total area, all banks, tag + data (chip area for main memory) [m²].
-    pub area: f64,
+    /// End-to-end access time.
+    pub access_time: Seconds,
+    /// Random cycle time.
+    pub random_cycle: Seconds,
+    /// Multisubbank interleave cycle time.
+    pub interleave_cycle: Seconds,
+    /// Total area, all banks, tag + data (chip area for main memory).
+    pub area: SquareMeters,
     /// Cell-area / total-area efficiency (0–1).
     pub area_efficiency: f64,
-    /// Read energy per access [J].
-    pub read_energy: f64,
-    /// Write energy per access [J].
-    pub write_energy: f64,
-    /// Total standby leakage, all banks [W].
-    pub leakage_power: f64,
-    /// Total refresh power, all banks [W] (0 for SRAM).
-    pub refresh_power: f64,
+    /// Read energy per access.
+    pub read_energy: Joules,
+    /// Write energy per access.
+    pub write_energy: Joules,
+    /// Total standby leakage, all banks.
+    pub leakage_power: Watts,
+    /// Total refresh power, all banks (0 for SRAM).
+    pub refresh_power: Watts,
     /// Non-error diagnostics attached by the lint engine when the solver
     /// runs with one (see `solve_with`); empty otherwise.
     pub warnings: Vec<Diagnostic>,
@@ -81,7 +82,7 @@ impl Solution {
         let random_cycle = match (&spec.kind, &main_memory) {
             (MemoryKind::MainMemory { .. }, Some(mm)) => mm.timing.t_rc,
             _ => {
-                let tag_cycle = tag.as_ref().map_or(0.0, |t| t.array.random_cycle);
+                let tag_cycle = tag.as_ref().map_or(Seconds::ZERO, |t| t.array.random_cycle);
                 data.random_cycle.max(tag_cycle)
             }
         };
@@ -91,7 +92,7 @@ impl Solution {
         let (area, area_efficiency) = if let Some(mm) = &main_memory {
             (mm.chip_area, mm.area_efficiency)
         } else {
-            let tag_area = tag.as_ref().map_or(0.0, |t| t.array.area());
+            let tag_area = tag.as_ref().map_or(SquareMeters::ZERO, |t| t.array.area());
             let total = n_banks * (data.area() + tag_area);
             let tag_bits_total = tag.as_ref().map_or(0, |_| {
                 spec.sets() * u64::from(spec.associativity) * u64::from(spec.tag_bits())
@@ -101,14 +102,16 @@ impl Solution {
         };
 
         // ---- Energy / power ----
-        let tag_read = tag.as_ref().map_or(0.0, super::tag::TagResult::read_energy);
+        let tag_read = tag
+            .as_ref()
+            .map_or(Joules::ZERO, super::tag::TagResult::read_energy);
         let tag_write = tag
             .as_ref()
-            .map_or(0.0, |t| t.array.write_energy + t.comparator_energy);
+            .map_or(Joules::ZERO, |t| t.array.write_energy + t.comparator_energy);
         let read_energy = data.read_energy() + tag_read;
         let write_energy = data.write_energy + tag_write;
-        let tag_leak = tag.as_ref().map_or(0.0, |t| t.array.leakage);
-        let tag_refresh = tag.as_ref().map_or(0.0, |t| t.array.refresh_power);
+        let tag_leak = tag.as_ref().map_or(Watts::ZERO, |t| t.array.leakage);
+        let tag_refresh = tag.as_ref().map_or(Watts::ZERO, |t| t.array.refresh_power);
         let leakage_power = if let Some(mm) = &main_memory {
             mm.energies.standby_power
         } else {
@@ -140,17 +143,17 @@ impl Solution {
 
     /// Area in mm².
     pub fn area_mm2(&self) -> f64 {
-        self.area / 1e-6
+        self.area / SquareMeters::mm2(1.0)
     }
 
     /// Access time in nanoseconds.
     pub fn access_ns(&self) -> f64 {
-        self.access_time / 1e-9
+        self.access_time / Seconds::ns(1.0)
     }
 
     /// Read energy in nanojoules.
     pub fn read_energy_nj(&self) -> f64 {
-        self.read_energy / 1e-9
+        self.read_energy / Joules::nj(1.0)
     }
 }
 
@@ -159,6 +162,7 @@ mod tests {
     use crate::spec::{AccessMode, MemoryKind, MemorySpec};
     use crate::{optimize, solve};
     use cactid_tech::{CellTechnology, TechNode};
+    use cactid_units::Seconds;
 
     fn spec(kind: MemoryKind, cell: CellTechnology) -> MemorySpec {
         MemorySpec::builder()
@@ -211,9 +215,12 @@ mod tests {
         // Sequential = tag + data end to end; it must exceed both parallel
         // modes, and fast can never be slower than normal.
         assert!(sequential.access_time > normal.access_time);
-        assert!(fast.access_time <= normal.access_time + 1e-12);
+        assert!(fast.access_time <= normal.access_time + Seconds::from_si(1e-12));
         let t = sequential.tag.as_ref().unwrap();
-        assert!(sequential.access_time >= t.access_time() + sequential.data.access_time() - 1e-12);
+        assert!(
+            sequential.access_time
+                >= t.access_time() + sequential.data.access_time() - Seconds::from_si(1e-12)
+        );
     }
 
     #[test]
@@ -225,9 +232,9 @@ mod tests {
             CellTechnology::LpDram,
         ))
         .unwrap();
-        assert!((sol.area_mm2() - sol.area / 1e-6).abs() < 1e-12);
-        assert!((sol.access_ns() - sol.access_time * 1e9).abs() < 1e-12);
-        assert!((sol.read_energy_nj() - sol.read_energy * 1e9).abs() < 1e-12);
+        assert!((sol.area_mm2() - sol.area.value() / 1e-6).abs() < 1e-12);
+        assert!((sol.access_ns() - sol.access_time.value() * 1e9).abs() < 1e-12);
+        assert!((sol.read_energy_nj() - sol.read_energy.value() * 1e9).abs() < 1e-12);
     }
 
     #[test]
@@ -240,8 +247,8 @@ mod tests {
         );
         for sol in solve(&s).unwrap() {
             let tag_cycle = sol.tag.as_ref().unwrap().array.random_cycle;
-            assert!(sol.random_cycle >= tag_cycle - 1e-15);
-            assert!(sol.random_cycle >= sol.data.random_cycle - 1e-15);
+            assert!(sol.random_cycle >= tag_cycle - Seconds::from_si(1e-15));
+            assert!(sol.random_cycle >= sol.data.random_cycle - Seconds::from_si(1e-15));
         }
     }
 }

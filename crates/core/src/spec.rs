@@ -132,7 +132,7 @@ pub struct MemorySpec {
     pub cell_tech: CellTechnology,
     /// Technology node.
     pub node: TechNode,
-    /// Physical address width used for tag sizing [bits].
+    /// Physical address width used for tag sizing \[bits\].
     pub address_bits: u32,
     /// Optimization knobs.
     pub opt: OptimizationOptions,
@@ -144,7 +144,7 @@ impl MemorySpec {
         MemorySpecBuilder::default()
     }
 
-    /// Capacity of one bank [bytes].
+    /// Capacity of one bank \[bytes\].
     pub fn bank_bytes(&self) -> u64 {
         self.capacity_bytes / u64::from(self.n_banks)
     }

@@ -5,31 +5,32 @@ use crate::array::{self, ArrayInput, ArrayResult};
 use crate::error::CactiError;
 use crate::spec::MemorySpec;
 use cactid_tech::{DeviceParams, Technology};
+use cactid_units::{Joules, Seconds};
 
 /// Result of designing the tag array for a cache.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TagResult {
     /// The underlying array evaluation (one bank's tag array).
     pub array: ArrayResult,
-    /// Tag comparator delay [s].
-    pub comparator_delay: f64,
-    /// Tag comparator energy per access (all ways compared) [J].
-    pub comparator_energy: f64,
+    /// Tag comparator delay.
+    pub comparator_delay: Seconds,
+    /// Tag comparator energy per access (all ways compared).
+    pub comparator_energy: Joules,
 }
 
 impl TagResult {
-    /// Tag path latency: array access plus compare [s].
-    pub fn access_time(&self) -> f64 {
+    /// Tag path latency: array access plus compare.
+    pub fn access_time(&self) -> Seconds {
         self.array.access_time() + self.comparator_delay
     }
 
-    /// Tag path read energy [J].
-    pub fn read_energy(&self) -> f64 {
+    /// Tag path read energy.
+    pub fn read_energy(&self) -> Joules {
         self.array.read_energy() + self.comparator_energy
     }
 }
 
-fn fo4(dev: &DeviceParams) -> f64 {
+fn fo4(dev: &DeviceParams) -> Seconds {
     let cin = (1.0 + dev.p_to_n_ratio) * dev.c_gate;
     let cself = (1.0 + dev.p_to_n_ratio) * dev.c_drain;
     0.69 * dev.r_eff_n * (cself + 4.0 * cin)
@@ -118,6 +119,7 @@ mod tests {
     use super::*;
     use crate::spec::{AccessMode, MemoryKind};
     use cactid_tech::{CellTechnology, TechNode};
+    use cactid_units::{SquareMeters, Watts};
 
     fn spec(capacity: u64, tech: CellTechnology) -> MemorySpec {
         MemorySpec::builder()
@@ -141,12 +143,12 @@ mod tests {
         let tag = design_tag(&tech, &s).unwrap();
         // 1 MB / 64 B lines × ~27 tag bits ≈ 54 kbit ≈ 7 kB of tags.
         assert!(
-            tag.array.area() < 1e-6,
-            "tag area {:e} m²",
+            tag.array.area() < SquareMeters::from_si(1e-6),
+            "tag area {} m²",
             tag.array.area()
         );
-        assert!(tag.access_time() < 2e-9);
-        assert!(tag.comparator_delay > 0.0);
+        assert!(tag.access_time() < Seconds::ns(2.0));
+        assert!(tag.comparator_delay > Seconds::ZERO);
     }
 
     #[test]
@@ -161,6 +163,6 @@ mod tests {
     fn dram_tags_work_too() {
         let tech = Technology::new(TechNode::N32);
         let tag = design_tag(&tech, &spec(8 << 20, CellTechnology::LpDram)).unwrap();
-        assert!(tag.array.refresh_power > 0.0);
+        assert!(tag.array.refresh_power > Watts::ZERO);
     }
 }

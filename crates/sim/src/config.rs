@@ -75,7 +75,7 @@ pub struct L3Config {
     pub bank: CacheConfig,
     /// Number of banks (the paper uses 8, one per core).
     pub n_banks: u32,
-    /// One-way crossbar traversal between an L2 and an L3 bank [cycles].
+    /// One-way crossbar traversal between an L2 and an L3 bank \[cycles\].
     pub xbar_cycles: u64,
     /// Is this a DRAM L3 (needs refresh accounting and set mapping)?
     pub is_dram: bool,
@@ -129,7 +129,7 @@ pub struct SystemConfig {
     pub n_cores: u32,
     /// Hardware threads per core.
     pub threads_per_core: u32,
-    /// CPU clock [Hz] (used by the study to convert counts to power).
+    /// CPU clock \[Hz\] (used by the study to convert counts to power).
     pub clock_hz: f64,
     /// Private L1 data cache.
     pub l1: CacheConfig,
@@ -139,7 +139,7 @@ pub struct SystemConfig {
     pub l3: Option<L3Config>,
     /// Main memory.
     pub dram: DramConfig,
-    /// Non-FP instruction latency [cycles] (paper: 4).
+    /// Non-FP instruction latency \[cycles\] (paper: 4).
     pub other_instr_cycles: u64,
 }
 

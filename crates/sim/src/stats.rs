@@ -85,7 +85,7 @@ pub struct SimStats {
     pub cycle_breakdown: [u64; 6],
     /// Access counters.
     pub counts: AccessCounts,
-    /// Sum of load latencies [cycles] (for average read latency).
+    /// Sum of load latencies \[cycles\] (for average read latency).
     pub load_latency_sum: u64,
     /// Number of loads.
     pub loads: u64,

@@ -10,6 +10,7 @@
 use cactid_circuit::{BlockResult, Crossbar};
 use cactid_core::{optimize, AccessMode, MemoryKind, MemorySpec, OptimizationOptions, Solution};
 use cactid_tech::{CellTechnology, DeviceType, TechNode, Technology, WireType};
+use cactid_units::{Meters, Seconds};
 use memsim::config::{
     CacheConfig, DramConfig, L3Config, L3Interface, L3PageTiming, PagePolicy, SetMapping,
     SystemConfig,
@@ -20,9 +21,9 @@ pub const CLOCK_HZ: f64 = 2.0e9;
 /// Maximum pipeline stages inside any cache (paper §4.1).
 pub const MAX_PIPE_STAGES: u64 = 6;
 /// Crossbar span at 32 nm, measured from the Niagara2 die photo and scaled
-/// (paper §4.1) [m].
-pub const XBAR_SIDE_M: f64 = 3.0e-3;
-/// Crossbar datapath width [bits].
+/// (paper §4.1).
+pub const XBAR_SIDE_M: Meters = Meters::from_si(3.0e-3);
+/// Crossbar datapath width \[bits\].
 pub const XBAR_WIDTH_BITS: usize = 128;
 
 /// The six system configurations in the paper's plotting order.
@@ -171,8 +172,8 @@ pub fn main_memory_spec() -> MemorySpec {
 /// cache runs at `1/ratio` of the CPU clock where `ratio` is the smallest
 /// divisor keeping the pipeline within [`MAX_PIPE_STAGES`]; all its timings
 /// quantize to that granularity.
-fn quantize(seconds: f64) -> u64 {
-    (seconds * CLOCK_HZ).ceil().max(1.0) as u64
+fn quantize(t: Seconds) -> u64 {
+    (t.value() * CLOCK_HZ).ceil().max(1.0) as u64
 }
 
 fn cache_config(sol: &Solution, capacity: u64, assoc: u32) -> CacheConfig {

@@ -13,11 +13,11 @@ use cactid_tech::{CellTechnology, TechNode};
 /// published figures.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct XeonTarget {
-    /// Access time [s].
+    /// Access time \[s\].
     pub access_time: f64,
-    /// Total power (leakage + dynamic at the quoted activity) [W].
+    /// Total power (leakage + dynamic at the quoted activity) \[W\].
     pub power: f64,
-    /// Area [m²].
+    /// Area \[m²\].
     pub area: f64,
 }
 
@@ -49,11 +49,11 @@ pub const XEON_TARGETS: [XeonTarget; 2] = [
 pub struct Figure1Point {
     /// Knob description.
     pub knobs: String,
-    /// Access time [s].
+    /// Access time \[s\].
     pub access_time: f64,
-    /// Leakage + dynamic power at activity factor 1.0 [W].
+    /// Leakage + dynamic power at activity factor 1.0 \[W\].
     pub power: f64,
-    /// Area [m²].
+    /// Area \[m²\].
     pub area: f64,
 }
 
@@ -85,7 +85,7 @@ fn solution_power(sol: &Solution, af: f64) -> f64 {
     // following the paper we evaluate dynamic power at an assumed access
     // rate of one per 3 ns (the cache's own random-access pipeline).
     let access_rate = af / 3.0e-9;
-    sol.leakage_power + sol.read_energy * access_rate
+    sol.leakage_power.value() + sol.read_energy.value() * access_rate
 }
 
 /// Sweeps the optimizer knobs (max-area %, max-acctime %, repeater
@@ -119,9 +119,9 @@ pub fn figure1() -> Vec<Figure1Point> {
                 area_pct * 100.0,
                 time_pct * 100.0
             ),
-            access_time: sol.access_time,
+            access_time: sol.access_time.value(),
             power: solution_power(&sol, 1.0),
-            area: sol.area,
+            area: sol.area.value(),
         });
     }
     out
@@ -157,9 +157,9 @@ pub fn sparc_point() -> Figure1Point {
     let sol = cactid_core::select(&spec, &sols).expect("solve returned a non-empty set");
     Figure1Point {
         knobs: "sparc l2 (90nm)".into(),
-        access_time: sol.access_time,
+        access_time: sol.access_time.value(),
         power: solution_power(&sol, 1.0),
-        area: sol.area,
+        area: sol.area.value(),
     }
 }
 

@@ -16,7 +16,7 @@ pub struct AppRun {
     pub kind: LlcKind,
     /// Measured statistics (post-warm-up).
     pub stats: SimStats,
-    /// Measured wall time of the simulated interval [s].
+    /// Measured wall time of the simulated interval \[s\].
     pub seconds: f64,
 }
 

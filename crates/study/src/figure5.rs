@@ -13,9 +13,9 @@ pub struct PowerRun {
     pub app: NpbApp,
     /// Configuration.
     pub kind: LlcKind,
-    /// Hierarchy power breakdown [W].
+    /// Hierarchy power breakdown \[W\].
     pub hierarchy: MemoryHierarchyPower,
-    /// System power (core + hierarchy) [W].
+    /// System power (core + hierarchy) \[W\].
     pub system_w: f64,
     /// Energy-delay product [J·s].
     pub edp: f64,

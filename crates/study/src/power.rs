@@ -20,7 +20,7 @@ pub const CHIPS_PER_RANK: f64 = 8.0;
 pub const TOTAL_CHIPS: f64 = 16.0;
 
 /// Power of the memory hierarchy, broken into the paper's Figure 5(a)
-/// categories [W].
+/// categories \[W\].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MemoryHierarchyPower {
     /// L1 (instruction + data, all cores) leakage.
@@ -52,7 +52,7 @@ pub struct MemoryHierarchyPower {
 }
 
 impl MemoryHierarchyPower {
-    /// Total memory-hierarchy power [W].
+    /// Total memory-hierarchy power \[W\].
     pub fn total(&self) -> f64 {
         self.l1_leak
             + self.l1_dyn
@@ -81,26 +81,27 @@ impl MemoryHierarchyPower {
 
         // L1: data + instruction caches, both of the L1 solution's shape.
         // Two L1 arrays per core (I + D).
-        let l1_leak = 2.0 * n_cores * cfg.l1.leakage_power;
-        let l1_dyn = ((c.l1_reads + c.l1i_reads) as f64 * cfg.l1.read_energy
-            + c.l1_writes as f64 * cfg.l1.write_energy)
+        let l1_leak = 2.0 * n_cores * cfg.l1.leakage_power.value();
+        let l1_dyn = ((c.l1_reads + c.l1i_reads) as f64 * cfg.l1.read_energy.value()
+            + c.l1_writes as f64 * cfg.l1.write_energy.value())
             * per_s;
 
-        let l2_leak = n_cores * cfg.l2.leakage_power;
-        let l2_dyn = (c.l2_reads as f64 * cfg.l2.read_energy
-            + c.l2_writes as f64 * cfg.l2.write_energy)
+        let l2_leak = n_cores * cfg.l2.leakage_power.value();
+        let l2_dyn = (c.l2_reads as f64 * cfg.l2.read_energy.value()
+            + c.l2_writes as f64 * cfg.l2.write_energy.value())
             * per_s;
 
         let (xbar_leak, xbar_dyn, l3_leak, l3_dyn, l3_refresh) = match &cfg.l3 {
             Some(l3) => {
                 let flits = (64 * 8 / crate::configs::XBAR_WIDTH_BITS) as f64;
                 (
-                    cfg.xbar.leakage,
-                    c.xbar_transfers as f64 * flits * cfg.xbar.energy * per_s,
-                    l3.leakage_power,
-                    (c.l3_reads as f64 * l3.read_energy + c.l3_writes as f64 * l3.write_energy)
+                    cfg.xbar.leakage.value(),
+                    c.xbar_transfers as f64 * flits * cfg.xbar.energy.value() * per_s,
+                    l3.leakage_power.value(),
+                    (c.l3_reads as f64 * l3.read_energy.value()
+                        + c.l3_writes as f64 * l3.write_energy.value())
                         * per_s,
-                    l3.refresh_power,
+                    l3.refresh_power.value(),
                 )
             }
             None => (0.0, 0.0, 0.0, 0.0, 0.0),
@@ -113,12 +114,12 @@ impl MemoryHierarchyPower {
             .expect("study config has a chip-level main-memory solution");
         let e = &mm.energies;
         let mem_dyn = CHIPS_PER_RANK
-            * (c.mem_activates as f64 * e.activate
-                + c.mem_reads as f64 * e.read
-                + c.mem_writes as f64 * e.write)
+            * (c.mem_activates as f64 * e.activate.value()
+                + c.mem_reads as f64 * e.read.value()
+                + c.mem_writes as f64 * e.write.value())
             * per_s;
-        let mem_standby = TOTAL_CHIPS * e.standby_power;
-        let mem_refresh = TOTAL_CHIPS * e.refresh_power;
+        let mem_standby = TOTAL_CHIPS * e.standby_power.value();
+        let mem_refresh = TOTAL_CHIPS * e.refresh_power.value();
 
         let bus_bits = (c.mem_reads + c.mem_writes) as f64 * 64.0 * 8.0;
         let bus = bus_bits * BUS_J_PER_BIT * per_s;
@@ -141,7 +142,7 @@ impl MemoryHierarchyPower {
     }
 }
 
-/// System power: core + memory hierarchy [W].
+/// System power: core + memory hierarchy \[W\].
 pub fn system_power(hier: &MemoryHierarchyPower) -> f64 {
     CORE_POWER_W + hier.total()
 }

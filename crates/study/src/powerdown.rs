@@ -26,11 +26,11 @@ pub const POWERDOWN_COVERAGE: f64 = 0.8;
 pub struct PowerDownAnalysis {
     /// Fraction of time the memory channels are busy (0–1).
     pub busy_fraction: f64,
-    /// Standby power without power-down [W].
+    /// Standby power without power-down \[W\].
     pub standby_baseline: f64,
-    /// Standby power with power-down [W].
+    /// Standby power with power-down \[W\].
     pub standby_with_powerdown: f64,
-    /// Memory-hierarchy power saved [W].
+    /// Memory-hierarchy power saved \[W\].
     pub hierarchy_savings: f64,
 }
 

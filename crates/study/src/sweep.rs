@@ -14,7 +14,7 @@ use npbgen::{NpbApp, NpbClass, NpbTrace};
 /// One point of the sensitivity curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
-    /// Total L3 capacity [bytes].
+    /// Total L3 capacity \[bytes\].
     pub capacity_bytes: u64,
     /// L3 accesses per kilo-instruction.
     pub l3_apki: f64,

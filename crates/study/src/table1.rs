@@ -48,7 +48,11 @@ pub fn table1(node: TechNode) -> Vec<Table1Row> {
     rows.push(Table1Row {
         characteristic: "Cell VDD (V)",
         values: f3(
-            [cells[0].vdd_cell, cells[1].vdd_cell, cells[2].vdd_cell],
+            [
+                cells[0].vdd_cell.value(),
+                cells[1].vdd_cell.value(),
+                cells[2].vdd_cell.value(),
+            ],
             |v| format!("{v:.1}"),
         ),
     });
@@ -56,24 +60,24 @@ pub fn table1(node: TechNode) -> Vec<Table1Row> {
         characteristic: "Storage cap (fF)",
         values: [
             "-".into(),
-            format!("{:.0}", cells[1].c_storage * 1e15),
-            format!("{:.0}", cells[2].c_storage * 1e15),
+            format!("{:.0}", cells[1].c_storage.value() * 1e15),
+            format!("{:.0}", cells[2].c_storage.value() * 1e15),
         ],
     });
     rows.push(Table1Row {
         characteristic: "Boosted wordline VPP (V)",
         values: [
             "-".into(),
-            format!("{:.1}", cells[1].vpp),
-            format!("{:.1}", cells[2].vpp),
+            format!("{:.1}", cells[1].vpp.value()),
+            format!("{:.1}", cells[2].vpp.value()),
         ],
     });
     rows.push(Table1Row {
         characteristic: "Refresh period (ms)",
         values: [
             "-".into(),
-            format!("{:.2}", cells[1].retention_time * 1e3),
-            format!("{:.0}", cells[2].retention_time * 1e3),
+            format!("{:.2}", cells[1].retention_time.value() * 1e3),
+            format!("{:.0}", cells[2].retention_time.value() * 1e3),
         ],
     });
     rows

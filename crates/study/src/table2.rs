@@ -17,19 +17,19 @@ use cactid_tech::{CellTechnology, TechNode};
 pub struct MicronActual {
     /// Area efficiency (fraction; the paper assumes the ITRS 56 % value).
     pub area_efficiency: f64,
-    /// tRCD [s].
+    /// tRCD \[s\].
     pub t_rcd: f64,
-    /// CAS latency [s].
+    /// CAS latency \[s\].
     pub cas_latency: f64,
-    /// tRC [s].
+    /// tRC \[s\].
     pub t_rc: f64,
-    /// ACTIVATE (+precharge) energy [J].
+    /// ACTIVATE (+precharge) energy \[J\].
     pub e_activate: f64,
-    /// READ energy [J].
+    /// READ energy \[J\].
     pub e_read: f64,
-    /// WRITE energy [J].
+    /// WRITE energy \[J\].
     pub e_write: f64,
-    /// Refresh power [W].
+    /// Refresh power \[W\].
     pub p_refresh: f64,
 }
 
@@ -101,44 +101,44 @@ pub fn table2() -> (Solution, Vec<Table2Row>) {
         Table2Row {
             metric: "Activation delay tRCD (ns)",
             actual: a.t_rcd * 1e9,
-            model: mm.timing.t_rcd * 1e9,
-            error_pct: pct_err(mm.timing.t_rcd, a.t_rcd),
+            model: mm.timing.t_rcd.value() * 1e9,
+            error_pct: pct_err(mm.timing.t_rcd.value(), a.t_rcd),
         },
         Table2Row {
             metric: "CAS latency (ns)",
             actual: a.cas_latency * 1e9,
-            model: mm.timing.cas_latency * 1e9,
-            error_pct: pct_err(mm.timing.cas_latency, a.cas_latency),
+            model: mm.timing.cas_latency.value() * 1e9,
+            error_pct: pct_err(mm.timing.cas_latency.value(), a.cas_latency),
         },
         Table2Row {
             metric: "Row cycle time tRC (ns)",
             actual: a.t_rc * 1e9,
-            model: mm.timing.t_rc * 1e9,
-            error_pct: pct_err(mm.timing.t_rc, a.t_rc),
+            model: mm.timing.t_rc.value() * 1e9,
+            error_pct: pct_err(mm.timing.t_rc.value(), a.t_rc),
         },
         Table2Row {
             metric: "ACTIVATE energy (nJ)",
             actual: a.e_activate * 1e9,
-            model: mm.energies.activate * 1e9,
-            error_pct: pct_err(mm.energies.activate, a.e_activate),
+            model: mm.energies.activate.value() * 1e9,
+            error_pct: pct_err(mm.energies.activate.value(), a.e_activate),
         },
         Table2Row {
             metric: "READ energy (nJ)",
             actual: a.e_read * 1e9,
-            model: mm.energies.read * 1e9,
-            error_pct: pct_err(mm.energies.read, a.e_read),
+            model: mm.energies.read.value() * 1e9,
+            error_pct: pct_err(mm.energies.read.value(), a.e_read),
         },
         Table2Row {
             metric: "WRITE energy (nJ)",
             actual: a.e_write * 1e9,
-            model: mm.energies.write * 1e9,
-            error_pct: pct_err(mm.energies.write, a.e_write),
+            model: mm.energies.write.value() * 1e9,
+            error_pct: pct_err(mm.energies.write.value(), a.e_write),
         },
         Table2Row {
             metric: "Refresh power (mW)",
             actual: a.p_refresh * 1e3,
-            model: mm.energies.refresh_power * 1e3,
-            error_pct: pct_err(mm.energies.refresh_power, a.p_refresh),
+            model: mm.energies.refresh_power.value() * 1e3,
+            error_pct: pct_err(mm.energies.refresh_power.value(), a.p_refresh),
         },
     ];
     (sol, rows)

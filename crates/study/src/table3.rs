@@ -5,13 +5,14 @@
 use crate::configs::{self, LlcKind, CLOCK_HZ, MAX_PIPE_STAGES};
 use crate::report::format_table;
 use cactid_core::Solution;
+use cactid_units::Seconds;
 
 /// One column of Table 3.
 #[derive(Debug, Clone)]
 pub struct Table3Column {
     /// Level label ("L1", "L2", "L3 sram", … , "Main memory chip").
     pub label: String,
-    /// Capacity [bytes] (per chip for main memory).
+    /// Capacity \[bytes\] (per chip for main memory).
     pub capacity_bytes: u64,
     /// Banks.
     pub banks: u32,
@@ -25,20 +26,20 @@ pub struct Table3Column {
     pub access_cycles: u64,
     /// Random cycle time [CPU cycles].
     pub cycle_cycles: u64,
-    /// Area [mm²] (per bank for L3s, per chip for main memory).
+    /// Area \[mm²\] (per bank for L3s, per chip for main memory).
     pub area_mm2: f64,
     /// Area efficiency [%].
     pub area_eff_pct: f64,
-    /// Standby/leakage power [W] (whole structure).
+    /// Standby/leakage power \[W\] (whole structure).
     pub leakage_w: f64,
-    /// Refresh power [W].
+    /// Refresh power \[W\].
     pub refresh_w: f64,
-    /// Dynamic read energy per access [nJ].
+    /// Dynamic read energy per access \[nJ\].
     pub read_energy_nj: f64,
 }
 
-fn cycles(seconds: f64) -> u64 {
-    (seconds * CLOCK_HZ).ceil().max(1.0) as u64
+fn cycles(t: Seconds) -> u64 {
+    (t.value() * CLOCK_HZ).ceil().max(1.0) as u64
 }
 
 fn column(
@@ -67,8 +68,8 @@ fn column(
         cycle_cycles: cycles(sol.random_cycle).div_ceil(ratio) * ratio,
         area_mm2: area,
         area_eff_pct: sol.area_efficiency * 100.0,
-        leakage_w: sol.leakage_power,
-        refresh_w: sol.refresh_power,
+        leakage_w: sol.leakage_power.value(),
+        refresh_w: sol.refresh_power.value(),
         read_energy_nj: sol.read_energy_nj(),
     }
 }
@@ -108,11 +109,11 @@ pub fn table3() -> Vec<Table3Column> {
         clock_ratio: ratio,
         access_cycles: access,
         cycle_cycles: cycles(mm.timing.t_rc),
-        area_mm2: mm.chip_area / 1e-6,
+        area_mm2: mm.chip_area.value() / 1e-6,
         area_eff_pct: mm.area_efficiency * 100.0,
-        leakage_w: mm.energies.standby_power,
-        refresh_w: mm.energies.refresh_power,
-        read_energy_nj: (mm.energies.activate + mm.energies.read) * 8.0 * 1e9,
+        leakage_w: mm.energies.standby_power.value(),
+        refresh_w: mm.energies.refresh_power.value(),
+        read_energy_nj: (mm.energies.activate + mm.energies.read).value() * 8.0 * 1e9,
     });
     cols
 }

@@ -20,13 +20,13 @@ pub const R_TH_AREA: f64 = 4.0e-6;
 pub struct ThermalEstimate {
     /// Configuration label.
     pub label: &'static str,
-    /// Worst-case per-bank L3 power (leakage + refresh + peak dynamic) [W].
+    /// Worst-case per-bank L3 power (leakage + refresh + peak dynamic) \[W\].
     pub bank_power: f64,
-    /// Bank area [m²].
+    /// Bank area \[m²\].
     pub bank_area: f64,
     /// Power density [W/cm²].
     pub power_density_w_cm2: f64,
-    /// Temperature rise over the core die [K].
+    /// Temperature rise over the core die \[K\].
     pub delta_t: f64,
 }
 
@@ -36,14 +36,14 @@ pub struct ThermalEstimate {
 pub fn estimate(cfg: &StudyConfig) -> Option<ThermalEstimate> {
     let l3 = cfg.l3.as_ref()?;
     let banks = 8.0;
-    let leak_per_bank = (l3.leakage_power + l3.refresh_power) / banks;
-    let peak_rate = 1.0 / l3.random_cycle.max(1e-12);
+    let leak_per_bank = ((l3.leakage_power + l3.refresh_power) / banks).value();
+    let peak_rate = 1.0 / l3.random_cycle.value().max(1e-12);
     // The paper's workloads keep L3 activity well below peak; use a 10 %
     // activity factor for the "hot" estimate, as the observed per-bank
     // power (~450 mW max) implies.
-    let dyn_per_bank = 0.1 * peak_rate * l3.read_energy;
+    let dyn_per_bank = 0.1 * peak_rate * l3.read_energy.value();
     let bank_power = leak_per_bank + dyn_per_bank;
-    let bank_area = l3.area / banks;
+    let bank_area = (l3.area / banks).value();
     let density = bank_power / bank_area;
     Some(ThermalEstimate {
         label: cfg.kind.label(),

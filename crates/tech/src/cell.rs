@@ -16,7 +16,7 @@
 
 use crate::device::{device_params, DeviceType};
 use crate::node::{geo_lerp, TechNode};
-use crate::units::*;
+use crate::units::{Amperes, Farads, Meters, Ohms, Seconds, SquareMeters, Volts};
 use crate::wire::{wire_params, WireType};
 use std::fmt;
 
@@ -73,42 +73,42 @@ impl fmt::Display for CellTechnology {
 }
 
 /// Resolved electrical and geometric parameters of one memory cell
-/// technology at one node.
+/// technology at one node, carried as typed quantities.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellParams {
     /// Which technology this describes.
     pub technology: CellTechnology,
     /// Cell area in units of F².
     pub area_f2: f64,
-    /// Cell width (along the wordline) [m].
-    pub width: f64,
-    /// Cell height (along the bitline) [m].
-    pub height: f64,
-    /// Cell array supply voltage [V].
-    pub vdd_cell: f64,
-    /// Capacitance added to the bitline per cell (junction + wire) [F].
-    pub c_bitline_per_cell: f64,
-    /// Capacitance added to the wordline per cell (gate + wire) [F].
-    pub c_wordline_per_cell: f64,
-    /// Wordline resistance per cell [Ω].
-    pub r_wordline_per_cell: f64,
-    /// Bitline resistance per cell [Ω].
-    pub r_bitline_per_cell: f64,
-    /// SRAM read (bitline discharge) current [A]; 0 for DRAM.
-    pub i_cell_read: f64,
-    /// SRAM standby leakage per cell at `vdd_cell` [A]; 0 for DRAM
+    /// Cell width (along the wordline).
+    pub width: Meters,
+    /// Cell height (along the bitline).
+    pub height: Meters,
+    /// Cell array supply voltage.
+    pub vdd_cell: Volts,
+    /// Capacitance added to the bitline per cell (junction + wire).
+    pub c_bitline_per_cell: Farads,
+    /// Capacitance added to the wordline per cell (gate + wire).
+    pub c_wordline_per_cell: Farads,
+    /// Wordline resistance per cell.
+    pub r_wordline_per_cell: Ohms,
+    /// Bitline resistance per cell.
+    pub r_bitline_per_cell: Ohms,
+    /// SRAM read (bitline discharge) current; zero for DRAM.
+    pub i_cell_read: Amperes,
+    /// SRAM standby leakage per cell at `vdd_cell`; zero for DRAM
     /// (DRAM cell leakage shows up as the retention/refresh requirement).
-    pub leak_per_cell: f64,
-    /// DRAM storage capacitance [F]; 0 for SRAM.
-    pub c_storage: f64,
-    /// DRAM boosted wordline voltage [V]; equals `vdd_cell` for SRAM.
-    pub vpp: f64,
-    /// DRAM retention (refresh) period [s]; `f64::INFINITY` for SRAM.
-    pub retention_time: f64,
-    /// DRAM access-transistor on-resistance [Ω]; 0 for SRAM.
-    pub r_access_on: f64,
-    /// Minimum bitline differential the sense amplifier needs [V].
-    pub v_sense_margin: f64,
+    pub leak_per_cell: Amperes,
+    /// DRAM storage capacitance; zero for SRAM.
+    pub c_storage: Farads,
+    /// DRAM boosted wordline voltage; equals `vdd_cell` for SRAM.
+    pub vpp: Volts,
+    /// DRAM retention (refresh) period; infinite for SRAM.
+    pub retention_time: Seconds,
+    /// DRAM access-transistor on-resistance; zero for SRAM.
+    pub r_access_on: Ohms,
+    /// Minimum bitline differential the sense amplifier needs.
+    pub v_sense_margin: Volts,
     /// Maximum rows per subarray this technology supports (signal margin /
     /// wordline RC limits).
     pub max_rows_per_subarray: usize,
@@ -126,15 +126,15 @@ pub struct CellParams {
 }
 
 impl CellParams {
-    /// Cell area [m²].
-    pub fn area(&self) -> f64 {
+    /// Cell area.
+    pub fn area(&self) -> SquareMeters {
         self.width * self.height
     }
 
     /// For DRAM, the open-bitline charge-sharing differential available when
-    /// `rows` cells load the bitline: `(V_DD/2)·C_s/(C_s + C_bl)` [V].
+    /// `rows` cells load the bitline: `(V_DD/2)·C_s/(C_s + C_bl)`.
     /// Returns `None` for SRAM.
-    pub fn dram_sense_signal(&self, rows: usize) -> Option<f64> {
+    pub fn dram_sense_signal(&self, rows: usize) -> Option<Volts> {
         if !self.technology.is_dram() {
             return None;
         }
@@ -259,33 +259,33 @@ fn anchor_cell(anchor: &CellAnchor, tech: CellTechnology, node: TechNode) -> Cel
         CellTechnology::CommDram => 1.0 * f,
     };
     let c_wordline_per_cell = periph.c_gate * access_w + wl_wire.c_per_m * width;
-    let c_bitline_per_cell = anchor.junction_ff[i] * FF + bl_wire.c_per_m * height;
+    let c_bitline_per_cell = Farads::ff(anchor.junction_ff[i]) + bl_wire.c_per_m * height;
 
     CellParams {
         technology: tech,
         area_f2: anchor.area_f2[i],
         width,
         height,
-        vdd_cell: anchor.vdd_cell[i],
+        vdd_cell: Volts::from_si(anchor.vdd_cell[i]),
         c_bitline_per_cell,
         c_wordline_per_cell,
         r_wordline_per_cell: wl_wire.r_per_m * width,
         r_bitline_per_cell: bl_wire.r_per_m * height,
-        i_cell_read: anchor.i_cell_read_ua[i] * 1e-6,
-        leak_per_cell: anchor.leak_per_cell_na[i] * 1e-9,
-        c_storage: anchor.c_storage_ff[i] * FF,
+        i_cell_read: Amperes::ua(anchor.i_cell_read_ua[i]),
+        leak_per_cell: Amperes::na(anchor.leak_per_cell_na[i]),
+        c_storage: Farads::ff(anchor.c_storage_ff[i]),
         vpp: if tech.is_dram() {
-            anchor.vpp[i]
+            Volts::from_si(anchor.vpp[i])
         } else {
-            anchor.vdd_cell[i]
+            Volts::from_si(anchor.vdd_cell[i])
         },
         retention_time: if tech.is_dram() {
-            anchor.retention_ms[i] * MS
+            Seconds::ms(anchor.retention_ms[i])
         } else {
-            f64::INFINITY
+            Seconds::from_si(f64::INFINITY)
         },
-        r_access_on: anchor.r_access_kohm[i] * 1e3,
-        v_sense_margin: anchor.v_sense_mv * 1e-3,
+        r_access_on: Ohms::kohm(anchor.r_access_kohm[i]),
+        v_sense_margin: Volts::mv(anchor.v_sense_mv),
         max_rows_per_subarray: anchor.max_rows,
         timing_derate: anchor.timing_derate,
         sense_gm_derate: anchor.sense_gm_derate,
@@ -295,27 +295,44 @@ fn anchor_cell(anchor: &CellAnchor, tech: CellTechnology, node: TechNode) -> Cel
 
 fn blend_cells(a: CellParams, b: CellParams, t: f64) -> CellParams {
     let lin = |x: f64, y: f64| x + (y - x) * t;
+    let geo = |x: f64, y: f64| geo_lerp(x, y, t);
     CellParams {
         technology: a.technology,
         area_f2: lin(a.area_f2, b.area_f2),
-        width: geo_lerp(a.width, b.width, t),
-        height: geo_lerp(a.height, b.height, t),
-        vdd_cell: lin(a.vdd_cell, b.vdd_cell),
-        c_bitline_per_cell: geo_lerp(a.c_bitline_per_cell, b.c_bitline_per_cell, t),
-        c_wordline_per_cell: geo_lerp(a.c_wordline_per_cell, b.c_wordline_per_cell, t),
-        r_wordline_per_cell: geo_lerp(a.r_wordline_per_cell, b.r_wordline_per_cell, t),
-        r_bitline_per_cell: geo_lerp(a.r_bitline_per_cell, b.r_bitline_per_cell, t),
-        i_cell_read: lin(a.i_cell_read, b.i_cell_read),
-        leak_per_cell: lin(a.leak_per_cell, b.leak_per_cell),
-        c_storage: lin(a.c_storage, b.c_storage),
-        vpp: lin(a.vpp, b.vpp),
-        retention_time: if a.retention_time.is_finite() {
-            lin(a.retention_time, b.retention_time)
+        width: Meters::from_si(geo(a.width.value(), b.width.value())),
+        height: Meters::from_si(geo(a.height.value(), b.height.value())),
+        vdd_cell: a.vdd_cell + (b.vdd_cell - a.vdd_cell) * t,
+        c_bitline_per_cell: Farads::from_si(geo(
+            a.c_bitline_per_cell.value(),
+            b.c_bitline_per_cell.value(),
+        )),
+        c_wordline_per_cell: Farads::from_si(geo(
+            a.c_wordline_per_cell.value(),
+            b.c_wordline_per_cell.value(),
+        )),
+        r_wordline_per_cell: Ohms::from_si(geo(
+            a.r_wordline_per_cell.value(),
+            b.r_wordline_per_cell.value(),
+        )),
+        r_bitline_per_cell: Ohms::from_si(geo(
+            a.r_bitline_per_cell.value(),
+            b.r_bitline_per_cell.value(),
+        )),
+        i_cell_read: a.i_cell_read + (b.i_cell_read - a.i_cell_read) * t,
+        leak_per_cell: a.leak_per_cell + (b.leak_per_cell - a.leak_per_cell) * t,
+        c_storage: a.c_storage + (b.c_storage - a.c_storage) * t,
+        vpp: a.vpp + (b.vpp - a.vpp) * t,
+        // Linear interpolation is only meaningful when both endpoints are
+        // finite; any non-finite endpoint (SRAM's infinite retention) makes
+        // the blend infinite too. Interpolating with exactly one finite
+        // endpoint used to produce inf·0 = NaN at t = 0.
+        retention_time: if a.retention_time.is_finite() && b.retention_time.is_finite() {
+            Seconds::from_si(lin(a.retention_time.value(), b.retention_time.value()))
         } else {
-            f64::INFINITY
+            Seconds::from_si(f64::INFINITY)
         },
-        r_access_on: lin(a.r_access_on, b.r_access_on),
-        v_sense_margin: lin(a.v_sense_margin, b.v_sense_margin),
+        r_access_on: a.r_access_on + (b.r_access_on - a.r_access_on) * t,
+        v_sense_margin: a.v_sense_margin + (b.v_sense_margin - a.v_sense_margin) * t,
         max_rows_per_subarray: a.max_rows_per_subarray,
         timing_derate: lin(a.timing_derate, b.timing_derate),
         sense_gm_derate: lin(a.sense_gm_derate, b.sense_gm_derate),
@@ -351,19 +368,19 @@ mod tests {
         assert_eq!(lp.area_f2, 30.0);
         assert_eq!(comm.area_f2, 6.0);
 
-        assert!((sram.vdd_cell - 0.9).abs() < 1e-9);
-        assert!((lp.vdd_cell - 1.0).abs() < 1e-9);
-        assert!((comm.vdd_cell - 1.0).abs() < 1e-9);
+        assert!((sram.vdd_cell - Volts::from_si(0.9)).abs() < Volts::from_si(1e-9));
+        assert!((lp.vdd_cell - Volts::from_si(1.0)).abs() < Volts::from_si(1e-9));
+        assert!((comm.vdd_cell - Volts::from_si(1.0)).abs() < Volts::from_si(1e-9));
 
-        assert!((lp.c_storage - 20.0 * FF).abs() < 1e-18);
-        assert!((comm.c_storage - 30.0 * FF).abs() < 1e-18);
+        assert!((lp.c_storage - Farads::ff(20.0)).abs() < Farads::from_si(1e-18));
+        assert!((comm.c_storage - Farads::ff(30.0)).abs() < Farads::from_si(1e-18));
 
-        assert!((lp.vpp - 1.5).abs() < 1e-9);
-        assert!((comm.vpp - 2.6).abs() < 1e-9);
+        assert!((lp.vpp - Volts::from_si(1.5)).abs() < Volts::from_si(1e-9));
+        assert!((comm.vpp - Volts::from_si(2.6)).abs() < Volts::from_si(1e-9));
 
-        assert!((lp.retention_time - 0.12 * MS).abs() < 1e-9);
-        assert!((comm.retention_time - 64.0 * MS).abs() < 1e-9);
-        assert!(sram.retention_time.is_infinite());
+        assert!((lp.retention_time - Seconds::ms(0.12)).abs() < Seconds::from_si(1e-9));
+        assert!((comm.retention_time - Seconds::ms(64.0)).abs() < Seconds::from_si(1e-9));
+        assert!(!sram.retention_time.is_finite());
     }
 
     #[test]
@@ -388,7 +405,7 @@ mod tests {
         let s512 = comm.dram_sense_signal(512).unwrap();
         assert!(s128 > s512);
         // 512-cell bitline still meets margin at 32 nm.
-        assert!(s512 >= comm.v_sense_margin, "{s512} V");
+        assert!(s512 >= comm.v_sense_margin, "{s512}");
         let sram = cell_params(TechNode::N32, CellTechnology::Sram);
         assert!(sram.dram_sense_signal(512).is_none());
     }
@@ -421,10 +438,41 @@ mod tests {
     fn sram_cells_leak_drams_do_not() {
         for &node in TechNode::ALL {
             let sram = cell_params(node, CellTechnology::Sram);
-            assert!(sram.leak_per_cell > 0.0);
+            assert!(sram.leak_per_cell > Amperes::ZERO);
             for &d in &[CellTechnology::LpDram, CellTechnology::CommDram] {
-                assert_eq!(cell_params(node, d).leak_per_cell, 0.0);
+                assert_eq!(cell_params(node, d).leak_per_cell, Amperes::ZERO);
             }
         }
+    }
+
+    #[test]
+    fn retention_blend_is_total() {
+        // Interpolating between a finite and an infinite retention endpoint
+        // must produce a well-defined (infinite) result at every t — the old
+        // branch checked only one endpoint and yielded inf·0 = NaN at t = 0
+        // (and bogus ±inf elsewhere) when the finite endpoint came first.
+        let base = cell_params(TechNode::N90, CellTechnology::LpDram);
+        let mut inf_cell = base;
+        inf_cell.retention_time = Seconds::from_si(f64::INFINITY);
+
+        for &t in &[0.0, 0.25, 0.5, 1.0] {
+            // finite → infinite
+            let fwd = blend_cells(base, inf_cell, t).retention_time;
+            // infinite → finite
+            let rev = blend_cells(inf_cell, base, t).retention_time;
+            assert!(
+                !fwd.value().is_nan() && !rev.value().is_nan(),
+                "NaN retention at t={t}"
+            );
+            assert!(!fwd.is_finite(), "finite→inf blend must stay inf (t={t})");
+            assert!(!rev.is_finite(), "inf→finite blend must stay inf (t={t})");
+        }
+
+        // Both endpoints finite: plain linear interpolation, always finite.
+        let lp90 = cell_params(TechNode::N90, CellTechnology::LpDram);
+        let lp65 = cell_params(TechNode::N65, CellTechnology::LpDram);
+        let mid = blend_cells(lp90, lp65, 0.5).retention_time;
+        assert!(mid.is_finite());
+        assert!(mid <= lp90.retention_time && mid >= lp65.retention_time);
     }
 }

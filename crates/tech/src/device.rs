@@ -6,7 +6,9 @@
 //! (per meter of gate width) so circuit models can size transistors freely.
 
 use crate::node::{geo_lerp, TechNode};
-use crate::units::*;
+use crate::units::{
+    AmperesPerMeter, Farads, FaradsPerMeter, Meters, OhmMeters, Ohms, SiemensPerMeter, Volts, Watts,
+};
 use std::fmt;
 
 /// One of the logic device classes available for memory peripheral and
@@ -49,12 +51,14 @@ impl fmt::Display for DeviceType {
     }
 }
 
-/// Width-normalized transistor parameters for one device class at one node.
+/// Width-normalized transistor parameters for one device class at one node,
+/// carried as typed quantities so dimensionally illegal formulas fail to
+/// compile.
 ///
 /// Conventions:
-/// * A transistor of width `w` (meters) has gate capacitance
-///   `c_gate * w`, drain capacitance `c_drain * w`, effective switching
-///   resistance `r_eff_n / w` (NMOS) or `r_eff_n * p_to_n_ratio / w` (PMOS),
+/// * A transistor of width `w` has gate capacitance `c_gate * w`, drain
+///   capacitance `c_drain * w`, effective switching resistance
+///   `r_eff_n / w` (NMOS) or `r_eff_n * p_to_n_ratio / w` (PMOS),
 ///   subthreshold leakage current `i_off_n * w` and gate leakage
 ///   `i_gate * w`.
 /// * "Effective" resistance is calibrated so a fan-out-of-4 inverter delay
@@ -63,62 +67,62 @@ impl fmt::Display for DeviceType {
 ///   drive during a transition.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceParams {
-    /// Nominal supply voltage [V].
-    pub vdd: f64,
-    /// Saturation threshold voltage [V].
-    pub vth: f64,
-    /// Physical gate length [m].
-    pub l_gate: f64,
-    /// Gate capacitance per width [F/m], including overlap and fringe.
-    pub c_gate: f64,
-    /// Drain (junction + overlap) capacitance per width [F/m].
-    pub c_drain: f64,
-    /// Effective NMOS switching resistance × width [Ω·m].
-    pub r_eff_n: f64,
+    /// Nominal supply voltage.
+    pub vdd: Volts,
+    /// Saturation threshold voltage.
+    pub vth: Volts,
+    /// Physical gate length.
+    pub l_gate: Meters,
+    /// Gate capacitance per width, including overlap and fringe.
+    pub c_gate: FaradsPerMeter,
+    /// Drain (junction + overlap) capacitance per width.
+    pub c_drain: FaradsPerMeter,
+    /// Effective NMOS switching resistance × width.
+    pub r_eff_n: OhmMeters,
     /// PMOS width multiplier for drive equal to a unit NMOS (≈ 2).
     pub p_to_n_ratio: f64,
-    /// NMOS subthreshold (off-state) leakage per width [A/m].
-    pub i_off_n: f64,
-    /// Gate leakage per width [A/m].
-    pub i_gate: f64,
-    /// NMOS transconductance per width [S·m/m = S per m of width].
-    pub g_m: f64,
-    /// Minimum drawable transistor width [m].
-    pub min_width: f64,
-    /// NMOS saturation drive current per width [A/m].
-    pub i_on_n: f64,
+    /// NMOS subthreshold (off-state) leakage per width.
+    pub i_off_n: AmperesPerMeter,
+    /// Gate leakage per width.
+    pub i_gate: AmperesPerMeter,
+    /// NMOS transconductance per width.
+    pub g_m: SiemensPerMeter,
+    /// Minimum drawable transistor width.
+    pub min_width: Meters,
+    /// NMOS saturation drive current per width.
+    pub i_on_n: AmperesPerMeter,
 }
 
 impl DeviceParams {
-    /// Gate capacitance of a transistor of width `w` [F].
-    pub fn cap_gate(&self, w: f64) -> f64 {
+    /// Gate capacitance of a transistor of width `w`.
+    pub fn cap_gate(&self, w: Meters) -> Farads {
         self.c_gate * w
     }
 
-    /// Drain capacitance of a transistor of width `w` [F].
-    pub fn cap_drain(&self, w: f64) -> f64 {
+    /// Drain capacitance of a transistor of width `w`.
+    pub fn cap_drain(&self, w: Meters) -> Farads {
         self.c_drain * w
     }
 
-    /// Effective on-resistance of an NMOS of width `w` [Ω].
-    pub fn res_on_n(&self, w: f64) -> f64 {
+    /// Effective on-resistance of an NMOS of width `w`.
+    pub fn res_on_n(&self, w: Meters) -> Ohms {
         self.r_eff_n / w
     }
 
-    /// Effective on-resistance of a PMOS of width `w` [Ω].
-    pub fn res_on_p(&self, w: f64) -> f64 {
+    /// Effective on-resistance of a PMOS of width `w`.
+    pub fn res_on_p(&self, w: Meters) -> Ohms {
         self.r_eff_n * self.p_to_n_ratio / w
     }
 
     /// Subthreshold leakage power of `w` meters of (NMOS-equivalent) width
-    /// at this class's VDD [W]. PMOS leakage is folded in by callers via an
+    /// at this class's VDD. PMOS leakage is folded in by callers via an
     /// effective-width convention.
-    pub fn leak_power(&self, w: f64) -> f64 {
+    pub fn leak_power(&self, w: Meters) -> Watts {
         (self.i_off_n + self.i_gate) * w * self.vdd
     }
 
-    /// Input capacitance of a minimum-size inverter in this class [F].
-    pub fn c_inv_min(&self) -> f64 {
+    /// Input capacitance of a minimum-size inverter in this class.
+    pub fn c_inv_min(&self) -> Farads {
         (1.0 + self.p_to_n_ratio) * self.c_gate * self.min_width
     }
 }
@@ -131,8 +135,8 @@ struct Anchor {
     c_gate_ff_um: [f64; 4],
     c_drain_ff_um: [f64; 4],
     r_eff_ohm_um: [f64; 4],
-    i_off: [f64; 4],  // A/m
-    i_gate: [f64; 4], // A/m
+    i_off: [AmperesPerMeter; 4],
+    i_gate: [AmperesPerMeter; 4],
     g_m_ms_um: [f64; 4],
     i_on_ua_um: [f64; 4],
 }
@@ -145,16 +149,16 @@ const HP: Anchor = Anchor {
     c_drain_ff_um: [0.80, 0.75, 0.70, 0.65],
     r_eff_ohm_um: [3300.0, 2370.0, 1650.0, 1180.0],
     i_off: [
-        0.10 * UA_PER_UM,
-        0.20 * UA_PER_UM,
-        0.28 * UA_PER_UM,
-        0.33 * UA_PER_UM,
+        AmperesPerMeter::ua_per_um(0.10),
+        AmperesPerMeter::ua_per_um(0.20),
+        AmperesPerMeter::ua_per_um(0.28),
+        AmperesPerMeter::ua_per_um(0.33),
     ],
     i_gate: [
-        0.15 * UA_PER_UM,
-        0.35 * UA_PER_UM,
-        0.10 * UA_PER_UM,
-        0.08 * UA_PER_UM,
+        AmperesPerMeter::ua_per_um(0.15),
+        AmperesPerMeter::ua_per_um(0.35),
+        AmperesPerMeter::ua_per_um(0.10),
+        AmperesPerMeter::ua_per_um(0.08),
     ],
     g_m_ms_um: [2.0, 2.3, 2.6, 3.0],
     i_on_ua_um: [1100.0, 1250.0, 1400.0, 1550.0],
@@ -171,16 +175,16 @@ const LSTP: Anchor = Anchor {
     // ~350 K operating point the models are evaluated at, subthreshold
     // leakage is ~35× higher, giving the sub-nA/µm effective values here.
     i_off: [
-        0.25 * NA_PER_UM,
-        0.25 * NA_PER_UM,
-        0.25 * NA_PER_UM,
-        0.25 * NA_PER_UM,
+        AmperesPerMeter::na_per_um(0.25),
+        AmperesPerMeter::na_per_um(0.25),
+        AmperesPerMeter::na_per_um(0.25),
+        AmperesPerMeter::na_per_um(0.25),
     ],
     i_gate: [
-        1.0 * PA_PER_UM,
-        2.0 * PA_PER_UM,
-        3.0 * PA_PER_UM,
-        5.0 * PA_PER_UM,
+        AmperesPerMeter::pa_per_um(1.0),
+        AmperesPerMeter::pa_per_um(2.0),
+        AmperesPerMeter::pa_per_um(3.0),
+        AmperesPerMeter::pa_per_um(5.0),
     ],
     g_m_ms_um: [0.8, 0.9, 1.1, 1.3],
     i_on_ua_um: [450.0, 500.0, 560.0, 620.0],
@@ -194,16 +198,16 @@ const LOP: Anchor = Anchor {
     c_drain_ff_um: [0.85, 0.80, 0.75, 0.70],
     r_eff_ohm_um: [5950.0, 4270.0, 2970.0, 2120.0],
     i_off: [
-        3.0 * NA_PER_UM,
-        3.0 * NA_PER_UM,
-        3.5 * NA_PER_UM,
-        4.0 * NA_PER_UM,
+        AmperesPerMeter::na_per_um(3.0),
+        AmperesPerMeter::na_per_um(3.0),
+        AmperesPerMeter::na_per_um(3.5),
+        AmperesPerMeter::na_per_um(4.0),
     ],
     i_gate: [
-        0.5 * NA_PER_UM,
-        0.8 * NA_PER_UM,
-        1.0 * NA_PER_UM,
-        1.5 * NA_PER_UM,
+        AmperesPerMeter::na_per_um(0.5),
+        AmperesPerMeter::na_per_um(0.8),
+        AmperesPerMeter::na_per_um(1.0),
+        AmperesPerMeter::na_per_um(1.5),
     ],
     g_m_ms_um: [1.2, 1.4, 1.6, 1.9],
     i_on_ua_um: [600.0, 680.0, 760.0, 850.0],
@@ -216,7 +220,7 @@ const LOP: Anchor = Anchor {
 const LC_R_FACTOR: f64 = 1.25;
 const LC_IOFF_FACTOR: f64 = 0.45;
 const LC_IGATE_FACTOR: f64 = 0.5;
-const LC_VTH_SHIFT: f64 = 0.08;
+const LC_VTH_SHIFT: Volts = Volts::from_si(0.08);
 const LC_LGATE_FACTOR: f64 = 1.35;
 
 fn node_index(node: TechNode) -> usize {
@@ -229,38 +233,39 @@ fn node_index(node: TechNode) -> usize {
     }
 }
 
-fn anchor_params(anchor: &Anchor, node: TechNode, feature: f64) -> DeviceParams {
+fn anchor_params(anchor: &Anchor, node: TechNode, feature: Meters) -> DeviceParams {
     let i = node_index(node);
     DeviceParams {
-        vdd: anchor.vdd[i],
-        vth: anchor.vth[i],
-        l_gate: anchor.l_gate_nm[i] * NM,
-        c_gate: anchor.c_gate_ff_um[i] * FF_PER_UM,
-        c_drain: anchor.c_drain_ff_um[i] * FF_PER_UM,
-        r_eff_n: anchor.r_eff_ohm_um[i] * OHM_UM,
+        vdd: Volts::from_si(anchor.vdd[i]),
+        vth: Volts::from_si(anchor.vth[i]),
+        l_gate: Meters::nm(anchor.l_gate_nm[i]),
+        c_gate: FaradsPerMeter::ff_per_um(anchor.c_gate_ff_um[i]),
+        c_drain: FaradsPerMeter::ff_per_um(anchor.c_drain_ff_um[i]),
+        r_eff_n: OhmMeters::ohm_um(anchor.r_eff_ohm_um[i]),
         p_to_n_ratio: 2.0,
         i_off_n: anchor.i_off[i],
         i_gate: anchor.i_gate[i],
-        g_m: anchor.g_m_ms_um[i] * 1e-3 / UM,
+        g_m: SiemensPerMeter::ms_per_um(anchor.g_m_ms_um[i]),
         min_width: 2.5 * feature,
-        i_on_n: anchor.i_on_ua_um[i] * UA_PER_UM,
+        i_on_n: AmperesPerMeter::ua_per_um(anchor.i_on_ua_um[i]),
     }
 }
 
 fn blend(a: DeviceParams, b: DeviceParams, t: f64) -> DeviceParams {
+    let geo = |x: f64, y: f64| geo_lerp(x, y, t);
     DeviceParams {
         vdd: a.vdd + (b.vdd - a.vdd) * t,
         vth: a.vth + (b.vth - a.vth) * t,
-        l_gate: geo_lerp(a.l_gate, b.l_gate, t),
-        c_gate: geo_lerp(a.c_gate, b.c_gate, t),
-        c_drain: geo_lerp(a.c_drain, b.c_drain, t),
-        r_eff_n: geo_lerp(a.r_eff_n, b.r_eff_n, t),
+        l_gate: Meters::from_si(geo(a.l_gate.value(), b.l_gate.value())),
+        c_gate: FaradsPerMeter::from_si(geo(a.c_gate.value(), b.c_gate.value())),
+        c_drain: FaradsPerMeter::from_si(geo(a.c_drain.value(), b.c_drain.value())),
+        r_eff_n: OhmMeters::from_si(geo(a.r_eff_n.value(), b.r_eff_n.value())),
         p_to_n_ratio: a.p_to_n_ratio,
-        i_off_n: geo_lerp(a.i_off_n, b.i_off_n, t),
-        i_gate: geo_lerp(a.i_gate, b.i_gate, t),
-        g_m: geo_lerp(a.g_m, b.g_m, t),
-        min_width: geo_lerp(a.min_width, b.min_width, t),
-        i_on_n: geo_lerp(a.i_on_n, b.i_on_n, t),
+        i_off_n: AmperesPerMeter::from_si(geo(a.i_off_n.value(), b.i_off_n.value())),
+        i_gate: AmperesPerMeter::from_si(geo(a.i_gate.value(), b.i_gate.value())),
+        g_m: SiemensPerMeter::from_si(geo(a.g_m.value(), b.g_m.value())),
+        min_width: Meters::from_si(geo(a.min_width.value(), b.min_width.value())),
+        i_on_n: AmperesPerMeter::from_si(geo(a.i_on_n.value(), b.i_on_n.value())),
     }
 }
 
@@ -298,11 +303,11 @@ mod tests {
         for &node in TechNode::ALL_WITH_HALF_NODES {
             for &ty in DeviceType::ALL {
                 let p = device_params(node, ty);
-                assert!(p.vdd > 0.4 && p.vdd < 1.5);
-                assert!(p.r_eff_n > 0.0);
-                assert!(p.c_gate > 0.0);
-                assert!(p.i_off_n > 0.0);
-                assert!(p.min_width > 0.0);
+                assert!(p.vdd > Volts::from_si(0.4) && p.vdd < Volts::from_si(1.5));
+                assert!(p.r_eff_n > OhmMeters::ZERO);
+                assert!(p.c_gate > FaradsPerMeter::ZERO);
+                assert!(p.i_off_n > AmperesPerMeter::ZERO);
+                assert!(p.min_width > Meters::ZERO);
             }
         }
     }
@@ -323,20 +328,20 @@ mod tests {
     #[test]
     fn width_scaling_identities() {
         let p = device_params(TechNode::N32, DeviceType::Hp);
-        let w = 1.0 * UM;
-        assert!((p.cap_gate(2.0 * w) - 2.0 * p.cap_gate(w)).abs() < 1e-20);
-        assert!((p.res_on_n(2.0 * w) - p.res_on_n(w) / 2.0).abs() < 1e-6);
+        let w = Meters::um(1.0);
+        assert!((p.cap_gate(2.0 * w) - 2.0 * p.cap_gate(w)).abs() < Farads::from_si(1e-20));
+        assert!((p.res_on_n(2.0 * w) - p.res_on_n(w) / 2.0).abs() < Ohms::from_si(1e-6));
         // PMOS of p_to_n× width matches NMOS resistance.
         let wp = p.p_to_n_ratio * w;
-        assert!((p.res_on_p(wp) - p.res_on_n(w)).abs() < 1e-9);
+        assert!((p.res_on_p(wp) - p.res_on_n(w)).abs() < Ohms::from_si(1e-9));
     }
 
     #[test]
     fn leak_power_is_linear_in_width() {
         let p = device_params(TechNode::N45, DeviceType::Lop);
-        let one = p.leak_power(1.0 * UM);
-        let three = p.leak_power(3.0 * UM);
-        assert!((three - 3.0 * one).abs() < 1e-18);
+        let one = p.leak_power(Meters::um(1.0));
+        let three = p.leak_power(Meters::um(3.0));
+        assert!((three - 3.0 * one).abs() < Watts::from_si(1e-18));
     }
 
     #[test]

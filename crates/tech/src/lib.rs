@@ -55,6 +55,8 @@ pub use device::{DeviceParams, DeviceType};
 pub use node::TechNode;
 pub use wire::{WireParams, WireType};
 
+use units::{Meters, Seconds};
+
 /// A fully-resolved technology: one ITRS node with all device, wire and
 /// memory-cell parameter tables instantiated.
 ///
@@ -77,8 +79,8 @@ impl Technology {
         self.node
     }
 
-    /// Feature size F in meters (e.g. `32e-9` for the 32 nm node).
-    pub fn feature_size(&self) -> f64 {
+    /// Feature size F (e.g. 32 nm for the 32 nm node).
+    pub fn feature_size(&self) -> Meters {
         self.node.feature_size()
     }
 
@@ -108,11 +110,12 @@ impl Technology {
     /// Fan-out-of-4 inverter delay for the given device class — the
     /// canonical speed yardstick used in sanity tests and in pipeline-depth
     /// reasoning.
-    pub fn fo4(&self, ty: DeviceType) -> f64 {
+    pub fn fo4(&self, ty: DeviceType) -> Seconds {
         let d = self.device(ty);
         // Inverter with PMOS sized `p_to_n_ratio` wider than NMOS; input cap
         // of one unit inverter is (1 + ratio) * c_gate, self-load is
         // (1 + ratio) * c_drain, and it drives four copies of itself.
+        // Width-normalized: (Ω·m)·(F/m) = s, so the widths cancel.
         let cin = (1.0 + d.p_to_n_ratio) * d.c_gate;
         let cself = (1.0 + d.p_to_n_ratio) * d.c_drain;
         0.69 * d.r_eff_n * (cself + 4.0 * cin)
@@ -126,7 +129,7 @@ mod tests {
     #[test]
     fn fo4_scales_down_with_node() {
         let nodes = [TechNode::N90, TechNode::N65, TechNode::N45, TechNode::N32];
-        let fo4s: Vec<f64> = nodes
+        let fo4s: Vec<Seconds> = nodes
             .iter()
             .map(|&n| Technology::new(n).fo4(DeviceType::Hp))
             .collect();
@@ -135,7 +138,10 @@ mod tests {
         }
         // Sanity band: 32 nm HP FO4 in the ~8–16 ps range.
         let fo4_32 = fo4s[3];
-        assert!(fo4_32 > 6e-12 && fo4_32 < 18e-12, "FO4@32nm = {fo4_32:e}");
+        assert!(
+            fo4_32 > Seconds::ps(6.0) && fo4_32 < Seconds::ps(18.0),
+            "FO4@32nm = {fo4_32}"
+        );
     }
 
     #[test]
@@ -151,7 +157,7 @@ mod tests {
             assert!(hp.i_off_n > lop.i_off_n && lop.i_off_n > lstp.i_off_n);
             // LSTP holds an almost-constant sub-nA/µm leakage (10 pA/µm at
             // 25 °C per ITRS; evaluated at operating temperature here).
-            let na_per_um = lstp.i_off_n * 1e-6 / 1e-9;
+            let na_per_um = lstp.i_off_n / units::AmperesPerMeter::na_per_um(1.0);
             assert!(
                 (0.1..0.6).contains(&na_per_um),
                 "LSTP leak {na_per_um} nA/µm"

@@ -1,5 +1,6 @@
 //! ITRS technology nodes covered by the model.
 
+use crate::units::Meters;
 use std::fmt;
 
 /// An ITRS technology node.
@@ -37,9 +38,9 @@ impl TechNode {
         TechNode::N32,
     ];
 
-    /// Feature size F in meters.
-    pub fn feature_size(self) -> f64 {
-        self.feature_nm() * 1e-9
+    /// Feature size F.
+    pub fn feature_size(self) -> Meters {
+        Meters::nm(self.feature_nm())
     }
 
     /// Feature size in nanometers.
@@ -117,7 +118,7 @@ mod tests {
 
     #[test]
     fn feature_sizes() {
-        assert_eq!(TechNode::N32.feature_size(), 32e-9);
+        assert_eq!(TechNode::N32.feature_size(), Meters::from_si(32e-9));
         assert_eq!(TechNode::N90.feature_nm(), 90.0);
         assert_eq!(TechNode::from_nm(45), Some(TechNode::N45));
         assert_eq!(TechNode::from_nm(40), None);

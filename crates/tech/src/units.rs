@@ -1,68 +1,13 @@
-//! Unit helpers.
+//! Unit helpers — re-exported from [`cactid_units`].
 //!
-//! The whole workspace uses **SI base units** internally: seconds, meters,
-//! farads, ohms, volts, amperes, watts, joules. These constants make the
-//! parameter tables readable (`1.0 * FF_PER_UM` instead of `1e-9`) and the
-//! pretty-printers consistent.
+//! The whole workspace uses **SI base units** internally, carried in the
+//! zero-cost typed quantities of the `cactid-units` crate: [`Seconds`],
+//! [`Meters`], [`Farads`], [`Ohms`], [`Volts`], [`Amperes`], [`Joules`],
+//! [`Watts`] and the per-width/per-length hybrids the device tables need.
+//!
+//! The bare multiplier constants that used to live here (`NS`, `FF_PER_UM`,
+//! …) are now `const fn` constructors on the quantity types — write
+//! `Seconds::ps(1.0)` instead of `1.0 * PS`, and divide by a unit quantity
+//! (`t / Seconds::ns(1.0)`) to read a value back out in engineering units.
 
-/// One nanometer in meters.
-pub const NM: f64 = 1e-9;
-/// One micrometer in meters.
-pub const UM: f64 = 1e-6;
-/// One millimeter in meters.
-pub const MM: f64 = 1e-3;
-
-/// One picosecond in seconds.
-pub const PS: f64 = 1e-12;
-/// One nanosecond in seconds.
-pub const NS: f64 = 1e-9;
-/// One millisecond in seconds.
-pub const MS: f64 = 1e-3;
-
-/// One femtofarad in farads.
-pub const FF: f64 = 1e-15;
-/// One picofarad in farads.
-pub const PF: f64 = 1e-12;
-
-/// One femtojoule in joules.
-pub const FJ: f64 = 1e-15;
-/// One picojoule in joules.
-pub const PJ: f64 = 1e-12;
-/// One nanojoule in joules.
-pub const NJ: f64 = 1e-9;
-
-/// One milliwatt in watts.
-pub const MW: f64 = 1e-3;
-/// One microwatt in watts.
-pub const UW: f64 = 1e-6;
-
-/// Capacitance per width: 1 fF/µm expressed in F/m.
-pub const FF_PER_UM: f64 = FF / UM;
-/// Resistance–width product: 1 Ω·µm expressed in Ω·m.
-pub const OHM_UM: f64 = UM;
-/// Current per width: 1 µA/µm expressed in A/m (which is numerically 1.0).
-pub const UA_PER_UM: f64 = 1e-6 / UM;
-/// Current per width: 1 nA/µm expressed in A/m.
-pub const NA_PER_UM: f64 = 1e-9 / UM;
-/// Current per width: 1 pA/µm expressed in A/m.
-pub const PA_PER_UM: f64 = 1e-12 / UM;
-/// Wire resistance: 1 Ω/µm expressed in Ω/m.
-pub const OHM_PER_UM: f64 = 1.0 / UM;
-/// Wire capacitance: 1 fF/µm of length expressed in F/m.
-pub const C_FF_PER_UM: f64 = FF / UM;
-
-/// One square millimeter in m².
-pub const MM2: f64 = MM * MM;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn unit_identities() {
-        assert_eq!(1.0 * UA_PER_UM, 1.0); // 1 µA/µm == 1 A/m
-        assert!((FF_PER_UM - 1e-9).abs() < 1e-24);
-        assert!((OHM_PER_UM - 1e6).abs() < 1e-6);
-        assert_eq!(MM2, 1e-6);
-    }
-}
+pub use cactid_units::*;

@@ -9,7 +9,7 @@
 //! shows.
 
 use crate::node::TechNode;
-use crate::units::*;
+use crate::units::{Farads, FaradsPerMeter, Meters, OhmMeters, Ohms, OhmsPerMeter, Seconds};
 use std::fmt;
 
 /// An interconnect class.
@@ -54,48 +54,53 @@ impl fmt::Display for WireType {
 /// Distributed-RC parameters of one wire class at one node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WireParams {
-    /// Resistance per length [Ω/m].
-    pub r_per_m: f64,
-    /// Capacitance per length [F/m].
-    pub c_per_m: f64,
-    /// Wire pitch [m] (width + spacing).
-    pub pitch: f64,
-    /// Wire width [m].
-    pub width: f64,
-    /// Wire thickness [m].
-    pub thickness: f64,
+    /// Resistance per length.
+    pub r_per_m: OhmsPerMeter,
+    /// Capacitance per length.
+    pub c_per_m: FaradsPerMeter,
+    /// Wire pitch (width + spacing).
+    pub pitch: Meters,
+    /// Wire width.
+    pub width: Meters,
+    /// Wire thickness.
+    pub thickness: Meters,
 }
 
 impl WireParams {
-    /// Elmore delay of an unrepeated wire of length `len` [s], `0.38·R·C·L²`.
-    pub fn elmore_delay(&self, len: f64) -> f64 {
-        0.38 * self.r_per_m * self.c_per_m * len * len
+    /// Elmore delay of an unrepeated wire of length `len`, `0.38·R·C·L²`.
+    pub fn elmore_delay(&self, len: Meters) -> Seconds {
+        // Dimensionally (Ω/m)·(F/m)·m² = s, but the intermediate Ω·F/m²
+        // product has no named type; computed raw with the historic
+        // left-to-right association.
+        Seconds::from_si(
+            0.38 * self.r_per_m.value() * self.c_per_m.value() * len.value() * len.value(),
+        )
     }
 
-    /// Total resistance of a wire of length `len` [Ω].
-    pub fn res(&self, len: f64) -> f64 {
+    /// Total resistance of a wire of length `len`.
+    pub fn res(&self, len: Meters) -> Ohms {
         self.r_per_m * len
     }
 
-    /// Total capacitance of a wire of length `len` [F].
-    pub fn cap(&self, len: f64) -> f64 {
+    /// Total capacitance of a wire of length `len`.
+    pub fn cap(&self, len: Meters) -> Farads {
         self.c_per_m * len
     }
 }
 
-/// Effective resistivity [Ω·m] including barrier and surface scattering —
-/// grows as wires narrow.
-fn effective_resistivity(width: f64, bulk: f64) -> f64 {
+/// Effective resistivity including barrier and surface scattering — grows as
+/// wires narrow.
+fn effective_resistivity(width: Meters, bulk: OhmMeters) -> OhmMeters {
     // Simple Ho-style fit: ~+50 % at 40 nm width relative to bulk.
-    let scatter = 1.0 + 20e-9 / width;
+    let scatter = 1.0 + Meters::from_si(20e-9) / width;
     bulk * scatter
 }
 
-const RHO_CU: f64 = 2.2e-8;
-const RHO_W: f64 = 7.0e-8;
+const RHO_CU: OhmMeters = OhmMeters::from_si(2.2e-8);
+const RHO_W: OhmMeters = OhmMeters::from_si(7.0e-8);
 // Silicided-poly + metal strap composite, expressed as an equivalent
 // resistivity over the strap cross-section.
-const RHO_WL_STRAP: f64 = 5.0e-8;
+const RHO_WL_STRAP: OhmMeters = OhmMeters::from_si(5.0e-8);
 
 /// Looks up (or derives) the wire parameters for `ty` at `node`.
 pub fn wire_params(node: TechNode, ty: WireType) -> WireParams {
@@ -113,7 +118,7 @@ pub fn wire_params(node: TechNode, ty: WireType) -> WireParams {
     let r_per_m = effective_resistivity(width, rho) / (width * thickness);
     WireParams {
         r_per_m,
-        c_per_m: c_ff_um * C_FF_PER_UM,
+        c_per_m: FaradsPerMeter::ff_per_um(c_ff_um),
         pitch,
         width,
         thickness,
@@ -140,7 +145,7 @@ mod tests {
 
     #[test]
     fn wires_get_more_resistive_as_nodes_shrink() {
-        let mut prev = 0.0;
+        let mut prev = OhmsPerMeter::ZERO;
         for &node in TechNode::ALL {
             let r = wire_params(node, WireType::SemiGlobal).r_per_m;
             assert!(r > prev, "semi-global R/m must grow with scaling");
@@ -151,18 +156,18 @@ mod tests {
     #[test]
     fn sane_absolute_values_at_32nm() {
         let semi = wire_params(TechNode::N32, WireType::SemiGlobal);
-        let r_ohm_um = semi.r_per_m / OHM_PER_UM;
+        let r_ohm_um = semi.r_per_m / OhmsPerMeter::ohm_per_um(1.0);
         // Semi-global at 32 nm: a few Ω/µm.
         assert!((1.0..15.0).contains(&r_ohm_um), "R = {r_ohm_um} Ω/µm");
-        let c_ff_um = semi.c_per_m / C_FF_PER_UM;
+        let c_ff_um = semi.c_per_m / FaradsPerMeter::ff_per_um(1.0);
         assert!((0.1..0.3).contains(&c_ff_um));
     }
 
     #[test]
     fn elmore_delay_is_quadratic_in_length() {
         let w = wire_params(TechNode::N45, WireType::Global);
-        let d1 = w.elmore_delay(1.0 * MM);
-        let d2 = w.elmore_delay(2.0 * MM);
+        let d1 = w.elmore_delay(Meters::mm(1.0));
+        let d2 = w.elmore_delay(Meters::mm(2.0));
         assert!((d2 / d1 - 4.0).abs() < 1e-9);
     }
 }

@@ -17,12 +17,12 @@ pub struct Profile {
     pub p_mem: f64,
     /// Of memory operations, fraction that are stores.
     pub store_frac: f64,
-    /// Per-thread hot region size [bytes] (L1/L2-resident).
+    /// Per-thread hot region size \[bytes\] (L1/L2-resident).
     pub hot_bytes: u64,
-    /// Total warm region size [bytes] — the L3-contended working set,
+    /// Total warm region size \[bytes\] — the L3-contended working set,
     /// partitioned across threads.
     pub warm_bytes: u64,
-    /// Total cold region size [bytes] — effectively uncacheable.
+    /// Total cold region size \[bytes\] — effectively uncacheable.
     pub cold_bytes: u64,
     /// Of memory operations: probability of hitting hot / warm / cold /
     /// shared regions (must sum to 1).
@@ -46,7 +46,7 @@ pub struct Profile {
     pub lock_hold: u64,
 }
 
-/// Shared region size [bytes] — small, heavily contended.
+/// Shared region size \[bytes\] — small, heavily contended.
 pub const SHARED_BYTES: u64 = 4 << 20;
 
 impl Profile {

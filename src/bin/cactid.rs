@@ -11,7 +11,7 @@
 //! Prints the optimized solution with full delay/energy breakdowns; with
 //! `--solutions`, lists the whole feasible set instead. The `lint`
 //! subcommand runs the `cactid-analyze` diagnostics engine
-//! (`CD0001`–`CD0020`) over the spec and — when the spec is solvable —
+//! (`CD0001`–`CD0022`) over the spec and — when the spec is solvable —
 //! over the optimized solution, printing a rustc-style report;
 //! `--deny-warnings` turns warnings into a non-zero exit.
 //!
@@ -24,6 +24,7 @@ use cactid_core::{
     AccessMode, Diagnostic, MemoryKind, MemorySpec, OptimizationOptions, Report, Solution,
 };
 use cactid_tech::{CellTechnology, TechNode};
+use cactid_units::{Seconds, Watts};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -36,7 +37,7 @@ fn usage() -> ! {
          \x20      [--solutions]\n\
          \n\
          subcommands:\n\
-         \x20 lint   run the CD0001-CD0020 diagnostics over the spec (and the\n\
+         \x20 lint   run the CD0001-CD0022 diagnostics over the spec (and the\n\
          \x20        optimized solution, when one exists) instead of printing it;\n\
          \x20        accepts --deny-warnings; exits non-zero on errors"
     );
@@ -199,26 +200,29 @@ fn print_solution(sol: &Solution) {
     );
     println!("timing:");
     println!("  access time        : {:>9.3} ns", sol.access_ns());
-    println!("  random cycle       : {:>9.3} ns", sol.random_cycle * 1e9);
+    println!(
+        "  random cycle       : {:>9.3} ns",
+        sol.random_cycle.value() * 1e9
+    );
     println!(
         "  interleave cycle   : {:>9.3} ns",
-        sol.interleave_cycle * 1e9
+        sol.interleave_cycle.value() * 1e9
     );
     let d = &sol.data.delay;
     println!(
         "  breakdown          : htree-in {:.3} | decode {:.3} | bitline {:.3} | sense {:.3} | mux {:.3} | htree-out {:.3} ns",
-        d.htree_in * 1e9,
-        d.decode * 1e9,
-        d.bitline * 1e9,
-        d.sense * 1e9,
-        d.mux * 1e9,
-        d.htree_out * 1e9
+        d.htree_in.value() * 1e9,
+        d.decode.value() * 1e9,
+        d.bitline.value() * 1e9,
+        d.sense.value() * 1e9,
+        d.mux.value() * 1e9,
+        d.htree_out.value() * 1e9
     );
-    if d.restore > 0.0 {
+    if d.restore > Seconds::ZERO {
         println!(
             "  dram phases        : restore {:.3} | precharge {:.3} ns",
-            d.restore * 1e9,
-            d.precharge * 1e9
+            d.restore.value() * 1e9,
+            d.precharge.value() * 1e9
         );
     }
     println!("area:");
@@ -229,48 +233,57 @@ fn print_solution(sol: &Solution) {
     );
     println!("energy/power:");
     println!("  read energy        : {:>9.3} nJ", sol.read_energy_nj());
-    println!("  write energy       : {:>9.3} nJ", sol.write_energy * 1e9);
+    println!(
+        "  write energy       : {:>9.3} nJ",
+        sol.write_energy.value() * 1e9
+    );
     let e = &sol.data.energy;
     println!(
         "  breakdown          : htree {:.3} | decode {:.3} | bitline {:.3} | sense {:.3} | column {:.3} nJ",
-        e.htree_in * 1e9,
-        e.decode * 1e9,
-        e.bitline * 1e9,
-        e.sense * 1e9,
-        e.column * 1e9
+        e.htree_in.value() * 1e9,
+        e.decode.value() * 1e9,
+        e.bitline.value() * 1e9,
+        e.sense.value() * 1e9,
+        e.column.value() * 1e9
     );
-    println!("  leakage            : {:>9.4} W", sol.leakage_power);
-    if sol.refresh_power > 0.0 {
-        println!("  refresh            : {:>9.4} W", sol.refresh_power);
+    println!(
+        "  leakage            : {:>9.4} W",
+        sol.leakage_power.value()
+    );
+    if sol.refresh_power > Watts::ZERO {
+        println!(
+            "  refresh            : {:>9.4} W",
+            sol.refresh_power.value()
+        );
     }
     if let Some(tag) = &sol.tag {
         println!("tag array:");
         println!(
             "  access {:.3} ns (incl. compare {:.3} ns), {:.4} mm^2, {:.4} nJ",
-            tag.access_time() * 1e9,
-            tag.comparator_delay * 1e9,
-            tag.array.area() / 1e-6,
-            tag.read_energy() * 1e9
+            tag.access_time().value() * 1e9,
+            tag.comparator_delay.value() * 1e9,
+            tag.array.area().value() / 1e-6,
+            tag.read_energy().value() * 1e9
         );
     }
     if let Some(mm) = &sol.main_memory {
         println!("main-memory interface:");
         println!(
             "  tRCD {:.2} | CL {:.2} | tRAS {:.2} | tRP {:.2} | tRC {:.2} | tRRD {:.2} ns",
-            mm.timing.t_rcd * 1e9,
-            mm.timing.cas_latency * 1e9,
-            mm.timing.t_ras * 1e9,
-            mm.timing.t_rp * 1e9,
-            mm.timing.t_rc * 1e9,
-            mm.timing.t_rrd * 1e9
+            mm.timing.t_rcd.value() * 1e9,
+            mm.timing.cas_latency.value() * 1e9,
+            mm.timing.t_ras.value() * 1e9,
+            mm.timing.t_rp.value() * 1e9,
+            mm.timing.t_rc.value() * 1e9,
+            mm.timing.t_rrd.value() * 1e9
         );
         println!(
             "  ACT {:.3} nJ | RD {:.3} nJ | WR {:.3} nJ | refresh {:.3} mW | standby {:.3} mW",
-            mm.energies.activate * 1e9,
-            mm.energies.read * 1e9,
-            mm.energies.write * 1e9,
-            mm.energies.refresh_power * 1e3,
-            mm.energies.standby_power * 1e3
+            mm.energies.activate.value() * 1e9,
+            mm.energies.read.value() * 1e9,
+            mm.energies.write.value() * 1e9,
+            mm.energies.refresh_power.value() * 1e3,
+            mm.energies.standby_power.value() * 1e3
         );
     }
 }
@@ -376,7 +389,7 @@ fn main() {
                 s.org.deg_bl_mux,
                 s.org.deg_sa_mux,
                 s.access_ns(),
-                s.random_cycle * 1e9,
+                s.random_cycle.value() * 1e9,
                 s.area_mm2(),
                 s.read_energy_nj()
             );

@@ -2,13 +2,16 @@
 //!
 //! Facade crate re-exporting the whole workspace:
 //!
+//! * [`units`] — the compile-time dimensional-analysis layer: typed
+//!   physical quantities (`Seconds`, `Farads`, `Joules`, …) whose algebra
+//!   admits only physically meaningful products and ratios.
 //! * [`tech`] — ITRS-style device/wire/cell technology models.
 //! * [`circuit`] — circuit primitives (logical effort, Horowitz, decoders,
 //!   sense amps, repeaters, crossbars).
 //! * [`core`] — the CACTI-D array-organization model, DRAM operational
 //!   models, main-memory chip model and the staged solution optimizer.
-//! * [`analyze`] — the diagnostics engine: twenty lint rules over specs,
-//!   organizations and solutions (`cactid lint`, `CD0001`–`CD0020`).
+//! * [`analyze`] — the diagnostics engine: twenty-two lint rules over specs,
+//!   organizations and solutions (`cactid lint`, `CD0001`–`CD0022`).
 //! * [`sim`] — the cycle-level CMP memory-hierarchy simulator.
 //! * [`workloads`] — synthetic NPB-like workload generators.
 //! * [`study`] — the paper's tables and figures (Tables 1–3, Figures 1,
@@ -20,6 +23,7 @@ pub use cactid_analyze as analyze;
 pub use cactid_circuit as circuit;
 pub use cactid_core as core;
 pub use cactid_tech as tech;
+pub use cactid_units as units;
 pub use llc_study as study;
 pub use memsim as sim;
 pub use npbgen as workloads;

@@ -1,0 +1,236 @@
+//! Golden migration test: the typed-quantity pipeline must reproduce the
+//! pre-migration (bare-`f64`) solution metrics **bit for bit**.
+//!
+//! The golden file `tests/goldens/solutions.txt` was captured from the seed
+//! code before the `cactid-units` migration. Every metric is stored as the
+//! IEEE-754 bit pattern (`f64::to_bits`, hex), so any reassociation or
+//! reordering of floating-point operations introduced by the refactor shows
+//! up as a failure here — not as a silently different design point.
+//!
+//! Regenerate (only when an *intentional* model change lands) with:
+//! `cargo test --test golden_metrics -- --ignored regen_goldens`
+
+use cacti_d::core::{optimize, AccessMode, MemoryKind, MemorySpec, Solution};
+use cacti_d::tech::{CellTechnology, TechNode};
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/goldens/solutions.txt";
+
+fn cache_spec(capacity: u64, cell: CellTechnology, node: TechNode, mode: AccessMode) -> MemorySpec {
+    MemorySpec::builder()
+        .capacity_bytes(capacity)
+        .block_bytes(64)
+        .associativity(8)
+        .banks(1)
+        .cell_tech(cell)
+        .node(node)
+        .kind(MemoryKind::Cache { access_mode: mode })
+        .build()
+        .unwrap()
+}
+
+/// The seed config set: one representative spec per cell technology, access
+/// mode and memory kind, spanning three nodes.
+fn config_set() -> Vec<(&'static str, MemorySpec)> {
+    vec![
+        (
+            "sram_l2_1m_n32_normal",
+            cache_spec(
+                1 << 20,
+                CellTechnology::Sram,
+                TechNode::N32,
+                AccessMode::Normal,
+            ),
+        ),
+        (
+            "sram_l2_1m_n32_seq",
+            cache_spec(
+                1 << 20,
+                CellTechnology::Sram,
+                TechNode::N32,
+                AccessMode::Sequential,
+            ),
+        ),
+        (
+            "sram_l2_1m_n32_fast",
+            cache_spec(
+                1 << 20,
+                CellTechnology::Sram,
+                TechNode::N32,
+                AccessMode::Fast,
+            ),
+        ),
+        (
+            "lpdram_l3_2m_n32",
+            cache_spec(
+                2 << 20,
+                CellTechnology::LpDram,
+                TechNode::N32,
+                AccessMode::Normal,
+            ),
+        ),
+        (
+            "commdram_l3_2m_n32",
+            cache_spec(
+                2 << 20,
+                CellTechnology::CommDram,
+                TechNode::N32,
+                AccessMode::Normal,
+            ),
+        ),
+        (
+            "sram_ram_256k_n45",
+            MemorySpec::builder()
+                .capacity_bytes(256 << 10)
+                .block_bytes(64)
+                .associativity(1)
+                .banks(1)
+                .cell_tech(CellTechnology::Sram)
+                .node(TechNode::N45)
+                .kind(MemoryKind::Ram)
+                .build()
+                .unwrap(),
+        ),
+        (
+            "mm_1gb_n78",
+            MemorySpec::builder()
+                .capacity_bytes(1 << 27)
+                .block_bytes(8)
+                .banks(8)
+                .cell_tech(CellTechnology::CommDram)
+                .node(TechNode::N78)
+                .kind(MemoryKind::MainMemory {
+                    io_bits: 8,
+                    burst_length: 8,
+                    prefetch: 8,
+                    page_bits: 8192,
+                })
+                .build()
+                .unwrap(),
+        ),
+    ]
+}
+
+/// Flattens every physically meaningful metric of a solution into
+/// `(name, value)` pairs. Organization parameters are included so a changed
+/// design-point pick is reported as such, not as a cascade of metric diffs.
+fn metrics(sol: &Solution) -> Vec<(String, f64)> {
+    let mut m: Vec<(String, f64)> = Vec::new();
+    let mut push = |name: &str, v: f64| m.push((name.to_string(), v));
+
+    push("org.ndwl", f64::from(sol.org.ndwl));
+    push("org.ndbl", f64::from(sol.org.ndbl));
+    push("org.nspd", sol.org.nspd);
+    push("org.deg_bl_mux", f64::from(sol.org.deg_bl_mux));
+    push("org.deg_sa_mux", f64::from(sol.org.deg_sa_mux));
+
+    push("access_time", sol.access_time.value());
+    push("random_cycle", sol.random_cycle.value());
+    push("interleave_cycle", sol.interleave_cycle.value());
+    push("area", sol.area.value());
+    push("area_efficiency", sol.area_efficiency);
+    push("read_energy", sol.read_energy.value());
+    push("write_energy", sol.write_energy.value());
+    push("leakage_power", sol.leakage_power.value());
+    push("refresh_power", sol.refresh_power.value());
+
+    let d = &sol.data.delay;
+    push("data.delay.htree_in", d.htree_in.value());
+    push("data.delay.decode", d.decode.value());
+    push("data.delay.bitline", d.bitline.value());
+    push("data.delay.sense", d.sense.value());
+    push("data.delay.mux", d.mux.value());
+    push("data.delay.htree_out", d.htree_out.value());
+    push("data.delay.precharge", d.precharge.value());
+    push("data.delay.restore", d.restore.value());
+    let e = &sol.data.energy;
+    push("data.energy.htree_in", e.htree_in.value());
+    push("data.energy.decode", e.decode.value());
+    push("data.energy.bitline", e.bitline.value());
+    push("data.energy.sense", e.sense.value());
+    push("data.energy.column", e.column.value());
+    push("data.sense_signal", sol.data.sense_signal.value());
+    push("data.width", sol.data.width.value());
+    push("data.height", sol.data.height.value());
+
+    if let Some(tag) = &sol.tag {
+        push("tag.access_time", tag.access_time().value());
+        push("tag.read_energy", tag.read_energy().value());
+        push("tag.comparator_delay", tag.comparator_delay.value());
+    }
+    if let Some(mm) = &sol.main_memory {
+        push("mm.t_rcd", mm.timing.t_rcd.value());
+        push("mm.cas_latency", mm.timing.cas_latency.value());
+        push("mm.t_ras", mm.timing.t_ras.value());
+        push("mm.t_rp", mm.timing.t_rp.value());
+        push("mm.t_rc", mm.timing.t_rc.value());
+        push("mm.t_rrd", mm.timing.t_rrd.value());
+        push("mm.e_activate", mm.energies.activate.value());
+        push("mm.e_read", mm.energies.read.value());
+        push("mm.e_write", mm.energies.write.value());
+        push("mm.refresh_power", mm.energies.refresh_power.value());
+        push("mm.standby_power", mm.energies.standby_power.value());
+        push("mm.chip_area", mm.chip_area.value());
+        push("mm.area_efficiency", mm.area_efficiency);
+    }
+    m
+}
+
+fn render() -> String {
+    let mut out = String::new();
+    for (name, spec) in config_set() {
+        let sol = optimize(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (metric, value) in metrics(&sol) {
+            writeln!(out, "{name}/{metric} = {:016x}", value.to_bits()).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_metrics_bit_for_bit() {
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run the ignored regen_goldens test first");
+    let actual = render();
+    if expected == actual {
+        return;
+    }
+    // Report per-line diffs with the decoded values so a failure is
+    // diagnosable without manual bit-twiddling.
+    let mut report = String::new();
+    for (exp, act) in expected.lines().zip(actual.lines()) {
+        if exp != act {
+            let decode = |line: &str| {
+                line.rsplit(" = ")
+                    .next()
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .map(f64::from_bits)
+            };
+            writeln!(
+                report,
+                "  {exp}  (= {:?})\n  {act}  (= {:?})\n",
+                decode(exp),
+                decode(act)
+            )
+            .unwrap();
+        }
+    }
+    if expected.lines().count() != actual.lines().count() {
+        writeln!(
+            report,
+            "  line count changed: {} -> {}",
+            expected.lines().count(),
+            actual.lines().count()
+        )
+        .unwrap();
+    }
+    panic!("golden metrics drifted from the seed capture:\n{report}");
+}
+
+/// Rewrites the golden file from the current model. Run only when a model
+/// change is intentional: `cargo test --test golden_metrics -- --ignored`.
+#[test]
+#[ignore = "regenerates the golden capture"]
+fn regen_goldens() {
+    std::fs::write(GOLDEN_PATH, render()).unwrap();
+}

@@ -3,6 +3,7 @@
 
 use cacti_d::core::{optimize, solve, AccessMode, MemoryKind, MemorySpec};
 use cacti_d::tech::{CellTechnology, TechNode};
+use cacti_d::units::{Joules, Seconds, SquareMeters, Watts};
 
 fn cache_spec(capacity: u64, cell: CellTechnology, node: TechNode) -> MemorySpec {
     MemorySpec::builder()
@@ -22,7 +23,7 @@ fn cache_spec(capacity: u64, cell: CellTechnology, node: TechNode) -> MemorySpec
 #[test]
 fn area_grows_monotonically_with_capacity() {
     for cell in CellTechnology::ALL {
-        let mut prev = 0.0;
+        let mut prev = SquareMeters::ZERO;
         for shift in [18u32, 20, 22, 24] {
             let sol = optimize(&cache_spec(1 << shift, *cell, TechNode::N32)).unwrap();
             assert!(
@@ -37,7 +38,7 @@ fn area_grows_monotonically_with_capacity() {
 #[test]
 fn scaling_shrinks_area_across_nodes() {
     for cell in CellTechnology::ALL {
-        let mut prev = f64::INFINITY;
+        let mut prev = SquareMeters::from_si(f64::INFINITY);
         for node in [TechNode::N90, TechNode::N65, TechNode::N45, TechNode::N32] {
             let sol = optimize(&cache_spec(4 << 20, *cell, node)).unwrap();
             assert!(
@@ -54,18 +55,18 @@ fn every_solution_satisfies_basic_physics() {
     for cell in CellTechnology::ALL {
         let spec = cache_spec(2 << 20, *cell, TechNode::N45);
         for sol in solve(&spec).unwrap() {
-            assert!(sol.access_time > 0.0);
-            assert!(sol.random_cycle > 0.0);
-            assert!(sol.interleave_cycle > 0.0);
+            assert!(sol.access_time > Seconds::ZERO);
+            assert!(sol.random_cycle > Seconds::ZERO);
+            assert!(sol.interleave_cycle > Seconds::ZERO);
             // Interleaving can't be slower than the full random cycle by
             // construction of the shared-bus pipeline.
             assert!(sol.interleave_cycle <= sol.random_cycle * 4.0);
-            assert!(sol.read_energy > 0.0 && sol.write_energy > 0.0);
+            assert!(sol.read_energy > Joules::ZERO && sol.write_energy > Joules::ZERO);
             assert!(sol.area_efficiency > 0.0 && sol.area_efficiency < 1.0);
             if cell.is_dram() {
-                assert!(sol.refresh_power > 0.0, "{cell} must refresh");
+                assert!(sol.refresh_power > Watts::ZERO, "{cell} must refresh");
             } else {
-                assert_eq!(sol.refresh_power, 0.0);
+                assert_eq!(sol.refresh_power, Watts::ZERO);
             }
         }
     }
@@ -98,10 +99,13 @@ fn main_memory_timing_identities_hold_across_nodes() {
         let mm = sol.main_memory.as_ref().unwrap();
         let t = &mm.timing;
         assert!(t.t_ras >= t.t_rcd, "{node}");
-        assert!((t.t_rc - (t.t_ras + t.t_rp)).abs() < 1e-15, "{node}");
+        assert!(
+            (t.t_rc - (t.t_ras + t.t_rp)).abs() < Seconds::from_si(1e-15),
+            "{node}"
+        );
         assert!(t.t_rrd < t.t_rc, "{node}: interleaving must beat tRC");
         assert!(mm.energies.activate > mm.energies.read, "{node}");
-        assert!(mm.energies.refresh_power > 0.0, "{node}");
+        assert!(mm.energies.refresh_power > Watts::ZERO, "{node}");
     }
 }
 
