@@ -30,4 +30,23 @@ $CACTID lint --deny-warnings --size 128M --banks 8 --block 8 \
     --cell comm-dram --node 78 --main-memory --io 8 --burst 8 \
     --prefetch 8 --page 8K >/dev/null
 
+echo "== cactid-explore tests + explore smoke run"
+# Belt and braces: the workspace run above covers these, but the explore
+# engine's resume path also gets an end-to-end CLI check here.
+cargo test -q -p cactid-explore
+OUT=$(mktemp -d)/sweep.jsonl
+# A 4-point sweep, then the same sweep resumed: the second run must find
+# every point in the checkpoint sidecars and re-solve nothing — its
+# stderr stats report "solved 0,".
+$CACTID explore --sizes 64K,128K --assocs 4,8 --threads 2 --pareto \
+    --out "$OUT" 2>/dev/null
+RESUMED=$($CACTID explore --sizes 64K,128K --assocs 4,8 --threads 2 \
+    --pareto --out "$OUT" --resume 2>&1 >/dev/null)
+echo "$RESUMED" | grep -q "solved 0," || {
+    echo "explore --resume re-solved completed points:" >&2
+    echo "$RESUMED" >&2
+    exit 1
+}
+rm -rf "$(dirname "$OUT")"
+
 echo "ci: all checks passed"

@@ -26,7 +26,7 @@ pub struct LintContext<'a> {
 impl<'a> LintContext<'a> {
     /// Builds a spec-stage context, resolving the cell technology tables.
     pub fn for_spec(spec: &'a MemorySpec) -> Self {
-        let tech = Technology::new(spec.node);
+        let tech = Technology::cached(spec.node);
         LintContext {
             spec,
             cell: tech.cell(spec.cell_tech),

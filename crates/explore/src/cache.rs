@@ -1,0 +1,189 @@
+//! A solve memo keyed by canonical spec fingerprints.
+//!
+//! Exploration grids routinely contain duplicate specs (two opt variants
+//! with identical knobs, overlapping sub-sweeps) and study configurations
+//! re-optimize the same L1/L2 specs many times over. [`SolveCache`] makes
+//! every distinct spec cost one solve: entries are keyed by
+//! [`crate::hash::spec_fingerprint`] and verified by full spec equality on
+//! lookup, so a 64-bit collision degrades to a miss instead of a wrong
+//! answer.
+//!
+//! The solve itself runs with the mutex *released* — only lookup and
+//! insert take the lock — so concurrent workers memoize without
+//! serializing on each other. Two threads racing on the same cold spec may
+//! both solve it; the first insert wins and both observe the same entry
+//! (solves are deterministic). The exploration engine avoids even that
+//! duplicated work by pre-grouping its points per fingerprint.
+
+use crate::hash::spec_fingerprint;
+use cactid_core::{select, solve_with_stats, CactiError, MemorySpec, Solution};
+use cactid_core::{SolutionLinter, SolveStats};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// One memoized solve: the §2.4 winner (or why there is none) plus the
+/// sweep counters of producing it.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The selected winner, or the solve/select failure.
+    pub result: Result<Solution, CactiError>,
+    /// Counters from the underlying organization sweep.
+    pub stats: SolveStats,
+}
+
+/// A thread-safe solve memo. See the module docs for the locking contract.
+///
+/// A cache instance must not be shared between *different* linter
+/// configurations: the linter participates in the solve but not in the
+/// key. The exploration engine owns a private cache per run (one fixed
+/// linter), and the process-global cache behind [`optimize_cached`] is
+/// always lint-free.
+#[derive(Debug, Default)]
+pub struct SolveCache {
+    map: Mutex<HashMap<u64, Vec<(MemorySpec, CachedSolve)>>>,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SolveCache::default()
+    }
+
+    /// The process-global cache used by [`optimize_cached`].
+    pub fn global() -> &'static SolveCache {
+        static GLOBAL: OnceLock<SolveCache> = OnceLock::new();
+        GLOBAL.get_or_init(SolveCache::new)
+    }
+
+    /// The number of memoized specs.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("solve cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (benchmarks use this to re-run cold).
+    pub fn clear(&self) {
+        self.map.lock().expect("solve cache poisoned").clear();
+    }
+
+    fn lookup(&self, key: u64, spec: &MemorySpec) -> Option<CachedSolve> {
+        let map = self.map.lock().expect("solve cache poisoned");
+        map.get(&key)
+            .and_then(|bucket| bucket.iter().find(|(s, _)| s == spec))
+            .map(|(_, entry)| entry.clone())
+    }
+
+    /// Solves `spec` (solve → §2.4 select) through the memo. Returns the
+    /// entry and whether it was served from cache.
+    pub fn solve_point(
+        &self,
+        spec: &MemorySpec,
+        linter: Option<&dyn SolutionLinter>,
+    ) -> (CachedSolve, bool) {
+        let key = spec_fingerprint(spec);
+        if let Some(hit) = self.lookup(key, spec) {
+            return (hit, true);
+        }
+        // Solve outside the lock; expensive points must not serialize the
+        // rest of the pool.
+        let outcome = solve_with_stats(spec, linter);
+        let entry = CachedSolve {
+            result: outcome.result.and_then(|sols| select(spec, &sols)),
+            stats: outcome.stats,
+        };
+        let mut map = self.map.lock().expect("solve cache poisoned");
+        let bucket = map.entry(key).or_default();
+        if let Some((_, first)) = bucket.iter().find(|(s, _)| s == spec) {
+            // Lost a cold-spec race; keep the first insert so every caller
+            // observes one entry.
+            return (first.clone(), true);
+        }
+        bucket.push((spec.clone(), entry.clone()));
+        (entry, false)
+    }
+}
+
+/// [`cactid_core::optimize`] through the process-global memo: the first
+/// call per distinct spec solves, every later call is a lookup. Study
+/// drivers that assemble many configurations from a shared pool of specs
+/// call this instead of `optimize`.
+///
+/// # Errors
+///
+/// Exactly those of [`cactid_core::optimize`].
+pub fn optimize_cached(spec: &MemorySpec) -> Result<Solution, CactiError> {
+    SolveCache::global().solve_point(spec, None).0.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_core::{optimize, AccessMode, MemoryKind};
+    use cactid_tech::{CellTechnology, TechNode};
+
+    fn spec(capacity: u64) -> MemorySpec {
+        MemorySpec::builder()
+            .capacity_bytes(capacity)
+            .block_bytes(64)
+            .associativity(4)
+            .banks(1)
+            .cell_tech(CellTechnology::Sram)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn second_solve_is_a_hit_with_identical_result() {
+        let cache = SolveCache::new();
+        let s = spec(64 << 10);
+        let (a, hit_a) = cache.solve_point(&s, None);
+        let (b, hit_b) = cache.solve_point(&s, None);
+        assert!(!hit_a && hit_b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.result.unwrap(), b.result.unwrap());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn cached_winner_matches_optimize() {
+        let s = spec(128 << 10);
+        let via_cache = optimize_cached(&s).unwrap();
+        assert_eq!(via_cache, optimize(&s).unwrap());
+        // And the global memo now serves it without re-solving.
+        let (_, hit) = SolveCache::global().solve_point(&s, None);
+        assert!(hit);
+    }
+
+    #[test]
+    fn clear_makes_the_next_solve_cold() {
+        let cache = SolveCache::new();
+        let s = spec(64 << 10);
+        cache.solve_point(&s, None);
+        cache.clear();
+        assert!(cache.is_empty());
+        let (_, hit) = cache.solve_point(&s, None);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_entries() {
+        let cache = SolveCache::new();
+        let (a, _) = cache.solve_point(&spec(64 << 10), None);
+        let (b, _) = cache.solve_point(&spec(128 << 10), None);
+        assert_eq!(cache.len(), 2);
+        assert_ne!(a.result.unwrap().area, b.result.unwrap().area);
+    }
+}

@@ -1,0 +1,146 @@
+//! Pareto-frontier extraction over the four paper objectives.
+//!
+//! A solved point is on the frontier iff no other point is at least as good
+//! on all four of (access time, dynamic read energy, area, leakage +
+//! refresh power) and strictly better on at least one — the classic
+//! dominance relation, minimizing every objective. The engine annotates
+//! every `ok` record with its frontier membership and, for frontier points,
+//! the number of points it dominates.
+
+/// The four objective values of one solved point, in SI units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoMetrics {
+    /// End-to-end access time \[s\].
+    pub access_s: f64,
+    /// Dynamic read energy per access \[J\].
+    pub read_j: f64,
+    /// Total area \[m²\].
+    pub area_m2: f64,
+    /// Leakage + refresh power \[W\].
+    pub leakage_w: f64,
+}
+
+impl ParetoMetrics {
+    fn axes(&self) -> [f64; 4] {
+        [self.access_s, self.read_j, self.area_m2, self.leakage_w]
+    }
+
+    /// `true` iff `self` dominates `other`: no worse on every objective and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &ParetoMetrics) -> bool {
+        let (a, b) = (self.axes(), other.axes());
+        let mut strictly = false;
+        for i in 0..4 {
+            if a[i] > b[i] {
+                return false;
+            }
+            strictly |= a[i] < b[i];
+        }
+        strictly
+    }
+}
+
+/// One frontier member.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Grid-point index of the frontier member.
+    pub idx: usize,
+    /// How many solved points this one dominates.
+    pub dominates: usize,
+    /// The member's objective values.
+    pub metrics: ParetoMetrics,
+}
+
+/// Extracts the Pareto frontier of `(idx, metrics)` points, returned in
+/// ascending `idx` order. O(n²) pairwise dominance, which at the engine's
+/// grid sizes (≤ [`crate::grid::MAX_POINTS`]) is never the bottleneck next
+/// to the solves themselves.
+pub fn frontier(points: &[(usize, ParetoMetrics)]) -> Vec<ParetoPoint> {
+    let mut out = Vec::new();
+    for (i, (idx, m)) in points.iter().enumerate() {
+        let mut dominated = false;
+        let mut dominates = 0usize;
+        for (j, (_, other)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if other.dominates(m) {
+                dominated = true;
+                break;
+            }
+            if m.dominates(other) {
+                dominates += 1;
+            }
+        }
+        if !dominated {
+            out.push(ParetoPoint {
+                idx: *idx,
+                dominates,
+                metrics: *m,
+            });
+        }
+    }
+    out.sort_by_key(|p| p.idx);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(access: f64, energy: f64, area: f64, leak: f64) -> ParetoMetrics {
+        ParetoMetrics {
+            access_s: access,
+            read_j: energy,
+            area_m2: area,
+            leakage_w: leak,
+        }
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_somewhere() {
+        let a = m(1.0, 1.0, 1.0, 1.0);
+        assert!(!a.dominates(&a));
+        assert!(m(0.5, 1.0, 1.0, 1.0).dominates(&a));
+        assert!(!m(0.5, 2.0, 1.0, 1.0).dominates(&a), "worse on energy");
+    }
+
+    #[test]
+    fn frontier_of_a_chain_is_its_minimum() {
+        let pts: Vec<(usize, ParetoMetrics)> = (0..5)
+            .map(|i| {
+                let v = 1.0 + i as f64;
+                (i, m(v, v, v, v))
+            })
+            .collect();
+        let f = frontier(&pts);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].idx, 0);
+        assert_eq!(f[0].dominates, 4);
+    }
+
+    #[test]
+    fn trade_off_points_all_survive() {
+        // Three points trading access time against energy; none dominates.
+        let pts = vec![
+            (10, m(1.0, 3.0, 1.0, 1.0)),
+            (11, m(2.0, 2.0, 1.0, 1.0)),
+            (12, m(3.0, 1.0, 1.0, 1.0)),
+        ];
+        let f = frontier(&pts);
+        assert_eq!(f.iter().map(|p| p.idx).collect::<Vec<_>>(), [10, 11, 12]);
+        assert!(f.iter().all(|p| p.dominates == 0));
+    }
+
+    #[test]
+    fn duplicates_neither_dominate_nor_vanish() {
+        let pts = vec![(0, m(1.0, 1.0, 1.0, 1.0)), (1, m(1.0, 1.0, 1.0, 1.0))];
+        let f = frontier(&pts);
+        assert_eq!(f.len(), 2, "equal points do not dominate each other");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_frontier() {
+        assert!(frontier(&[]).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! A hermetic work-claiming thread pool.
+//!
+//! The workspace is registry-dependency-free, so instead of rayon this
+//! module provides the one scheduling primitive the engine needs: N scoped
+//! `std::thread` workers claiming indices off a shared atomic cursor. Each
+//! claim is a single `fetch_add`, which makes the queue naturally
+//! work-stealing-balanced — a worker stuck on an expensive point simply
+//! claims fewer subsequent points while its peers drain the rest.
+//!
+//! Completed results are handed to a sink callback under a mutex in
+//! completion order; callers that need deterministic ordering (the engine's
+//! final JSONL, [`parallel_map`]) place results into index-addressed slots.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads to use when the caller does not care:
+/// the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `work(i)` for every `i in 0..n` on `threads` workers and feeds each
+/// result to `sink(i, result)` as it completes.
+///
+/// * `threads == 0` is taken as [`default_threads`]; the effective count is
+///   clamped to `n`.
+/// * `work` runs concurrently on the workers; `sink` runs under a mutex,
+///   one call at a time, in completion order (not index order).
+/// * With one effective thread everything runs on the caller's thread in
+///   index order — no spawning, which keeps single-threaded runs exactly
+///   deterministic and cheap.
+pub fn run_indexed<R, W, S>(threads: usize, n: usize, work: W, mut sink: S)
+where
+    R: Send,
+    W: Fn(usize) -> R + Sync,
+    S: FnMut(usize, R) + Send,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+    .min(n.max(1));
+    if threads <= 1 {
+        for i in 0..n {
+            let r = work(i);
+            sink(i, r);
+        }
+        return;
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let sink = Mutex::new(sink);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = work(i);
+                let mut sink = sink.lock().expect("pool sink poisoned");
+                sink(i, r);
+            });
+        }
+    });
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in item
+/// order regardless of completion order. `threads == 0` means
+/// [`default_threads`].
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    run_indexed(
+        threads,
+        items.len(),
+        |i| f(i, &items[i]),
+        |i, r| slots[i] = Some(r),
+    );
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_index_is_claimed_exactly_once() {
+        for threads in [1, 2, 8] {
+            let calls = AtomicUsize::new(0);
+            let mut seen = HashSet::new();
+            run_indexed(
+                threads,
+                100,
+                |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i * 3
+                },
+                |i, r| {
+                    assert_eq!(r, i * 3);
+                    assert!(seen.insert(i), "index {i} delivered twice");
+                },
+            );
+            assert_eq!(calls.load(Ordering::Relaxed), 100);
+            assert_eq!(seen.len(), 100);
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [0, 1, 3, 16] {
+            assert_eq!(parallel_map(threads, &items, |_, &x| x * x), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map::<u32, u32, _>(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_clamped() {
+        // Would deadlock or panic if workers raced past the queue end.
+        let out = parallel_map(64, &[1u32, 2, 3], |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

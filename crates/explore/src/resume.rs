@@ -1,0 +1,287 @@
+//! Checkpointing: the sidecar files that make interrupted sweeps resumable.
+//!
+//! A run writing to `out.jsonl` streams two sidecars in completion order,
+//! one line per finished point, flushed line-by-line:
+//!
+//! * `out.jsonl.part` — the raw JSONL records (no Pareto annotations);
+//! * `out.jsonl.ckpt` — a TSV with one header and one metrics line per
+//!   point:
+//!
+//! ```text
+//! #cactid-explore-ckpt v1 grid=6c62272e07bb0142 points=100
+//! 0<TAB>ok<TAB>1.23e-9<TAB>4.5e-11<TAB>2.1e-7<TAB>0.013
+//! 7<TAB>infeasible<TAB>-<TAB>-<TAB>-<TAB>-
+//! ```
+//!
+//! The header pins the grid fingerprint and point count, so a resume
+//! against an edited grid fails loudly instead of stitching mismatched
+//! points together. The ckpt carries the four Pareto objectives (f64
+//! `Display`, which round-trips exactly) so a resumed run can extract the
+//! frontier without parsing JSON. A point counts as completed only when
+//! present in **both** sidecars — a torn final line in either file simply
+//! re-solves that point.
+
+use crate::error::ExploreError;
+use crate::pareto::ParetoMetrics;
+use crate::record::{line_idx, strip_pareto, PointStatus};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of the checkpoint header line.
+pub const CKPT_MAGIC: &str = "#cactid-explore-ckpt v1";
+
+/// The streaming-records sidecar path for an output file.
+pub fn part_path(out: &Path) -> PathBuf {
+    sidecar(out, "part")
+}
+
+/// The checkpoint sidecar path for an output file.
+pub fn ckpt_path(out: &Path) -> PathBuf {
+    sidecar(out, "ckpt")
+}
+
+fn sidecar(out: &Path, ext: &str) -> PathBuf {
+    let mut name = out.as_os_str().to_os_string();
+    name.push(".");
+    name.push(ext);
+    PathBuf::from(name)
+}
+
+/// Renders the checkpoint header for a grid.
+pub fn header(fingerprint: u64, points: usize) -> String {
+    format!("{CKPT_MAGIC} grid={fingerprint:016x} points={points}")
+}
+
+/// Renders one checkpoint line.
+pub fn line(idx: usize, status: PointStatus, metrics: Option<&ParetoMetrics>) -> String {
+    let mut s = format!("{idx}\t{}", status.label());
+    match metrics {
+        Some(m) => {
+            for v in [m.access_s, m.read_j, m.area_m2, m.leakage_w] {
+                let _ = write!(s, "\t{v}");
+            }
+        }
+        None => s.push_str("\t-\t-\t-\t-"),
+    }
+    s
+}
+
+fn bad(msg: impl Into<String>) -> ExploreError {
+    ExploreError::Checkpoint(msg.into())
+}
+
+/// Parses [`header`] back into `(fingerprint, points)`.
+pub fn parse_header(line: &str) -> Result<(u64, usize), ExploreError> {
+    let rest = line
+        .strip_prefix(CKPT_MAGIC)
+        .ok_or_else(|| bad(format!("not a cactid-explore checkpoint: {line:?}")))?;
+    let mut grid = None;
+    let mut points = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("grid=") {
+            grid = u64::from_str_radix(v, 16).ok();
+        } else if let Some(v) = field.strip_prefix("points=") {
+            points = v.parse().ok();
+        }
+    }
+    match (grid, points) {
+        (Some(g), Some(p)) => Ok((g, p)),
+        _ => Err(bad(format!("malformed checkpoint header: {line:?}"))),
+    }
+}
+
+fn parse_status(s: &str) -> Option<PointStatus> {
+    match s {
+        "ok" => Some(PointStatus::Ok),
+        "infeasible" => Some(PointStatus::Infeasible),
+        "invalid" => Some(PointStatus::Invalid),
+        _ => None,
+    }
+}
+
+/// Parses one checkpoint [`line`].
+pub fn parse_line(text: &str) -> Result<(usize, PointStatus, Option<ParetoMetrics>), ExploreError> {
+    let fields: Vec<&str> = text.split('\t').collect();
+    let [idx, status, access, read, area, leak] = fields[..] else {
+        return Err(bad(format!("checkpoint line has wrong arity: {text:?}")));
+    };
+    let idx = idx
+        .parse()
+        .map_err(|_| bad(format!("bad checkpoint index: {text:?}")))?;
+    let status =
+        parse_status(status).ok_or_else(|| bad(format!("bad checkpoint status: {text:?}")))?;
+    let metrics = if access == "-" {
+        None
+    } else {
+        let f = |s: &str| {
+            s.parse::<f64>()
+                .map_err(|_| bad(format!("bad checkpoint metric: {text:?}")))
+        };
+        Some(ParetoMetrics {
+            access_s: f(access)?,
+            read_j: f(read)?,
+            area_m2: f(area)?,
+            leakage_w: f(leak)?,
+        })
+    };
+    Ok((idx, status, metrics))
+}
+
+/// One point restored from the sidecars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumedPoint {
+    /// The stored record line, Pareto annotation stripped.
+    pub line: String,
+    /// The point's status.
+    pub status: PointStatus,
+    /// The Pareto objectives, for `ok` points.
+    pub metrics: Option<ParetoMetrics>,
+}
+
+/// Loads the completed points of a previous run against the same grid.
+///
+/// Missing sidecars mean a fresh start (empty map). A present checkpoint
+/// whose header disagrees with `fingerprint`/`points` is an error — the
+/// grid definition changed under the output file. Trailing torn lines in
+/// either sidecar are ignored; only points recorded in both count.
+///
+/// # Errors
+///
+/// [`ExploreError::Checkpoint`] on a header mismatch or corrupt line, and
+/// [`ExploreError::Io`] if a sidecar exists but cannot be read.
+pub fn load(
+    out: &Path,
+    fingerprint: u64,
+    points: usize,
+) -> Result<HashMap<usize, ResumedPoint>, ExploreError> {
+    let read = |p: &Path| -> Result<Option<String>, ExploreError> {
+        match std::fs::read_to_string(p) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(ExploreError::Io(format!("{}: {e}", p.display()))),
+        }
+    };
+    let (Some(ckpt), Some(part)) = (read(&ckpt_path(out))?, read(&part_path(out))?) else {
+        return Ok(HashMap::new());
+    };
+
+    let mut ckpt_lines = ckpt.lines();
+    let head = ckpt_lines
+        .next()
+        .ok_or_else(|| bad("empty checkpoint file"))?;
+    let (got_grid, got_points) = parse_header(head)?;
+    if got_grid != fingerprint || got_points != points {
+        return Err(bad(format!(
+            "checkpoint is for a different grid \
+             (grid {got_grid:016x}/{got_points} points, expected \
+             {fingerprint:016x}/{points}); delete the sidecars or change --out"
+        )));
+    }
+
+    let mut statuses = HashMap::new();
+    for l in ckpt_lines {
+        if l.is_empty() {
+            continue;
+        }
+        // A torn trailing line is normal after an interrupt; stop there.
+        let Ok((idx, status, metrics)) = parse_line(l) else {
+            break;
+        };
+        if idx >= points {
+            return Err(bad(format!("checkpoint index {idx} out of range")));
+        }
+        statuses.insert(idx, (status, metrics));
+    }
+
+    let mut out_map = HashMap::new();
+    for l in part.lines() {
+        let Some(idx) = line_idx(l) else { continue };
+        let Some(&(status, metrics)) = statuses.get(&idx) else {
+            continue;
+        };
+        let mut line = l.to_string();
+        strip_pareto(&mut line);
+        out_map.insert(
+            idx,
+            ResumedPoint {
+                line,
+                status,
+                metrics,
+            },
+        );
+    }
+    Ok(out_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> ParetoMetrics {
+        ParetoMetrics {
+            access_s: 1.25e-9,
+            read_j: 4.5e-11,
+            area_m2: 2.1e-7,
+            leakage_w: 0.013,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = header(0x6c62_272e_07bb_0142, 100);
+        assert_eq!(parse_header(&h).unwrap(), (0x6c62_272e_07bb_0142, 100));
+        assert!(parse_header("#something-else").is_err());
+    }
+
+    #[test]
+    fn line_round_trips_metrics_exactly() {
+        let m = metrics();
+        let (idx, status, parsed) = parse_line(&line(7, PointStatus::Ok, Some(&m))).unwrap();
+        assert_eq!((idx, status), (7, PointStatus::Ok));
+        let p = parsed.unwrap();
+        assert_eq!(p.access_s.to_bits(), m.access_s.to_bits());
+        assert_eq!(p.leakage_w.to_bits(), m.leakage_w.to_bits());
+
+        let (idx, status, parsed) = parse_line(&line(3, PointStatus::Infeasible, None)).unwrap();
+        assert_eq!((idx, status), (3, PointStatus::Infeasible));
+        assert!(parsed.is_none());
+    }
+
+    #[test]
+    fn load_joins_both_sidecars() {
+        let dir = std::env::temp_dir().join("cactid-explore-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("sweep.jsonl");
+        let fp = 0xabcdu64;
+        let mut ckpt = header(fp, 10);
+        ckpt.push('\n');
+        ckpt.push_str(&line(0, PointStatus::Ok, Some(&metrics())));
+        ckpt.push('\n');
+        ckpt.push_str(&line(1, PointStatus::Ok, Some(&metrics())));
+        ckpt.push('\n');
+        std::fs::write(ckpt_path(&out), ckpt).unwrap();
+        // Point 1 missing from the part file (torn write): not resumed.
+        // The stored pareto annotation on point 0 is stripped on load.
+        std::fs::write(
+            part_path(&out),
+            "{\"idx\":0,\"status\":\"ok\",\"pareto\":{\"frontier\":false}}\n",
+        )
+        .unwrap();
+
+        let m = load(&out, fp, 10).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&0].line, "{\"idx\":0,\"status\":\"ok\"}");
+        assert_eq!(m[&0].status, PointStatus::Ok);
+        assert!(m[&0].metrics.is_some());
+
+        // Wrong fingerprint: loud failure.
+        assert!(matches!(
+            load(&out, fp + 1, 10),
+            Err(ExploreError::Checkpoint(_))
+        ));
+        // Missing sidecars: fresh start.
+        assert!(load(&dir.join("absent.jsonl"), fp, 10).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! The engine's determinism contract: one grid, one output — regardless of
+//! thread count, completion order, or whether output goes to disk.
+
+use cactid_explore::{explore, ExploreConfig, Grid, OptVariant};
+use std::path::PathBuf;
+
+fn grid() -> Grid {
+    let mut g = Grid::new();
+    g.capacities = vec![32 << 10, 64 << 10, 128 << 10];
+    g.blocks = vec![32, 64];
+    g.associativities = vec![2, 4, 8];
+    g.opts.push(OptVariant {
+        label: "ed".to_string(),
+        opt: cactid_core::OptimizationOptions {
+            weight_dynamic: 100.0,
+            max_area_overhead: 1.0,
+            max_access_time_overhead: 2.0,
+            ..cactid_core::OptimizationOptions::default()
+        },
+    });
+    g
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cactid-explore-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn jsonl_is_byte_identical_across_thread_counts() {
+    let g = grid();
+    let base = explore(
+        &g,
+        &ExploreConfig {
+            threads: 1,
+            pareto: true,
+            ..ExploreConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(base.lines.len(), 36);
+    assert!(base.stats.ok > 0, "grid must actually solve");
+    assert!(!base.frontier.is_empty());
+
+    for threads in [2, 8] {
+        let run = explore(
+            &g,
+            &ExploreConfig {
+                threads,
+                pareto: true,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.lines, base.lines, "{threads} threads diverged");
+        assert_eq!(run.frontier, base.frontier);
+        assert_eq!(run.stats.solved, base.stats.solved);
+    }
+}
+
+#[test]
+fn on_disk_output_matches_the_in_memory_lines() {
+    let g = grid();
+    let out = tmp("ondisk.jsonl");
+    let report = explore(
+        &g,
+        &ExploreConfig {
+            threads: 4,
+            out: Some(&out),
+            pareto: true,
+            ..ExploreConfig::default()
+        },
+    )
+    .unwrap();
+    let file = std::fs::read_to_string(&out).unwrap();
+    let expected: String = report.lines.iter().map(|l| format!("{l}\n")).collect();
+    assert_eq!(file, expected);
+    // Records are sorted by point index even though workers finish out of
+    // order.
+    let indices: Vec<usize> = file
+        .lines()
+        .map(|l| {
+            l.strip_prefix("{\"idx\":")
+                .and_then(|r| r[..r.find(',').unwrap()].parse().ok())
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(indices, (0..36).collect::<Vec<_>>());
+}
+
+#[test]
+fn winners_match_the_single_spec_optimizer() {
+    // The engine's select() must pick exactly what cactid_core::optimize
+    // picks for the same spec — the batch path changes nothing.
+    let mut g = Grid::new();
+    g.capacities = vec![64 << 10];
+    g.associativities = vec![4];
+    let report = explore(
+        &g,
+        &ExploreConfig {
+            threads: 2,
+            ..ExploreConfig::default()
+        },
+    )
+    .unwrap();
+    let spec = g.expand().unwrap().points[0].spec.clone().unwrap();
+    let winner = cactid_core::optimize(&spec).unwrap();
+    let line = &report.lines[0];
+    assert!(line.contains(&format!(
+        "\"org\":{{\"ndwl\":{},\"ndbl\":{},\"nspd\":{},\"deg_bl_mux\":{},\"deg_sa_mux\":{}}}",
+        winner.org.ndwl,
+        winner.org.ndbl,
+        winner.org.nspd,
+        winner.org.deg_bl_mux,
+        winner.org.deg_sa_mux
+    )));
+    assert!(line.contains(&format!("\"access_ns\":{}", winner.access_ns())));
+}

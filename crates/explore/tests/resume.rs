@@ -1,0 +1,99 @@
+//! Resume semantics: interrupted sweeps pick up where they left off and
+//! still produce the exact file an uninterrupted run would have.
+
+use cactid_explore::{explore, ExploreConfig, ExploreError, Grid};
+use std::path::{Path, PathBuf};
+
+fn grid() -> Grid {
+    let mut g = Grid::new();
+    g.capacities = vec![32 << 10, 64 << 10, 128 << 10];
+    g.associativities = vec![2, 4];
+    g
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("cactid-explore-resume")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(out: &Path, resume: bool) -> ExploreConfig<'_> {
+    ExploreConfig {
+        threads: 2,
+        out: Some(out),
+        resume,
+        pareto: true,
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn interrupted_run_resumes_without_resolving_completed_points() {
+    let dir = tmp_dir("interrupt");
+    let out = dir.join("sweep.jsonl");
+    let full = explore(&grid(), &config(&out, false)).unwrap();
+    assert_eq!(full.stats.solved, 6);
+    let reference = std::fs::read_to_string(&out).unwrap();
+
+    // Simulate an interrupt: keep only the first two streamed records.
+    std::fs::remove_file(&out).unwrap();
+    let part = dir.join("sweep.jsonl.part");
+    let kept: String = std::fs::read_to_string(&part)
+        .unwrap()
+        .lines()
+        .take(2)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&part, kept).unwrap();
+
+    let resumed = explore(&grid(), &config(&out, true)).unwrap();
+    assert_eq!(resumed.stats.resumed, 2);
+    assert_eq!(resumed.stats.solved, 4, "only the lost points re-solve");
+    assert!(resumed.stats.balanced());
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+}
+
+#[test]
+fn resuming_a_complete_run_solves_zero_points() {
+    let dir = tmp_dir("complete");
+    let out = dir.join("sweep.jsonl");
+    let first = explore(&grid(), &config(&out, false)).unwrap();
+    let reference = std::fs::read_to_string(&out).unwrap();
+
+    let second = explore(&grid(), &config(&out, true)).unwrap();
+    assert_eq!(second.stats.solved, 0);
+    assert_eq!(second.stats.resumed, first.stats.points);
+    assert!(second.stats.render().contains("solved 0,"));
+    assert_eq!(second.lines, first.lines);
+    assert_eq!(second.frontier, first.frontier);
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+}
+
+#[test]
+fn resume_against_a_changed_grid_fails_loudly() {
+    let dir = tmp_dir("changed");
+    let out = dir.join("sweep.jsonl");
+    explore(&grid(), &config(&out, false)).unwrap();
+
+    let mut edited = grid();
+    edited.capacities.push(256 << 10);
+    match explore(&edited, &config(&out, true)) {
+        Err(ExploreError::Checkpoint(msg)) => {
+            assert!(msg.contains("different grid"), "{msg}");
+        }
+        other => panic!("expected checkpoint mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn without_resume_the_sidecars_are_overwritten_not_joined() {
+    let dir = tmp_dir("overwrite");
+    let out = dir.join("sweep.jsonl");
+    explore(&grid(), &config(&out, false)).unwrap();
+    let rerun = explore(&grid(), &config(&out, false)).unwrap();
+    assert_eq!(rerun.stats.resumed, 0);
+    assert_eq!(rerun.stats.solved, 6);
+}

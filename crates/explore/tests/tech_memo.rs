@@ -1,0 +1,36 @@
+//! The per-node technology memo, observed end to end.
+//!
+//! This lives in its own integration binary so no other test in the
+//! process constructs a `Technology` and skews the counter: across a
+//! 100-point single-node grid on four workers, the Table-1 derivation must
+//! run exactly once.
+
+use cactid_explore::{explore, ExploreConfig, Grid};
+use cactid_tech::Technology;
+
+#[test]
+fn hundred_point_single_node_grid_builds_technology_once() {
+    let mut g = Grid::new();
+    g.capacities = vec![32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10];
+    g.associativities = vec![2, 4, 8, 16];
+    g.blocks = vec![16, 32, 64, 128, 256];
+    assert_eq!(g.len(), 100);
+
+    let config = ExploreConfig {
+        threads: 4,
+        ..ExploreConfig::default()
+    };
+    let report = explore(&g, &config).unwrap();
+    assert_eq!(report.stats.points, 100);
+    assert!(report.stats.ok > 50, "most of the grid should solve");
+    assert_eq!(
+        report.stats.tech_constructions, 1,
+        "one node, one Technology construction"
+    );
+    assert_eq!(Technology::constructions(), 1);
+
+    // A second sweep over the same node is fully served by the memo.
+    let again = explore(&g, &config).unwrap();
+    assert_eq!(again.stats.tech_constructions, 0);
+    assert_eq!(Technology::constructions(), 1);
+}

@@ -37,8 +37,11 @@ pub fn capacity_sweep(
     capacities: &[u64],
     instructions: u64,
 ) -> Vec<SweepPoint> {
-    let mut out = Vec::new();
-    for &cap in capacities {
+    // Each capacity point is an independent warm-up + measurement
+    // simulation, so the sweep rides the cactid-explore work-claiming
+    // pool; results come back in capacity order regardless of which
+    // worker finished first.
+    cactid_explore::pool::parallel_map(0, capacities, |_, &cap| {
         let mut cfg = base.clone();
         let l3 = cfg.system.l3.as_mut().expect("base config has an L3");
         l3.bank.capacity_bytes = cap / u64::from(l3.n_banks);
@@ -49,7 +52,7 @@ pub fn capacity_sweep(
         let stats = sim.run(instructions);
         let c = &stats.counts;
         let reached = stats.load_level_hits[2] + stats.load_level_hits[3];
-        out.push(SweepPoint {
+        SweepPoint {
             capacity_bytes: cap,
             l3_apki: c.l3_reads as f64 / (stats.instructions as f64 / 1000.0),
             miss_ratio: if reached == 0 {
@@ -58,9 +61,8 @@ pub fn capacity_sweep(
                 stats.load_level_hits[3] as f64 / reached as f64
             },
             ipc: stats.ipc(),
-        });
-    }
-    out
+        }
+    })
 }
 
 /// The capacities the paper's five L3 options span, plus endpoints.

@@ -55,7 +55,18 @@ pub use device::{DeviceParams, DeviceType};
 pub use node::TechNode;
 pub use wire::{WireParams, WireType};
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use units::{Meters, Seconds};
+
+/// Count of [`Technology::new`] constructions in this process (clones are
+/// not counted). Exposed through [`Technology::constructions`] so batch
+/// drivers can assert that the per-node memo ([`Technology::cached`])
+/// actually deduplicates construction.
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// One memoization slot per [`TechNode`] (in `ALL_WITH_HALF_NODES` order).
+static CACHED: [OnceLock<Technology>; 5] = [const { OnceLock::new() }; 5];
 
 /// A fully-resolved technology: one ITRS node with all device, wire and
 /// memory-cell parameter tables instantiated.
@@ -71,7 +82,28 @@ pub struct Technology {
 impl Technology {
     /// Creates the technology model for `node`.
     pub fn new(node: TechNode) -> Self {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         Technology { node }
+    }
+
+    /// The per-process memoized technology model for `node`.
+    ///
+    /// Hot batch paths (the solver's per-spec entry point, the diagnostics
+    /// context) resolve their technology through this cache so that a sweep
+    /// over thousands of specs at one node constructs the model exactly
+    /// once; [`Technology::constructions`] observes the deduplication.
+    pub fn cached(node: TechNode) -> &'static Technology {
+        let slot = TechNode::ALL_WITH_HALF_NODES
+            .iter()
+            .position(|&n| n == node)
+            .expect("every TechNode is listed in ALL_WITH_HALF_NODES");
+        CACHED[slot].get_or_init(|| Technology::new(node))
+    }
+
+    /// Total [`Technology::new`] constructions performed by this process so
+    /// far. Batch engines report the delta across a run in their stats.
+    pub fn constructions() -> u64 {
+        CONSTRUCTIONS.load(Ordering::Relaxed)
     }
 
     /// The ITRS node this technology was instantiated for.
@@ -163,6 +195,20 @@ mod tests {
                 "LSTP leak {na_per_um} nA/µm"
             );
         }
+    }
+
+    #[test]
+    fn cached_technology_is_shared_and_equal_to_fresh() {
+        for &node in TechNode::ALL_WITH_HALF_NODES {
+            let cached = Technology::cached(node);
+            assert_eq!(*cached, Technology::new(node));
+            // Same node resolves to the same memoized instance.
+            assert!(std::ptr::eq(cached, Technology::cached(node)));
+        }
+        // The counter moves when `new` is called directly.
+        let before = Technology::constructions();
+        let _ = Technology::new(TechNode::N32);
+        assert!(Technology::constructions() > before);
     }
 
     #[test]

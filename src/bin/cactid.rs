@@ -6,6 +6,8 @@
 //!        --io 8 --burst 8 --prefetch 8 --page 8K
 //! cactid --size 8M --cell lp-dram --node 32 --mode sequential --solutions
 //! cactid lint --size 1G --banks 8 --cell comm-dram --node 32 --main-memory
+//! cactid explore --sizes 1M,2M,4M --assocs 4,8,16 --threads 4 --pareto \
+//!        --out sweep.jsonl
 //! ```
 //!
 //! Prints the optimized solution with full delay/energy breakdowns; with
@@ -13,7 +15,10 @@
 //! subcommand runs the `cactid-analyze` diagnostics engine
 //! (`CD0001`–`CD0022`) over the spec and — when the spec is solvable —
 //! over the optimized solution, printing a rustc-style report;
-//! `--deny-warnings` turns warnings into a non-zero exit.
+//! `--deny-warnings` turns warnings into a non-zero exit. The `explore`
+//! subcommand expands a grid over comma-separated axes and runs the
+//! `cactid-explore` batch engine (parallel, resumable, Pareto-annotated
+//! JSONL).
 //!
 //! The binary lives in the facade crate (not `cactid-core`) because the
 //! `lint` subcommand needs `cactid-analyze`, which depends on the core —
@@ -22,9 +27,12 @@
 use cactid_analyze::{render, Analyzer};
 use cactid_core::{
     AccessMode, Diagnostic, MemoryKind, MemorySpec, OptimizationOptions, Report, Solution,
+    SolutionLinter,
 };
+use cactid_explore::{ExploreConfig, Grid, OptVariant};
 use cactid_tech::{CellTechnology, TechNode};
 use cactid_units::{Seconds, Watts};
+use std::path::PathBuf;
 use std::process::exit;
 
 fn usage() -> ! {
@@ -37,9 +45,14 @@ fn usage() -> ! {
          \x20      [--solutions]\n\
          \n\
          subcommands:\n\
-         \x20 lint   run the CD0001-CD0022 diagnostics over the spec (and the\n\
-         \x20        optimized solution, when one exists) instead of printing it;\n\
-         \x20        accepts --deny-warnings; exits non-zero on errors"
+         \x20 lint     run the CD0001-CD0022 diagnostics over the spec (and the\n\
+         \x20          optimized solution, when one exists) instead of printing it;\n\
+         \x20          accepts --deny-warnings; exits non-zero on errors\n\
+         \x20 explore  batch design-space exploration; axes are comma lists:\n\
+         \x20          --sizes LIST (required) [--blocks LIST] [--assocs LIST]\n\
+         \x20          [--banks LIST] [--nodes LIST] [--cells LIST]\n\
+         \x20          [--opts default|ed|c LIST] [--mode M] [--out FILE]\n\
+         \x20          [--threads N] [--resume] [--pareto] [--lint]"
     );
     exit(2)
 }
@@ -55,6 +68,14 @@ fn parse_size(v: &str) -> Option<u64> {
     num.parse::<u64>().ok().map(|n| n * mult)
 }
 
+/// Splits a comma-separated axis list, applying `parse` per element.
+fn parse_list<T>(flag: &str, v: &str, parse: impl Fn(&str) -> Option<T>) -> Result<Vec<T>, String> {
+    v.split(',')
+        .map(|item| parse(item.trim()).ok_or_else(|| format!("invalid value {item:?} in {flag}")))
+        .collect()
+}
+
+#[derive(Debug)]
 struct Args {
     size: u64,
     block: u32,
@@ -74,7 +95,38 @@ struct Args {
     deny_warnings: bool,
 }
 
-fn parse_args(argv: &[String]) -> Args {
+/// Consumes the value of `flag`, or explains what is missing.
+fn value<'a>(argv: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    argv.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag {flag} expects a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {flag}"))
+}
+
+fn parse_cell(v: &str) -> Option<CellTechnology> {
+    match v {
+        "sram" => Some(CellTechnology::Sram),
+        "lp-dram" | "lpdram" => Some(CellTechnology::LpDram),
+        "comm-dram" | "commdram" => Some(CellTechnology::CommDram),
+        _ => None,
+    }
+}
+
+fn parse_mode(v: &str) -> Option<AccessMode> {
+    match v {
+        "normal" => Some(AccessMode::Normal),
+        "sequential" => Some(AccessMode::Sequential),
+        "fast" => Some(AccessMode::Fast),
+        _ => None,
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut a = Args {
         size: 0,
         block: 64,
@@ -94,66 +146,196 @@ fn parse_args(argv: &[String]) -> Args {
         deny_warnings: false,
     };
     let mut i = 0;
-    let next = |i: &mut usize| -> String {
-        *i += 1;
-        argv.get(*i).cloned().unwrap_or_else(|| usage())
-    };
     while i < argv.len() {
-        match argv[i].as_str() {
-            "--size" => a.size = parse_size(&next(&mut i)).unwrap_or_else(|| usage()),
-            "--block" => a.block = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--assoc" => a.assoc = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--banks" => a.banks = next(&mut i).parse().unwrap_or_else(|_| usage()),
+        let flag = argv[i].as_str();
+        let bad = |v: &str| format!("invalid value {v:?} for {flag}");
+        match flag {
+            "--size" => {
+                let v = value(argv, &mut i, flag)?;
+                a.size = parse_size(v).ok_or_else(|| bad(v))?;
+            }
+            "--block" => a.block = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--assoc" => a.assoc = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--banks" => a.banks = parse_num(flag, value(argv, &mut i, flag)?)?,
             "--cell" => {
-                a.cell = match next(&mut i).as_str() {
-                    "sram" => CellTechnology::Sram,
-                    "lp-dram" | "lpdram" => CellTechnology::LpDram,
-                    "comm-dram" | "commdram" => CellTechnology::CommDram,
-                    _ => usage(),
-                }
+                let v = value(argv, &mut i, flag)?;
+                a.cell = parse_cell(v).ok_or_else(|| bad(v))?;
             }
             "--node" => {
-                let nm: u32 = next(&mut i).parse().unwrap_or_else(|_| usage());
-                a.node = TechNode::from_nm(nm).unwrap_or_else(|| usage());
+                let v = value(argv, &mut i, flag)?;
+                let nm: u32 = parse_num(flag, v)?;
+                a.node = TechNode::from_nm(nm).ok_or_else(|| bad(v))?;
             }
             "--mode" => {
-                a.mode = match next(&mut i).as_str() {
-                    "normal" => AccessMode::Normal,
-                    "sequential" => AccessMode::Sequential,
-                    "fast" => AccessMode::Fast,
-                    _ => usage(),
-                }
+                let v = value(argv, &mut i, flag)?;
+                a.mode = parse_mode(v).ok_or_else(|| bad(v))?;
             }
             "--ram" => a.ram = true,
             "--main-memory" => a.main_memory = true,
-            "--io" => a.io = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--burst" => a.burst = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--prefetch" => a.prefetch = next(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--page" => a.page_bits = parse_size(&next(&mut i)).unwrap_or_else(|| usage()),
+            "--io" => a.io = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--burst" => a.burst = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--prefetch" => a.prefetch = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--page" => {
+                let v = value(argv, &mut i, flag)?;
+                a.page_bits = parse_size(v).ok_or_else(|| bad(v))?;
+            }
             "--max-area" => {
                 a.opt.max_area_overhead =
-                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
+                    parse_num::<f64>(flag, value(argv, &mut i, flag)?)? / 100.0;
             }
             "--max-time" => {
                 a.opt.max_access_time_overhead =
-                    next(&mut i).parse::<f64>().unwrap_or_else(|_| usage()) / 100.0;
+                    parse_num::<f64>(flag, value(argv, &mut i, flag)?)? / 100.0;
             }
-            "--relax" => a.opt.repeater_relax = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--relax" => a.opt.repeater_relax = parse_num(flag, value(argv, &mut i, flag)?)?,
             "--sleep" => a.opt.sleep_transistors = true,
             "--solutions" => a.list_solutions = true,
             "--deny-warnings" => a.deny_warnings = true,
-            "--help" | "-h" => usage(),
-            other => {
-                eprintln!("unknown flag {other:?}");
-                usage()
-            }
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
     }
     if a.size == 0 {
-        usage()
+        return Err("missing required flag --size".to_string());
     }
-    a
+    Ok(a)
+}
+
+/// Everything `cactid explore` needs: the grid plus engine options.
+#[derive(Debug)]
+struct ExploreArgs {
+    grid: Grid,
+    threads: usize,
+    out: Option<PathBuf>,
+    resume: bool,
+    pareto: bool,
+    lint: bool,
+}
+
+/// The named optimization-knob variants the `--opts` axis accepts:
+/// `default`, plus the paper's `ed` (energy/delay mats) and `c` (capacity)
+/// settings from §3.1.
+fn parse_opt_variant(v: &str) -> Option<OptVariant> {
+    let opt = match v {
+        "default" => OptimizationOptions::default(),
+        "ed" => OptimizationOptions {
+            max_area_overhead: 0.60,
+            max_access_time_overhead: 0.15,
+            weight_dynamic: 1.5,
+            weight_leakage: 0.3,
+            weight_cycle: 2.0,
+            weight_interleave: 1.0,
+            ..OptimizationOptions::default()
+        },
+        "c" => OptimizationOptions {
+            max_area_overhead: 0.20,
+            max_access_time_overhead: 1.0,
+            weight_dynamic: 0.5,
+            weight_leakage: 1.0,
+            weight_cycle: 0.3,
+            weight_interleave: 0.3,
+            ..OptimizationOptions::default()
+        },
+        _ => return None,
+    };
+    Some(OptVariant {
+        label: v.to_string(),
+        opt,
+    })
+}
+
+fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
+    let mut a = ExploreArgs {
+        grid: Grid::new(),
+        threads: 0,
+        out: None,
+        resume: false,
+        pareto: false,
+        lint: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        match flag {
+            "--sizes" => {
+                a.grid.capacities = parse_list(flag, value(argv, &mut i, flag)?, parse_size)?;
+            }
+            "--blocks" => {
+                a.grid.blocks =
+                    parse_list(flag, value(argv, &mut i, flag)?, |v| v.parse::<u32>().ok())?;
+            }
+            "--assocs" => {
+                a.grid.associativities =
+                    parse_list(flag, value(argv, &mut i, flag)?, |v| v.parse::<u32>().ok())?;
+            }
+            "--banks" => {
+                a.grid.banks =
+                    parse_list(flag, value(argv, &mut i, flag)?, |v| v.parse::<u32>().ok())?;
+            }
+            "--nodes" => {
+                a.grid.nodes = parse_list(flag, value(argv, &mut i, flag)?, |v| {
+                    v.parse::<u32>().ok().and_then(TechNode::from_nm)
+                })?;
+            }
+            "--cells" => {
+                a.grid.cells = parse_list(flag, value(argv, &mut i, flag)?, parse_cell)?;
+            }
+            "--opts" => {
+                a.grid.opts = parse_list(flag, value(argv, &mut i, flag)?, parse_opt_variant)?;
+            }
+            "--mode" => {
+                let v = value(argv, &mut i, flag)?;
+                a.grid.access_mode =
+                    parse_mode(v).ok_or_else(|| format!("invalid value {v:?} for {flag}"))?;
+            }
+            "--out" => a.out = Some(PathBuf::from(value(argv, &mut i, flag)?)),
+            "--threads" => a.threads = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--resume" => a.resume = true,
+            "--pareto" => a.pareto = true,
+            "--lint" => a.lint = true,
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if a.grid.capacities.is_empty() {
+        return Err("missing required flag --sizes".to_string());
+    }
+    Ok(a)
+}
+
+/// The `cactid explore` subcommand: expand the grid, run the batch engine,
+/// and print the JSONL (stdout, unless `--out`) plus the engine stats
+/// (stderr, so piping the records stays clean).
+fn run_explore(argv: &[String]) -> ! {
+    let a = parse_explore_args(argv).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let analyzer = Analyzer::new();
+    let config = ExploreConfig {
+        threads: a.threads,
+        out: a.out.as_deref(),
+        resume: a.resume,
+        pareto: a.pareto,
+        linter: a.lint.then_some(&analyzer as &(dyn SolutionLinter + Sync)),
+    };
+    match cactid_explore::explore(&a.grid, &config) {
+        Ok(report) => {
+            if a.out.is_none() {
+                for line in &report.lines {
+                    println!("{line}");
+                }
+            }
+            eprintln!("{}", report.stats.render());
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+    }
 }
 
 /// Assembles the spec directly from the parsed flags, **bypassing** the
@@ -334,11 +516,17 @@ fn print_warnings(analyzer: &Analyzer, warnings: &[Diagnostic]) {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("explore") {
+        run_explore(&argv[1..]);
+    }
     let (lint_mode, rest) = match argv.first().map(String::as_str) {
         Some("lint") => (true, &argv[1..]),
         _ => (false, &argv[..]),
     };
-    let a = parse_args(rest);
+    let a = parse_args(rest).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
     if lint_mode {
         run_lint(&a);
     }
@@ -402,5 +590,111 @@ fn main() {
         });
         print_solution(&sol);
         print_warnings(&analyzer, &sol.warnings);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn size_suffixes_scale_correctly() {
+        assert_eq!(parse_size("64"), Some(64));
+        assert_eq!(parse_size("64K"), Some(64 << 10));
+        assert_eq!(parse_size("64k"), Some(64 << 10));
+        assert_eq!(parse_size("2M"), Some(2 << 20));
+        assert_eq!(parse_size("1g"), Some(1 << 30));
+        assert_eq!(parse_size(" 8K "), Some(8 << 10), "whitespace is trimmed");
+    }
+
+    #[test]
+    fn malformed_sizes_are_rejected() {
+        for bad in ["", "K", "12Q", "1.5M", "-4K", "64KB"] {
+            assert_eq!(parse_size(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn classic_flags_round_trip() {
+        let a = parse_args(&args(&[
+            "--size", "2M", "--block", "32", "--assoc", "16", "--banks", "4", "--cell", "lp-dram",
+            "--node", "45", "--mode", "fast", "--sleep",
+        ]))
+        .unwrap();
+        assert_eq!(a.size, 2 << 20);
+        assert_eq!((a.block, a.assoc, a.banks), (32, 16, 4));
+        assert_eq!(a.cell, CellTechnology::LpDram);
+        assert_eq!(a.node, TechNode::N45);
+        assert_eq!(a.mode, AccessMode::Fast);
+        assert!(a.opt.sleep_transistors);
+    }
+
+    #[test]
+    fn classic_parser_reports_what_went_wrong() {
+        let missing = parse_args(&args(&["--block", "64"])).unwrap_err();
+        assert!(missing.contains("--size"), "{missing}");
+        let unknown = parse_args(&args(&["--size", "1M", "--frobnicate"])).unwrap_err();
+        assert!(unknown.contains("unknown flag"), "{unknown}");
+        let dangling = parse_args(&args(&["--size"])).unwrap_err();
+        assert!(dangling.contains("expects a value"), "{dangling}");
+        let bad_num = parse_args(&args(&["--size", "1M", "--assoc", "eight"])).unwrap_err();
+        assert!(bad_num.contains("--assoc"), "{bad_num}");
+        let bad_node = parse_args(&args(&["--size", "1M", "--node", "33"])).unwrap_err();
+        assert!(bad_node.contains("--node"), "{bad_node}");
+    }
+
+    #[test]
+    fn explore_axes_parse_as_comma_lists() {
+        let a = parse_explore_args(&args(&[
+            "--sizes",
+            "64K,128K,1M",
+            "--blocks",
+            "32,64",
+            "--assocs",
+            "4,8",
+            "--cells",
+            "sram,lp-dram",
+            "--nodes",
+            "45,32",
+            "--opts",
+            "default,ed,c",
+            "--threads",
+            "4",
+            "--pareto",
+            "--resume",
+            "--out",
+            "sweep.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.grid.capacities, vec![64 << 10, 128 << 10, 1 << 20]);
+        assert_eq!(a.grid.blocks, vec![32, 64]);
+        assert_eq!(a.grid.associativities, vec![4, 8]);
+        assert_eq!(
+            a.grid.cells,
+            vec![CellTechnology::Sram, CellTechnology::LpDram]
+        );
+        assert_eq!(a.grid.nodes, vec![TechNode::N45, TechNode::N32]);
+        let labels: Vec<&str> = a.grid.opts.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["default", "ed", "c"]);
+        assert_eq!(a.threads, 4);
+        assert!(a.pareto && a.resume && !a.lint);
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("sweep.jsonl")));
+        assert_eq!(a.grid.len(), 3 * 2 * 2 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn explore_parser_rejects_bad_input() {
+        let missing = parse_explore_args(&args(&["--assocs", "4"])).unwrap_err();
+        assert!(missing.contains("--sizes"), "{missing}");
+        let bad_item = parse_explore_args(&args(&["--sizes", "64K,oops"])).unwrap_err();
+        assert!(bad_item.contains("oops"), "{bad_item}");
+        let bad_opt = parse_explore_args(&args(&["--sizes", "1M", "--opts", "fancy"])).unwrap_err();
+        assert!(bad_opt.contains("fancy"), "{bad_opt}");
+        let unknown = parse_explore_args(&args(&["--sizes", "1M", "--bogus"])).unwrap_err();
+        assert!(unknown.contains("unknown flag"), "{unknown}");
     }
 }

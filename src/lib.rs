@@ -16,12 +16,16 @@
 //! * [`workloads`] — synthetic NPB-like workload generators.
 //! * [`study`] — the paper's tables and figures (Tables 1–3, Figures 1,
 //!   4 and 5).
+//! * [`explore`] — batch design-space exploration: grid expansion, a
+//!   hermetic thread pool, solve memoization, resumable JSONL sweeps and
+//!   Pareto-frontier extraction (`cactid explore`).
 //!
 //! See the README for a guided tour and `examples/` for runnable
 //! demonstrations.
 pub use cactid_analyze as analyze;
 pub use cactid_circuit as circuit;
 pub use cactid_core as core;
+pub use cactid_explore as explore;
 pub use cactid_tech as tech;
 pub use cactid_units as units;
 pub use llc_study as study;
