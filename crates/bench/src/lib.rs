@@ -31,9 +31,17 @@ pub fn parse_instructions(v: &str) -> Option<u64> {
 /// `CACTID_BENCH_INSTR=2e6` used to fall back to the default without a
 /// trace, making a 200× shorter-than-intended run look like a real result.
 pub fn bench_instructions() -> u64 {
+    instructions_or_default(std::env::var("CACTID_BENCH_INSTR").ok().as_deref())
+}
+
+/// The pure core of [`bench_instructions`]: `None` is an unset variable.
+/// Split out so tests can exercise the fallback-with-warning path without
+/// mutating the process environment (a data race under the parallel test
+/// harness).
+fn instructions_or_default(var: Option<&str>) -> u64 {
     const DEFAULT: u64 = 2_000_000;
-    match std::env::var("CACTID_BENCH_INSTR") {
-        Ok(v) => parse_instructions(&v).unwrap_or_else(|| {
+    match var {
+        Some(v) => parse_instructions(v).unwrap_or_else(|| {
             eprintln!(
                 "warning: CACTID_BENCH_INSTR={v:?} is not a valid instruction \
                  count (expected digits, `_` separators allowed); \
@@ -41,7 +49,7 @@ pub fn bench_instructions() -> u64 {
             );
             DEFAULT
         }),
-        Err(_) => DEFAULT,
+        None => DEFAULT,
     }
 }
 
@@ -65,14 +73,15 @@ mod tests {
 
     #[test]
     fn env_fallback_warns_instead_of_silently_defaulting() {
-        // The env-dependent path: exercised in-process since the variable
-        // is read on every call. Serialize against other env users by
-        // scoping the variable to this test only.
-        std::env::set_var("CACTID_BENCH_INSTR", "4_000");
-        assert_eq!(bench_instructions(), 4_000);
-        std::env::set_var("CACTID_BENCH_INSTR", "not-a-number");
-        assert_eq!(bench_instructions(), 2_000_000, "falls back with a warning");
-        std::env::remove_var("CACTID_BENCH_INSTR");
-        assert_eq!(bench_instructions(), 2_000_000);
+        // Feeds env-shaped values straight into the pure core rather than
+        // calling set_var, which races other env readers under the
+        // parallel test harness.
+        assert_eq!(instructions_or_default(Some("4_000")), 4_000);
+        assert_eq!(
+            instructions_or_default(Some("not-a-number")),
+            2_000_000,
+            "falls back with a warning"
+        );
+        assert_eq!(instructions_or_default(None), 2_000_000);
     }
 }

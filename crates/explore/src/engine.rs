@@ -94,6 +94,9 @@ impl Sidecars {
             let mut opts = OpenOptions::new();
             opts.create(true);
             if append {
+                // A kill mid-write leaves a newline-less fragment; cut it
+                // before appending so lines never merge.
+                resume::trim_torn_tail(p)?;
                 opts.append(true);
             } else {
                 opts.write(true).truncate(true);
@@ -154,7 +157,6 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         Some(out) if config.resume => resume::load(out, expansion.fingerprint, n)?,
         _ => HashMap::new(),
     };
-    stats.resumed = resumed.len();
     let mut sidecars = match config.out {
         Some(out) => Some(Sidecars::open(
             out,
@@ -178,6 +180,13 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
     for point in points {
         let idx = point.idx;
         if let Some(r) = resumed.get(&idx) {
+            // A restored invalid point counts under `invalid`, not
+            // `resumed`, so the accounting partition stays disjoint.
+            if r.status == PointStatus::Invalid {
+                stats.invalid += 1;
+            } else {
+                stats.resumed += 1;
+            }
             lines[idx] = Some(r.line.clone());
             statuses[idx] = Some(r.status);
             metrics[idx] = r.metrics;
@@ -267,12 +276,10 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         match status {
             PointStatus::Ok => stats.ok += 1,
             PointStatus::Infeasible => stats.infeasible += 1,
+            // Already counted at placement, whether fresh or resumed.
             PointStatus::Invalid => {}
         }
     }
-    // `stats.invalid` counted fresh invalid points only; resumed invalid
-    // points still need to land in the partition.
-    stats.invalid = n - stats.ok - stats.infeasible;
 
     let mut front = Vec::new();
     if config.pareto {

@@ -8,18 +8,28 @@
 //!   point:
 //!
 //! ```text
-//! #cactid-explore-ckpt v1 grid=6c62272e07bb0142 points=100
-//! 0<TAB>ok<TAB>1.23e-9<TAB>4.5e-11<TAB>2.1e-7<TAB>0.013
-//! 7<TAB>infeasible<TAB>-<TAB>-<TAB>-<TAB>-
+//! #cactid-explore-ckpt v2 grid=6c62272e07bb0142 points=100
+//! 0<TAB>ok<TAB>1.23e-9<TAB>4.5e-11<TAB>2.1e-7<TAB>0.013<TAB>.
+//! 7<TAB>infeasible<TAB>-<TAB>-<TAB>-<TAB>-<TAB>.
 //! ```
 //!
 //! The header pins the grid fingerprint and point count, so a resume
 //! against an edited grid fails loudly instead of stitching mismatched
 //! points together. The ckpt carries the four Pareto objectives (f64
 //! `Display`, which round-trips exactly) so a resumed run can extract the
-//! frontier without parsing JSON. A point counts as completed only when
-//! present in **both** sidecars — a torn final line in either file simply
-//! re-solves that point.
+//! frontier without parsing JSON. The trailing `.` is a completeness
+//! sentinel: no field starts with `.`, so no truncation of a line can
+//! still parse — a cut inside the last float (`0.013` → `0.01`) can never
+//! be mistaken for a complete record with a different metric.
+//!
+//! A point counts as completed only when present in **both** sidecars,
+//! and only **newline-terminated** lines count at all: a trailing
+//! fragment left by a kill mid-write is ignored on load (the point
+//! re-solves) and truncated away by [`trim_torn_tail`] before the resumed
+//! run appends, so it can never merge with the next record. A malformed
+//! *interior* line, by contrast, is real corruption and fails the load
+//! loudly — tolerating it would silently discard every checkpoint written
+//! after it.
 
 use crate::error::ExploreError;
 use crate::pareto::ParetoMetrics;
@@ -29,7 +39,12 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Magic prefix of the checkpoint header line.
-pub const CKPT_MAGIC: &str = "#cactid-explore-ckpt v1";
+pub const CKPT_MAGIC: &str = "#cactid-explore-ckpt v2";
+
+/// Terminal field of every checkpoint [`line`]. No other field can start
+/// with `.`, so a truncated line can never end in `<TAB>.` and pass as
+/// complete.
+const SENTINEL: &str = ".";
 
 /// The streaming-records sidecar path for an output file.
 pub fn part_path(out: &Path) -> PathBuf {
@@ -64,6 +79,8 @@ pub fn line(idx: usize, status: PointStatus, metrics: Option<&ParetoMetrics>) ->
         }
         None => s.push_str("\t-\t-\t-\t-"),
     }
+    s.push('\t');
+    s.push_str(SENTINEL);
     s
 }
 
@@ -103,8 +120,8 @@ fn parse_status(s: &str) -> Option<PointStatus> {
 /// Parses one checkpoint [`line`].
 pub fn parse_line(text: &str) -> Result<(usize, PointStatus, Option<ParetoMetrics>), ExploreError> {
     let fields: Vec<&str> = text.split('\t').collect();
-    let [idx, status, access, read, area, leak] = fields[..] else {
-        return Err(bad(format!("checkpoint line has wrong arity: {text:?}")));
+    let [idx, status, access, read, area, leak, SENTINEL] = fields[..] else {
+        return Err(bad(format!("incomplete checkpoint line: {text:?}")));
     };
     let idx = idx
         .parse()
@@ -139,12 +156,49 @@ pub struct ResumedPoint {
     pub metrics: Option<ParetoMetrics>,
 }
 
+/// Returns the newline-terminated lines of `s`, dropping a trailing
+/// fragment torn by a kill mid-write.
+fn complete_lines(s: &str) -> std::str::Lines<'_> {
+    let end = s.rfind('\n').map_or(0, |i| i + 1);
+    s[..end].lines()
+}
+
+/// Truncates a trailing newline-less fragment left by an interrupted
+/// write, so that lines appended afterwards never merge with it. A
+/// missing file is a no-op.
+///
+/// # Errors
+///
+/// [`ExploreError::Io`] when the file exists but cannot be read or
+/// truncated.
+pub fn trim_torn_tail(p: &Path) -> Result<(), ExploreError> {
+    let io = |e: std::io::Error| ExploreError::Io(format!("{}: {e}", p.display()));
+    let bytes = match std::fs::read(p) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(io(e)),
+    };
+    match bytes.last() {
+        None | Some(b'\n') => return Ok(()),
+        Some(_) => {}
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(p)
+        .map_err(io)?;
+    f.set_len(keep as u64).map_err(io)
+}
+
 /// Loads the completed points of a previous run against the same grid.
 ///
 /// Missing sidecars mean a fresh start (empty map). A present checkpoint
 /// whose header disagrees with `fingerprint`/`points` is an error — the
-/// grid definition changed under the output file. Trailing torn lines in
-/// either sidecar are ignored; only points recorded in both count.
+/// grid definition changed under the output file. Only newline-terminated
+/// lines count, so a trailing torn fragment in either sidecar is ignored
+/// (that point re-solves); a malformed interior checkpoint line is
+/// corruption and fails loudly. Only points recorded in both sidecars are
+/// resumed.
 ///
 /// # Errors
 ///
@@ -166,7 +220,7 @@ pub fn load(
         return Ok(HashMap::new());
     };
 
-    let mut ckpt_lines = ckpt.lines();
+    let mut ckpt_lines = complete_lines(&ckpt);
     let head = ckpt_lines
         .next()
         .ok_or_else(|| bad("empty checkpoint file"))?;
@@ -181,13 +235,14 @@ pub fn load(
 
     let mut statuses = HashMap::new();
     for l in ckpt_lines {
-        if l.is_empty() {
-            continue;
-        }
-        // A torn trailing line is normal after an interrupt; stop there.
-        let Ok((idx, status, metrics)) = parse_line(l) else {
-            break;
-        };
+        // Newline-terminated lines were written whole, so a parse failure
+        // here is corruption, not a torn tail.
+        let (idx, status, metrics) = parse_line(l).map_err(|e| match e {
+            ExploreError::Checkpoint(msg) => {
+                bad(format!("{msg}; delete the sidecars or change --out"))
+            }
+            other => other,
+        })?;
         if idx >= points {
             return Err(bad(format!("checkpoint index {idx} out of range")));
         }
@@ -195,7 +250,7 @@ pub fn load(
     }
 
     let mut out_map = HashMap::new();
-    for l in part.lines() {
+    for l in complete_lines(&part) {
         let Some(idx) = line_idx(l) else { continue };
         let Some(&(status, metrics)) = statuses.get(&idx) else {
             continue;
@@ -246,6 +301,74 @@ mod tests {
         let (idx, status, parsed) = parse_line(&line(3, PointStatus::Infeasible, None)).unwrap();
         assert_eq!((idx, status), (3, PointStatus::Infeasible));
         assert!(parsed.is_none());
+    }
+
+    #[test]
+    fn no_truncation_of_a_line_parses() {
+        // The sentinel makes completeness self-evident: every proper
+        // prefix must fail, including cuts inside the last float that
+        // would otherwise parse as a different metric ("0.013" -> "0.01").
+        let full = line(7, PointStatus::Ok, Some(&metrics()));
+        for cut in 0..full.len() {
+            assert!(parse_line(&full[..cut]).is_err(), "prefix {cut} parsed");
+        }
+        // A v1-era line (no sentinel) is incomplete, not a shorter arity.
+        assert!(parse_line("5\tok\t1e-9\t4e-11\t2e-7\t0.01").is_err());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_interior_corruption_is_loud() {
+        let dir = std::env::temp_dir().join("cactid-explore-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("sweep.jsonl");
+        let fp = 0x1234u64;
+        let l0 = line(0, PointStatus::Ok, Some(&metrics()));
+        let l1 = line(1, PointStatus::Ok, Some(&metrics()));
+        std::fs::write(
+            part_path(&out),
+            "{\"idx\":0,\"status\":\"ok\"}\n{\"idx\":1,\"status\":\"ok\"}\n",
+        )
+        .unwrap();
+
+        // Torn trailing fragment (no newline): ignored, point 1 not resumed.
+        let torn = format!("{}\n{l0}\n{}", header(fp, 10), &l1[..l1.len() - 3]);
+        std::fs::write(ckpt_path(&out), &torn).unwrap();
+        let m = load(&out, fp, 10).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&0));
+
+        // The same bad line newline-terminated mid-file: corruption.
+        let corrupt = format!("{}\n{}\n{l1}\n", header(fp, 10), &l0[..l0.len() - 3]);
+        std::fs::write(ckpt_path(&out), &corrupt).unwrap();
+        match load(&out, fp, 10) {
+            Err(ExploreError::Checkpoint(msg)) => {
+                assert!(msg.contains("delete the sidecars"), "{msg}");
+            }
+            other => panic!("expected checkpoint corruption, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trim_torn_tail_cuts_only_the_fragment() {
+        let dir = std::env::temp_dir().join("cactid-explore-trim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("sidecar");
+
+        std::fs::write(&p, "complete\ntorn-fragm").unwrap();
+        trim_torn_tail(&p).unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "complete\n");
+
+        // Already clean (or missing): untouched.
+        trim_torn_tail(&p).unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "complete\n");
+        trim_torn_tail(&dir.join("absent")).unwrap();
+
+        // All fragment, no newline: emptied.
+        std::fs::write(&p, "torn").unwrap();
+        trim_torn_tail(&p).unwrap();
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,9 +7,10 @@ use std::time::Duration;
 /// The point-accounting invariant is
 /// `solved + memoized + resumed + invalid == points`: every grid point is
 /// either solved fresh, served from the in-run memo (a duplicate spec),
-/// restored from a checkpoint, or structurally invalid. The `ok` /
-/// `infeasible` split then classifies the non-invalid points by whether a
-/// winner existed.
+/// restored from a checkpoint, or structurally invalid — the four buckets
+/// are disjoint, so an invalid point restored from a checkpoint counts
+/// under `invalid`, not `resumed`. The `ok` / `infeasible` split then
+/// classifies the non-invalid points by whether a winner existed.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
     /// Total grid points in the expansion.
@@ -20,9 +21,11 @@ pub struct EngineStats {
     pub solved: usize,
     /// Points served from the memo — duplicate specs solved once.
     pub memoized: usize,
-    /// Points restored from the checkpoint without re-solving.
+    /// Valid points restored from the checkpoint without re-solving
+    /// (restored invalid points count under `invalid` instead).
     pub resumed: usize,
-    /// Points whose axis combination failed spec validation.
+    /// Points whose axis combination failed spec validation, whether
+    /// rendered fresh this run or restored from the checkpoint.
     pub invalid: usize,
     /// Points with a winning solution.
     pub ok: usize,

@@ -73,6 +73,53 @@ fn resuming_a_complete_run_solves_zero_points() {
 }
 
 #[test]
+fn resumed_invalid_points_are_counted_once() {
+    // Regression: a resumed run over a grid with invalid axis combinations
+    // used to count those points under both `resumed` and `invalid`,
+    // breaking the stats partition (debug panic, wrong release stats).
+    let dir = tmp_dir("invalid");
+    let out = dir.join("sweep.jsonl");
+    let mut g = grid();
+    g.capacities = vec![48 << 10, 64 << 10, 128 << 10]; // 48 KB: invalid
+    let first = explore(&g, &config(&out, false)).unwrap();
+    assert_eq!(first.stats.invalid, 2);
+    let reference = std::fs::read_to_string(&out).unwrap();
+
+    let resumed = explore(&g, &config(&out, true)).unwrap();
+    assert!(resumed.stats.balanced());
+    assert_eq!(resumed.stats.solved, 0);
+    assert_eq!(resumed.stats.resumed, 4, "only the valid points");
+    assert_eq!(resumed.stats.invalid, 2);
+    assert_eq!(resumed.stats.ok, first.stats.ok);
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+}
+
+#[test]
+fn torn_checkpoint_tail_re_solves_one_point_and_repairs_the_file() {
+    let dir = tmp_dir("torn");
+    let out = dir.join("sweep.jsonl");
+    explore(&grid(), &config(&out, false)).unwrap();
+    let reference = std::fs::read_to_string(&out).unwrap();
+
+    // Tear the last checkpoint line mid-float, as a kill would.
+    let ckpt = dir.join("sweep.jsonl.ckpt");
+    let content = std::fs::read_to_string(&ckpt).unwrap();
+    std::fs::write(&ckpt, &content[..content.len() - 4]).unwrap();
+
+    let first = explore(&grid(), &config(&out, true)).unwrap();
+    assert_eq!(first.stats.resumed, 5, "torn point is not trusted");
+    assert_eq!(first.stats.solved, 1);
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+
+    // The fragment was truncated before appending, so the sidecars are
+    // whole again: a second resume re-solves nothing.
+    let second = explore(&grid(), &config(&out, true)).unwrap();
+    assert_eq!(second.stats.solved, 0);
+    assert_eq!(second.stats.resumed, 6);
+    assert_eq!(std::fs::read_to_string(&out).unwrap(), reference);
+}
+
+#[test]
 fn resume_against_a_changed_grid_fails_loudly() {
     let dir = tmp_dir("changed");
     let out = dir.join("sweep.jsonl");
