@@ -49,4 +49,36 @@ echo "$RESUMED" | grep -q "solved 0," || {
 }
 rm -rf "$(dirname "$OUT")"
 
+echo "== --trace smoke run (determinism + sidecar validity)"
+# The result JSONL must be byte-identical with tracing on or off, at any
+# thread count; the sidecar must be non-empty, one JSON object per line,
+# and carry optimizer/pool/cache counters.
+TDIR=$(mktemp -d)
+$CACTID explore --sizes 64K,128K --assocs 4,8 --threads 1 --pareto \
+    --out "$TDIR/ref.jsonl" 2>/dev/null
+for T in 1 2 8; do
+    $CACTID explore --sizes 64K,128K --assocs 4,8 --threads "$T" --pareto \
+        --out "$TDIR/t$T.jsonl" --trace "$TDIR/t$T.trace.jsonl" 2>/dev/null
+    cmp "$TDIR/ref.jsonl" "$TDIR/t$T.jsonl" || {
+        echo "result JSONL differs with --trace at --threads $T" >&2
+        exit 1
+    }
+    test -s "$TDIR/t$T.trace.jsonl" || {
+        echo "trace sidecar empty at --threads $T" >&2
+        exit 1
+    }
+    # Every line must look like one JSON object.
+    if grep -vq '^{.*}$' "$TDIR/t$T.trace.jsonl"; then
+        echo "trace sidecar has a non-JSONL line at --threads $T" >&2
+        exit 1
+    fi
+done
+for NAME in core.solve.calls explore.pool.claims explore.cache.misses; do
+    grep -q "\"name\":\"$NAME\"" "$TDIR/t2.trace.jsonl" || {
+        echo "trace sidecar lacks counter $NAME" >&2
+        exit 1
+    }
+done
+rm -rf "$TDIR"
+
 echo "ci: all checks passed"

@@ -470,8 +470,23 @@ impl Rule for AccessTimePlausibility {
             ("random_cycle", sol.random_cycle),
             ("interleave_cycle", sol.interleave_cycle),
         ] {
-            // Non-finite and non-positive values are CD0016's to report.
-            if !(t.is_finite() && t > Seconds::ZERO) {
+            if !t.is_finite() {
+                // CD0016 reports the error; this warning additionally marks
+                // the consequence on the exploration side: a non-finite
+                // objective is excluded from Pareto-frontier extraction.
+                report.push(Diagnostic::warn(
+                    self.code(),
+                    Location::solution(field),
+                    format!(
+                        "{field} = {:?} s is not a finite time — the point is \
+                         excluded from Pareto-frontier extraction",
+                        t.value()
+                    ),
+                ));
+                continue;
+            }
+            // Non-positive values are CD0016's to report.
+            if t <= Seconds::ZERO {
                 continue;
             }
             if t < ACCESS_TIME_MIN || t > ACCESS_TIME_MAX {
@@ -526,8 +541,22 @@ impl Rule for EnergyPlausibility {
             energies.push(("main_memory.energies.write", mm.energies.write));
         }
         for (field, e) in energies {
-            // Non-finite and non-positive values are CD0016/CD0019 material.
-            if !(e.is_finite() && e > Joules::ZERO) {
+            if !e.is_finite() {
+                // As in CD0021: CD0016/CD0019 carry the error; this marks
+                // the Pareto-exclusion consequence.
+                report.push(Diagnostic::warn(
+                    self.code(),
+                    Location::solution(field),
+                    format!(
+                        "{field} = {:?} J is not a finite energy — the point is \
+                         excluded from Pareto-frontier extraction",
+                        e.value()
+                    ),
+                ));
+                continue;
+            }
+            // Non-positive values are CD0016/CD0019 material.
+            if e <= Joules::ZERO {
                 continue;
             }
             if e < DYN_ENERGY_MIN || e > DYN_ENERGY_MAX {
@@ -708,10 +737,24 @@ mod tests {
     }
 
     #[test]
-    fn cd0021_leaves_nonfinite_times_to_cd0016() {
+    fn cd0021_warns_on_nonfinite_times_with_pareto_consequence() {
         let (spec, mut sol) = cache_solution(CellTechnology::Sram);
         sol.access_time = Seconds::from_si(f64::NAN);
+        let r = run(&AccessTimePlausibility, &spec, &sol);
+        assert_eq!(r.warn_count(), 1, "{:?}", r.as_slice());
+        assert!(r.iter().next().unwrap().message.contains("Pareto"));
+        // Zero/negative stay CD0016's alone — no duplicate warning here.
+        sol.access_time = Seconds::ZERO;
         assert!(run(&AccessTimePlausibility, &spec, &sol).is_empty());
+    }
+
+    #[test]
+    fn cd0022_warns_on_nonfinite_energies_with_pareto_consequence() {
+        let (spec, mut sol) = mm_solution();
+        sol.read_energy = Joules::from_si(f64::INFINITY);
+        let r = run(&EnergyPlausibility, &spec, &sol);
+        assert_eq!(r.warn_count(), 1, "{:?}", r.as_slice());
+        assert!(r.iter().next().unwrap().message.contains("Pareto"));
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub struct SolveOutcome {
 }
 
 fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
+    let _span = cactid_obs::span("core.solve");
+    cactid_obs::counter!("core.solve.calls").inc();
     let mut stats = SolveStats::default();
     let tech = Technology::cached(spec.node);
     let tag_result = if spec.kind.is_cache() {
@@ -77,10 +79,12 @@ fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveO
 
     let orgs = org::enumerate(spec);
     stats.orgs_enumerated = orgs.len();
+    cactid_obs::counter!("core.solve.orgs_enumerated").add(orgs.len() as u64);
     let mut out = Vec::new();
     for org in orgs {
         let input = build_input(tech, spec, &org);
         let Ok(data) = array::evaluate(tech, &input) else {
+            cactid_obs::counter!("core.solve.electrical_pruned").inc();
             continue;
         };
         let mm = match spec.kind {
@@ -101,6 +105,7 @@ fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveO
             let diags = linter.lint_candidate(spec, &sol);
             if diags.iter().any(|d| d.severity == Severity::Error) {
                 stats.lint_rejected += 1;
+                cactid_obs::counter!("core.solve.lint_rejected").inc();
                 continue;
             }
             sol.warnings = diags;
@@ -108,6 +113,10 @@ fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveO
         out.push(sol);
     }
     stats.feasible = out.len();
+    cactid_obs::counter!("core.solve.feasible").add(out.len() as u64);
+    if out.is_empty() {
+        cactid_obs::counter!("core.solve.no_feasible").inc();
+    }
     let result = if out.is_empty() {
         Err(if stats.lint_rejected > 0 {
             CactiError::LintRejected(stats.lint_rejected)
@@ -169,8 +178,13 @@ pub fn solve_with(
 ///
 /// # Errors
 ///
-/// [`CactiError::NoFeasibleSolution`] if `solutions` is empty.
+/// [`CactiError::NoFeasibleSolution`] if `solutions` is empty, or when no
+/// candidate survives the staged filters — with well-formed metrics the
+/// minimum-area solution always survives both screens, but non-finite
+/// areas or access times (NaN propagated through a model escape hatch)
+/// fail every `<=` comparison and can empty the stages.
 pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Result<Solution, CactiError> {
+    cactid_obs::counter!("core.select.calls").inc();
     if solutions.is_empty() {
         return Err(CactiError::NoFeasibleSolution);
     }
@@ -207,12 +221,15 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Result<Solution, Cac
             .map(|s| f(s).max(1e-30))
             .fold(f64::INFINITY, f64::min)
     };
+    cactid_obs::counter!("core.select.area_pruned").add((solutions.len() - stage1.len()) as u64);
+    cactid_obs::counter!("core.select.time_pruned").add((stage1.len() - stage2.len()) as u64);
+
     let e_min = min_of(|s| s.read_energy.value());
     let l_min = min_of(|s| (s.leakage_power + s.refresh_power).value());
     let c_min = min_of(|s| s.random_cycle.value());
     let i_min = min_of(|s| s.interleave_cycle.value());
 
-    Ok(stage2
+    stage2
         .into_iter()
         .min_by(|a, b| {
             let obj = |s: &Solution| {
@@ -224,8 +241,11 @@ pub fn select(spec: &MemorySpec, solutions: &[Solution]) -> Result<Solution, Cac
             };
             obj(a).total_cmp(&obj(b))
         })
-        .expect("stage2 is non-empty: the minimum-area solution survives both filters")
-        .clone())
+        .cloned()
+        .ok_or_else(|| {
+            cactid_obs::counter!("core.select.no_feasible").inc();
+            CactiError::NoFeasibleSolution
+        })
 }
 
 /// Convenience: [`solve`] then [`select`].
@@ -342,6 +362,44 @@ mod tests {
         let out = solve_with_stats(&spec, None);
         assert!(out.result.is_ok());
         assert!(out.stats.orgs_enumerated > 0);
+    }
+
+    #[test]
+    fn select_with_nonfinite_areas_errors_instead_of_panicking() {
+        // Regression: every candidate failing the area screen used to trip
+        // the stage-2 `.expect`. NaN areas fail `area <= cap` for every
+        // candidate (NaN comparisons are false), emptying both stages.
+        let spec = l2();
+        let mut sols = solve(&spec).unwrap();
+        for s in &mut sols {
+            s.area = SquareMeters::from_si(f64::NAN);
+        }
+        assert_eq!(
+            select(&spec, &sols),
+            Err(CactiError::NoFeasibleSolution),
+            "non-finite areas must yield a typed error, not a panic"
+        );
+        // Same story when the access times are the poisoned axis.
+        let mut sols = solve(&spec).unwrap();
+        for s in &mut sols {
+            s.access_time = Seconds::from_si(f64::NAN);
+        }
+        assert_eq!(select(&spec, &sols), Err(CactiError::NoFeasibleSolution));
+    }
+
+    #[test]
+    fn solve_publishes_obs_counters() {
+        let calls_before = cactid_obs::counter!("core.solve.calls").get();
+        let orgs_before = cactid_obs::counter!("core.solve.orgs_enumerated").get();
+        let out = solve_with_stats(&l2(), None);
+        assert!(cactid_obs::counter!("core.solve.calls").get() > calls_before);
+        assert!(
+            cactid_obs::counter!("core.solve.orgs_enumerated").get()
+                >= orgs_before + out.stats.orgs_enumerated as u64
+        );
+        let snap = cactid_obs::snapshot();
+        let h = snap.histogram("span.core.solve.ns").expect("solve span");
+        assert!(h.count >= 1);
     }
 
     #[test]

@@ -91,8 +91,10 @@ impl SolveCache {
     ) -> (CachedSolve, bool) {
         let key = spec_fingerprint(spec);
         if let Some(hit) = self.lookup(key, spec) {
+            cactid_obs::counter!("explore.cache.hits").inc();
             return (hit, true);
         }
+        cactid_obs::counter!("explore.cache.misses").inc();
         // Solve outside the lock; expensive points must not serialize the
         // rest of the pool.
         let outcome = solve_with_stats(spec, linter);
@@ -105,7 +107,13 @@ impl SolveCache {
         if let Some((_, first)) = bucket.iter().find(|(s, _)| s == spec) {
             // Lost a cold-spec race; keep the first insert so every caller
             // observes one entry.
+            cactid_obs::counter!("explore.cache.cold_races").inc();
             return (first.clone(), true);
+        }
+        if !bucket.is_empty() {
+            // Same 64-bit fingerprint, different spec: equality verification
+            // turned a would-be wrong answer into a plain miss.
+            cactid_obs::counter!("explore.cache.collisions").inc();
         }
         bucket.push((spec.clone(), entry.clone()));
         (entry, false)

@@ -142,6 +142,7 @@ impl Sidecars {
 pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport, ExploreError> {
     // ---- Stage 1: expand ----
     let t0 = Instant::now();
+    let expand_span = cactid_obs::span("explore.expand");
     let expansion = grid.expand()?;
     let points = &expansion.points;
     let n = points.len();
@@ -150,9 +151,12 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         ..EngineStats::default()
     };
     stats.expand = t0.elapsed();
+    drop(expand_span);
+    cactid_obs::counter!("explore.engine.points").add(n as u64);
 
     // ---- Stage 2: solve ----
     let t1 = Instant::now();
+    let solve_span = cactid_obs::span("explore.solve");
     let resumed = match config.out {
         Some(out) if config.resume => resume::load(out, expansion.fingerprint, n)?,
         _ => HashMap::new(),
@@ -269,9 +273,11 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
     }
     stats.tech_constructions = Technology::constructions() - tech_before;
     stats.solve = t1.elapsed();
+    drop(solve_span);
 
     // ---- Stage 3: finalize ----
     let t2 = Instant::now();
+    let _finalize_span = cactid_obs::span("explore.finalize");
     for status in statuses.iter().flatten() {
         match status {
             PointStatus::Ok => stats.ok += 1,
@@ -288,6 +294,8 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
             .enumerate()
             .filter_map(|(i, m)| m.map(|m| (i, m)))
             .collect();
+        stats.non_finite = pts.iter().filter(|(_, m)| !m.is_finite()).count();
+        cactid_obs::counter!("explore.engine.non_finite").add(stats.non_finite as u64);
         front = frontier(&pts);
         let dominates: HashMap<usize, usize> = front.iter().map(|p| (p.idx, p.dominates)).collect();
         for (i, line) in lines.iter_mut().enumerate() {
@@ -392,6 +400,33 @@ mod tests {
             .lines
             .iter()
             .all(|l| l.contains("\"pareto\":{\"frontier\"")));
+    }
+
+    #[test]
+    fn engine_publishes_obs_metrics() {
+        let before = cactid_obs::snapshot();
+        let points0 = before.counter("explore.engine.points").unwrap_or(0);
+        let claims0 = before.counter("explore.pool.claims").unwrap_or(0);
+        let misses0 = before.counter("explore.cache.misses").unwrap_or(0);
+        let report = explore(&grid(), &ExploreConfig::default()).unwrap();
+        assert_eq!(report.stats.points, 4);
+        // Deltas, not absolutes: other tests share the process registry.
+        let after = cactid_obs::snapshot();
+        assert!(after.counter("explore.engine.points").unwrap() >= points0 + 4);
+        assert!(after.counter("explore.pool.claims").unwrap() >= claims0 + 4);
+        assert!(after.counter("explore.cache.misses").unwrap() >= misses0 + 4);
+        for span in ["expand", "solve", "finalize"] {
+            let h = after.histogram(&format!("span.explore.{span}.ns"));
+            assert!(h.is_some_and(|h| h.count >= 1), "missing stage span {span}");
+        }
+        assert!(after.histogram("explore.pool.work_ns").unwrap().count >= 4);
+        assert!(
+            after
+                .histogram("explore.pool.claims_per_worker")
+                .unwrap()
+                .count
+                >= 1
+        );
     }
 
     #[test]

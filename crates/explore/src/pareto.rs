@@ -25,6 +25,14 @@ impl ParetoMetrics {
         [self.access_s, self.read_j, self.area_m2, self.leakage_w]
     }
 
+    /// `true` iff every objective is a finite number. Non-finite points are
+    /// excluded from frontier extraction: NaN fails every comparison, so a
+    /// NaN point would be "never dominated" and pollute the frontier, while
+    /// a `-inf` point would spuriously dominate every real solution.
+    pub fn is_finite(&self) -> bool {
+        self.axes().iter().all(|v| v.is_finite())
+    }
+
     /// `true` iff `self` dominates `other`: no worse on every objective and
     /// strictly better on at least one.
     pub fn dominates(&self, other: &ParetoMetrics) -> bool {
@@ -55,7 +63,14 @@ pub struct ParetoPoint {
 /// ascending `idx` order. O(n²) pairwise dominance, which at the engine's
 /// grid sizes (≤ [`crate::grid::MAX_POINTS`]) is never the bottleneck next
 /// to the solves themselves.
+///
+/// Points with any non-finite objective ([`ParetoMetrics::is_finite`]) take
+/// no part in the computation: they cannot join the frontier, dominate, or
+/// be dominated. Callers surface them separately (the engine counts them in
+/// its stats and the CD0021/CD0022 lints flag the underlying solutions).
 pub fn frontier(points: &[(usize, ParetoMetrics)]) -> Vec<ParetoPoint> {
+    let points: Vec<&(usize, ParetoMetrics)> =
+        points.iter().filter(|(_, m)| m.is_finite()).collect();
     let mut out = Vec::new();
     for (i, (idx, m)) in points.iter().enumerate() {
         let mut dominated = false;
@@ -142,5 +157,41 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_frontier() {
         assert!(frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn nan_points_neither_join_nor_shadow_the_frontier() {
+        // NaN fails all comparisons: unguarded, the NaN point would be
+        // "never dominated" and land on the frontier.
+        let pts = vec![
+            (0, m(f64::NAN, 1.0, 1.0, 1.0)),
+            (1, m(2.0, 2.0, 2.0, 2.0)),
+            (2, m(1.0, 1.0, 1.0, f64::NAN)),
+        ];
+        let f = frontier(&pts);
+        assert_eq!(f.iter().map(|p| p.idx).collect::<Vec<_>>(), [1]);
+        assert_eq!(f[0].dominates, 0, "NaN points are not dominated either");
+    }
+
+    #[test]
+    fn negative_infinity_cannot_dominate_real_points() {
+        // Unguarded, -inf beats every finite value on its axis and would
+        // wipe out the whole real frontier.
+        let pts = vec![
+            (0, m(f64::NEG_INFINITY, 0.0, 0.0, 0.0)),
+            (1, m(1.0, 1.0, 1.0, 1.0)),
+            (2, m(f64::INFINITY, 1.0, 1.0, 1.0)),
+        ];
+        let f = frontier(&pts);
+        assert_eq!(f.iter().map(|p| p.idx).collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    fn is_finite_checks_every_axis() {
+        assert!(m(1.0, 1.0, 1.0, 1.0).is_finite());
+        assert!(!m(f64::NAN, 1.0, 1.0, 1.0).is_finite());
+        assert!(!m(1.0, f64::INFINITY, 1.0, 1.0).is_finite());
+        assert!(!m(1.0, 1.0, f64::NEG_INFINITY, 1.0).is_finite());
+        assert!(!m(1.0, 1.0, 1.0, f64::NAN).is_finite());
     }
 }

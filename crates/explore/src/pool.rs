@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The number of worker threads to use when the caller does not care:
 /// the machine's available parallelism.
@@ -44,9 +45,13 @@ where
     .min(n.max(1));
     if threads <= 1 {
         for i in 0..n {
+            cactid_obs::counter!("explore.pool.claims").inc();
+            let t0 = Instant::now();
             let r = work(i);
+            record_ns(cactid_obs::histogram!("explore.pool.work_ns"), t0);
             sink(i, r);
         }
+        cactid_obs::histogram!("explore.pool.claims_per_worker").record(n as u64);
         return;
     }
 
@@ -54,17 +59,39 @@ where
     let sink = Mutex::new(sink);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut claimed = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    claimed += 1;
+                    cactid_obs::counter!("explore.pool.claims").inc();
+                    let t0 = Instant::now();
+                    let r = work(i);
+                    let t1 = Instant::now();
+                    cactid_obs::histogram!("explore.pool.work_ns").record(ns_between(t0, t1));
+                    // Completion-order delivery serializes on this mutex;
+                    // time spent queueing here is pool overhead, not work.
+                    let mut sink = sink.lock().expect("pool sink poisoned");
+                    record_ns(cactid_obs::histogram!("explore.pool.sink_wait_ns"), t1);
+                    sink(i, r);
                 }
-                let r = work(i);
-                let mut sink = sink.lock().expect("pool sink poisoned");
-                sink(i, r);
+                cactid_obs::histogram!("explore.pool.claims_per_worker").record(claimed);
             });
         }
     });
+}
+
+/// Nanoseconds elapsed from `t0`, saturating into `u64`.
+fn ns_between(t0: Instant, t1: Instant) -> u64 {
+    u64::try_from(t1.duration_since(t0).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Records the nanoseconds elapsed since `t0` into `h`.
+fn record_ns(h: &cactid_obs::Histogram, t0: Instant) {
+    h.record(ns_between(t0, Instant::now()));
 }
 
 /// Maps `f` over `items` on `threads` workers, returning results in item

@@ -40,6 +40,10 @@ pub struct EngineStats {
     pub tech_constructions: u64,
     /// Pareto-frontier size (0 when extraction was not requested).
     pub pareto_points: usize,
+    /// `ok` points excluded from Pareto extraction because an objective was
+    /// NaN or infinite (0 when extraction was not requested). The CD0021 /
+    /// CD0022 lints flag the underlying solutions individually.
+    pub non_finite: usize,
     /// Wall time spent expanding the grid.
     pub expand: Duration,
     /// Wall time spent in the solve stage (pool running).
@@ -63,7 +67,7 @@ impl EngineStats {
              solved {}, memoized {}, resumed {}, invalid {}\n  \
              status: {} ok, {} infeasible\n  \
              orgs enumerated {}, lint-rejected {}, tech constructions {}\n  \
-             pareto frontier: {} points\n  \
+             pareto frontier: {} points{}\n  \
              timing: expand {:.1} ms, solve {:.1} ms, finalize {:.1} ms",
             self.points,
             self.unique_specs,
@@ -77,6 +81,14 @@ impl EngineStats {
             self.lint_rejected,
             self.tech_constructions,
             self.pareto_points,
+            if self.non_finite > 0 {
+                format!(
+                    " ({} non-finite excluded; see lints CD0021/CD0022)",
+                    self.non_finite
+                )
+            } else {
+                String::new()
+            },
             ms(self.expand),
             ms(self.solve),
             ms(self.finalize),
@@ -117,5 +129,24 @@ mod tests {
         };
         assert!(s.render().contains("solved 0,"));
         assert!(s.render().contains("resumed 4"));
+    }
+
+    #[test]
+    fn render_surfaces_non_finite_exclusions() {
+        let clean = EngineStats {
+            points: 2,
+            solved: 2,
+            ok: 2,
+            pareto_points: 2,
+            ..EngineStats::default()
+        };
+        assert!(!clean.render().contains("non-finite"));
+        let tainted = EngineStats {
+            non_finite: 1,
+            ..clean
+        };
+        let r = tainted.render();
+        assert!(r.contains("1 non-finite excluded"));
+        assert!(r.contains("CD0021/CD0022"), "points at the lint codes");
     }
 }

@@ -1,0 +1,96 @@
+//! Lightweight timing spans over a thread-local span stack.
+//!
+//! [`span("solve")`](span) pushes `"solve"` onto the current thread's span
+//! stack and starts a clock; dropping the returned [`Span`] pops the stack
+//! and records the elapsed nanoseconds into the histogram
+//! `span.<stack path>.ns`, where the path joins the enclosing span names
+//! with dots. Nesting therefore aggregates hierarchically with zero
+//! plumbing: an optimizer solve running inside the explore pool records
+//! under `span.explore.solve.core.solve.ns`, while the same solve from the
+//! classic CLI records under `span.core.solve.ns`.
+//!
+//! Spans are coarse-grained instrumentation (a whole solve, a whole engine
+//! stage): the cost per span is two `Instant` reads, one `String` join and
+//! one histogram record — irrelevant at that granularity, but do not wrap
+//! per-event hot paths in spans; use a bare [`Counter`](crate::Counter).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII timing guard; see the module docs.
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    start: Instant,
+}
+
+/// Opens a span named `name` nested under the thread's current span stack.
+pub fn span(name: &'static str) -> Span {
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join(".")
+    });
+    Span {
+        path,
+        start: Instant::now(),
+    }
+}
+
+impl Span {
+    /// The dotted stack path this span records under (tests/diagnostics).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        crate::registry::histogram(&format!("span.{}.ns", self.path)).record(ns);
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_dotted_paths() {
+        {
+            let outer = span("span-test-outer");
+            assert_eq!(outer.path(), "span-test-outer");
+            {
+                let inner = span("span-test-inner");
+                assert_eq!(inner.path(), "span-test-outer.span-test-inner");
+            }
+            // Popped: a new sibling nests under outer only.
+            let sib = span("span-test-sib");
+            assert_eq!(sib.path(), "span-test-outer.span-test-sib");
+        }
+        let s = crate::snapshot();
+        let h = s
+            .histogram("span.span-test-outer.span-test-inner.ns")
+            .unwrap();
+        assert!(h.count >= 1);
+        assert!(s.histogram("span.span-test-outer.ns").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn stack_unwinds_even_in_drop_order() {
+        let a = span("span-test-a");
+        let b = span("span-test-b");
+        assert_eq!(b.path(), "span-test-a.span-test-b");
+        drop(b);
+        drop(a);
+        let fresh = span("span-test-fresh");
+        assert_eq!(fresh.path(), "span-test-fresh", "stack fully unwound");
+    }
+}

@@ -4,6 +4,29 @@
 //! solutions (Table 3); the defaults here correspond to the paper's values
 //! at 2 GHz.
 
+/// A structurally invalid [`SystemConfig`], caught at construction instead
+/// of mid-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The L3 interface is [`L3Interface::PageMode`] but `page_timing` is
+    /// `None`, so row hits/misses have no tRCD/CAS/tRP to charge.
+    PageModeWithoutTiming,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::PageModeWithoutTiming => write!(
+                f,
+                "page-mode L3 requires page_timing (tRCD/CAS/tRP); \
+                 set L3Config::page_timing or use the SRAM-like interface"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Geometry + timing of one cache level.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -87,6 +110,21 @@ pub struct L3Config {
     pub page_timing: Option<L3PageTiming>,
 }
 
+impl L3Config {
+    /// Checks the configuration is self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::PageModeWithoutTiming`] when the interface is
+    /// [`L3Interface::PageMode`] but no [`L3PageTiming`] is given.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.interface == L3Interface::PageMode && self.page_timing.is_none() {
+            return Err(ConfigError::PageModeWithoutTiming);
+        }
+        Ok(())
+    }
+}
+
 /// Main-memory page policy (paper §2.3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PagePolicy {
@@ -147,6 +185,19 @@ impl SystemConfig {
     /// Total hardware threads.
     pub fn n_threads(&self) -> usize {
         (self.n_cores * self.threads_per_core) as usize
+    }
+
+    /// Checks the whole system description is self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ConfigError`] from the configured levels (currently the L3;
+    /// see [`L3Config::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(l3) = &self.l3 {
+            l3.validate()?;
+        }
+        Ok(())
     }
 
     /// The paper's system with no L3 (`nol3` configuration): 8 Niagara-like

@@ -101,7 +101,11 @@ impl DramChannel {
         let bank_ready = self.banks[bank_idx].ready_at;
         let open_row = self.banks[bank_idx].open_row;
 
-        let mut t = self.after_refresh(now.max(bank_ready));
+        let base = now.max(bank_ready);
+        let mut t = self.after_refresh(base);
+        if t != base {
+            cactid_obs::counter!("sim.mem.refresh_stalls").inc();
+        }
         let (activated, page_hit);
         match (cfg.page_policy, open_row) {
             (PagePolicy::Open, Some(open)) if open == row => {

@@ -2,7 +2,15 @@
 //! ↔ DRAM-page mappings of paper Figure 3.
 
 use crate::cache::{Eviction, LineState, SetAssocCache};
-use crate::config::{L3Config, L3Interface, SetMapping};
+use crate::config::{ConfigError, L3Config, L3Interface, L3PageTiming, SetMapping};
+
+/// The operational interface with its timing resolved at construction, so
+/// the per-access path never has to unwrap `page_timing`.
+#[derive(Debug, Clone, Copy)]
+enum Interface {
+    SramLike,
+    PageMode(L3PageTiming),
+}
 
 /// One L3 bank: a tag array plus its timing reservation state.
 #[derive(Debug)]
@@ -21,12 +29,26 @@ pub struct L3Bank {
 #[derive(Debug)]
 pub struct L3 {
     cfg: L3Config,
+    iface: Interface,
     banks: Vec<L3Bank>,
 }
 
 impl L3 {
     /// Builds an idle L3 from its configuration.
-    pub fn new(cfg: L3Config) -> L3 {
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::PageModeWithoutTiming`] when `cfg` selects the
+    /// page-mode interface without supplying [`L3PageTiming`]
+    /// (see [`L3Config::validate`]).
+    pub fn try_new(cfg: L3Config) -> Result<L3, ConfigError> {
+        cfg.validate()?;
+        let iface = match cfg.interface {
+            L3Interface::SramLike => Interface::SramLike,
+            L3Interface::PageMode => {
+                Interface::PageMode(cfg.page_timing.ok_or(ConfigError::PageModeWithoutTiming)?)
+            }
+        };
         let banks = (0..cfg.n_banks)
             .map(|_| L3Bank {
                 tags: SetAssocCache::new(
@@ -39,7 +61,17 @@ impl L3 {
                 open_row: vec![None; cfg.bank.n_subbanks as usize],
             })
             .collect();
-        L3 { banks, cfg }
+        Ok(L3 { banks, iface, cfg })
+    }
+
+    /// Builds an idle L3 from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration; use [`L3::try_new`] to get the typed
+    /// [`ConfigError`] instead.
+    pub fn new(cfg: L3Config) -> L3 {
+        L3::try_new(cfg).expect("invalid L3 configuration")
     }
 
     /// The configuration this L3 was built from.
@@ -123,8 +155,8 @@ impl L3 {
         let local = self.local_addr(addr);
         let set = self.banks[bank_idx].tags.set_index(local);
         let sub = self.subbank_of(set);
-        match self.cfg.interface {
-            L3Interface::SramLike => {
+        match self.iface {
+            Interface::SramLike => {
                 let bank = &mut self.banks[bank_idx];
                 // Bank port accepts a new access every interleave cycle…
                 let start = now.max(bank.port_ready);
@@ -135,14 +167,10 @@ impl L3 {
                 bank.subbank_ready[sub] = start + self.cfg.bank.cycle_cycles;
                 (start + self.cfg.bank.access_cycles, false)
             }
-            L3Interface::PageMode => {
+            Interface::PageMode(pt) => {
                 // Main-memory-like operation: a row (page) per subbank can
                 // stay open; hits pay only the column access, misses pay
                 // precharge + activate + column.
-                let pt = self
-                    .cfg
-                    .page_timing
-                    .expect("page-mode L3 requires page_timing");
                 // One DRAM row covers the lines the set↔page mapping groups
                 // together; within a subbank the row is identified by the
                 // set-group plus the way bits above it.
@@ -314,6 +342,27 @@ mod tests {
                 assert_eq!(l3.bank_of(ev.addr), 0);
             }
         }
+    }
+
+    #[test]
+    fn page_mode_without_timing_is_a_config_error_not_a_panic() {
+        // Regression: this configuration used to build fine and then panic
+        // on the first access inside reserve_detailed.
+        let mut cfg = dram_l3(SetMapping::SetsPerPage).cfg;
+        cfg.interface = L3Interface::PageMode;
+        cfg.page_timing = None;
+        assert_eq!(cfg.validate(), Err(ConfigError::PageModeWithoutTiming));
+        assert_eq!(
+            L3::try_new(cfg).err(),
+            Some(ConfigError::PageModeWithoutTiming)
+        );
+    }
+
+    #[test]
+    fn config_error_display_names_the_fix() {
+        let msg = ConfigError::PageModeWithoutTiming.to_string();
+        assert!(msg.contains("page_timing"));
+        assert!(msg.contains("SRAM-like"));
     }
 
     #[test]

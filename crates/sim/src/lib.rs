@@ -45,7 +45,7 @@ pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use config::{CacheConfig, DramConfig, L3Config, PagePolicy, SystemConfig};
+pub use config::{CacheConfig, ConfigError, DramConfig, L3Config, PagePolicy, SystemConfig};
 pub use sim::Simulator;
 pub use stats::{SimStats, StallKind};
 pub use trace::{Instr, TraceSource};

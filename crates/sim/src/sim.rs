@@ -45,7 +45,27 @@ pub struct Simulator<T> {
 
 impl<T: TraceSource> Simulator<T> {
     /// Builds an idle system.
+    ///
+    /// # Panics
+    ///
+    /// On an invalid configuration; use [`Simulator::try_new`] to get the
+    /// typed [`crate::config::ConfigError`] instead.
     pub fn new(cfg: SystemConfig, trace: T) -> Simulator<T> {
+        Simulator::try_new(cfg, trace).expect("invalid system configuration")
+    }
+
+    /// Builds an idle system, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::config::ConfigError`] from
+    /// [`SystemConfig::validate`] — e.g. a page-mode L3 without row
+    /// timing, which previously panicked mid-simulation.
+    pub fn try_new(
+        cfg: SystemConfig,
+        trace: T,
+    ) -> Result<Simulator<T>, crate::config::ConfigError> {
+        cfg.validate()?;
         let n_cores = cfg.n_cores as usize;
         let l1 = (0..n_cores)
             .map(|_| {
@@ -65,12 +85,12 @@ impl<T: TraceSource> Simulator<T> {
                 )
             })
             .collect();
-        let l3 = cfg.l3.clone().map(L3::new);
+        let l3 = cfg.l3.clone().map(L3::try_new).transpose()?;
         let channels = (0..cfg.dram.channels)
             .map(|_| DramChannel::new(cfg.dram.clone()))
             .collect();
         let threads = (0..cfg.n_threads()).map(|_| Thread::new()).collect();
-        Simulator {
+        Ok(Simulator {
             rr: vec![0; n_cores],
             threads,
             l1,
@@ -85,7 +105,7 @@ impl<T: TraceSource> Simulator<T> {
             stats: SimStats::default(),
             cfg,
             trace,
-        }
+        })
     }
 
     /// Runs until `target_instructions` have retired (or a safety cap of
@@ -459,6 +479,7 @@ impl<T: TraceSource> Simulator<T> {
                 continue;
             }
             self.stats.counts.l2_reads += 1; // probe
+            cactid_obs::counter!("sim.coherence.invalidations").inc();
             if self.l2[other].invalidate(addr) == Some(LineState::Modified) {
                 dirty = true;
             }
@@ -521,6 +542,17 @@ mod tests {
     use super::*;
     use crate::config::SystemConfig;
     use crate::trace::StridedSource;
+
+    #[test]
+    fn try_new_rejects_page_mode_l3_without_timing() {
+        // Regression: Simulator::new accepted this config and the first L3
+        // access panicked inside reserve_detailed.
+        let mut cfg = SystemConfig::with_sram_l3();
+        cfg.l3.as_mut().unwrap().interface = crate::config::L3Interface::PageMode;
+        let trace = StridedSource::new(32, 0.3, 1 << 20);
+        let err = Simulator::try_new(cfg, trace).err();
+        assert_eq!(err, Some(crate::config::ConfigError::PageModeWithoutTiming));
+    }
 
     #[test]
     fn compute_only_workload_hits_peak_issue() {

@@ -133,6 +133,38 @@ impl SimStats {
         out
     }
 
+    /// Publishes this run's aggregate counts into the process-wide
+    /// [`cactid_obs`] registry (the `sim.*` counters of the trace sidecar).
+    ///
+    /// Call once per *measured* run — typically after the warm-up phase is
+    /// discarded — since repeated calls accumulate. Per-event quantities
+    /// that aggregate awkwardly (refresh stalls, coherence invalidations)
+    /// are counted at their event sites instead and cover the whole
+    /// process lifetime including warm-up.
+    pub fn publish_obs(&self) {
+        let pairs: [(&str, u64); 16] = [
+            ("sim.cycles", self.cycles),
+            ("sim.instructions", self.instructions),
+            ("sim.loads", self.loads),
+            ("sim.l1.hits", self.load_level_hits[0]),
+            ("sim.l2.hits", self.load_level_hits[1]),
+            ("sim.l3.hits", self.load_level_hits[2]),
+            ("sim.mem.hits", self.load_level_hits[3]),
+            ("sim.l1.reads", self.counts.l1_reads),
+            ("sim.l1.writes", self.counts.l1_writes),
+            ("sim.l2.reads", self.counts.l2_reads),
+            ("sim.l2.writes", self.counts.l2_writes),
+            ("sim.l3.reads", self.counts.l3_reads),
+            ("sim.l3.writes", self.counts.l3_writes),
+            ("sim.l3.page_hits", self.counts.l3_page_hits),
+            ("sim.mem.activates", self.counts.mem_activates),
+            ("sim.mem.page_hits", self.counts.mem_page_hits),
+        ];
+        for (name, v) in pairs {
+            cactid_obs::counter(name).add(v);
+        }
+    }
+
     /// L3 hit rate among loads that reached the L3.
     pub fn l3_hit_rate(&self) -> f64 {
         let reached = self.load_level_hits[2] + self.load_level_hits[3];
@@ -164,6 +196,25 @@ mod tests {
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.avg_read_latency(), 0.0);
         assert_eq!(s.l3_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn publish_obs_adds_the_level_hit_counters() {
+        let mut s = SimStats {
+            loads: 10,
+            load_level_hits: [5, 3, 1, 1],
+            ..SimStats::default()
+        };
+        s.counts.l3_page_hits = 4;
+        let before = cactid_obs::snapshot();
+        let loads0 = before.counter("sim.loads").unwrap_or(0);
+        let l1_0 = before.counter("sim.l1.hits").unwrap_or(0);
+        let pg0 = before.counter("sim.l3.page_hits").unwrap_or(0);
+        s.publish_obs();
+        let after = cactid_obs::snapshot();
+        assert!(after.counter("sim.loads").unwrap() >= loads0 + 10);
+        assert!(after.counter("sim.l1.hits").unwrap() >= l1_0 + 5);
+        assert!(after.counter("sim.l3.page_hits").unwrap() >= pg0 + 4);
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //! llc-study powerdown [-n INSTR]   # extension: DRAM power-down savings
 //! llc-study sweep [-n INSTR]       # L3 capacity-sensitivity curves
 //! ```
+//!
+//! Every command additionally accepts `--trace FILE`: at exit the process
+//! metrics registry (optimizer, solve-cache, pool, and simulator counters)
+//! is dumped as a JSONL sidecar to FILE and summarized on stderr. The
+//! sidecar is observability-only — the study tables are unaffected.
 
 use cactid_tech::TechNode;
 use llc_study::power::MemoryHierarchyPower;
@@ -34,6 +39,22 @@ fn parse_instructions(args: &[String]) -> u64 {
     // Default: enough for the synthetic profiles to reach steady state on
     // the largest L3s while staying minutes-scale.
     5_000_000
+}
+
+fn parse_trace(args: &[String]) -> Option<std::path::PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            match it.next() {
+                Some(v) => return Some(std::path::PathBuf::from(v)),
+                None => {
+                    eprintln!("--trace expects a file path");
+                    std::process::exit(2)
+                }
+            }
+        }
+    }
+    None
 }
 
 fn run_figures_4_and_5(instructions: u64, do4: bool, do5: bool) {
@@ -114,5 +135,12 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+    if let Some(path) = parse_trace(&args) {
+        if let Err(e) = cactid_obs::write_trace(&path, &format!("llc-study {cmd}")) {
+            eprintln!("error: writing trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprint!("{}", cactid_obs::render_summary(&cactid_obs::snapshot()));
     }
 }

@@ -41,6 +41,7 @@ pub fn run_study(instructions: u64) -> Vec<(StudyConfig, Vec<AppRun>)> {
 
 /// Runs one (application, configuration) pair.
 pub fn run_one(cfg: &StudyConfig, app: NpbApp, instructions: u64) -> AppRun {
+    let _span = cactid_obs::span("study.run_one");
     let trace = NpbTrace::new(app, cfg.system.n_threads());
     let mut sim = Simulator::new(cfg.system.clone(), trace);
     // Full-length warm-up: the big L3s take tens of millions of
@@ -48,6 +49,8 @@ pub fn run_one(cfg: &StudyConfig, app: NpbApp, instructions: u64) -> AppRun {
     sim.run(instructions);
     sim.reset_stats();
     let stats = sim.run(instructions);
+    // Publish only the measured interval's counts (warm-up was discarded).
+    stats.publish_obs();
     let seconds = stats.cycles as f64 / cfg.system.clock_hz;
     AppRun {
         app,

@@ -50,6 +50,7 @@ pub fn capacity_sweep(
         sim.run(instructions);
         sim.reset_stats();
         let stats = sim.run(instructions);
+        stats.publish_obs();
         let c = &stats.counts;
         let reached = stats.load_level_hits[2] + stats.load_level_hits[3];
         SweepPoint {

@@ -52,7 +52,9 @@ fn usage() -> ! {
          \x20          --sizes LIST (required) [--blocks LIST] [--assocs LIST]\n\
          \x20          [--banks LIST] [--nodes LIST] [--cells LIST]\n\
          \x20          [--opts default|ed|c LIST] [--mode M] [--out FILE]\n\
-         \x20          [--threads N] [--resume] [--pareto] [--lint]"
+         \x20          [--threads N] [--resume] [--pareto] [--lint]\n\
+         \x20          [--trace FILE]  write a JSONL metrics sidecar and print a\n\
+         \x20                          counter/histogram summary to stderr"
     );
     exit(2)
 }
@@ -211,6 +213,7 @@ struct ExploreArgs {
     resume: bool,
     pareto: bool,
     lint: bool,
+    trace: Option<PathBuf>,
 }
 
 /// The named optimization-knob variants the `--opts` axis accepts:
@@ -253,6 +256,7 @@ fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
         resume: false,
         pareto: false,
         lint: false,
+        trace: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -290,6 +294,7 @@ fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
                     parse_mode(v).ok_or_else(|| format!("invalid value {v:?} for {flag}"))?;
             }
             "--out" => a.out = Some(PathBuf::from(value(argv, &mut i, flag)?)),
+            "--trace" => a.trace = Some(PathBuf::from(value(argv, &mut i, flag)?)),
             "--threads" => a.threads = parse_num(flag, value(argv, &mut i, flag)?)?,
             "--resume" => a.resume = true,
             "--pareto" => a.pareto = true,
@@ -329,6 +334,16 @@ fn run_explore(argv: &[String]) -> ! {
                 }
             }
             eprintln!("{}", report.stats.render());
+            // Metrics are recorded unconditionally; --trace only controls
+            // whether the sidecar is written, so the result JSONL is
+            // byte-identical with tracing on or off.
+            if let Some(trace) = &a.trace {
+                if let Err(e) = cactid_obs::write_trace(trace, "explore") {
+                    eprintln!("error: writing trace {}: {e}", trace.display());
+                    exit(1)
+                }
+                eprint!("{}", cactid_obs::render_summary(&cactid_obs::snapshot()));
+            }
             exit(0)
         }
         Err(e) => {
@@ -668,6 +683,8 @@ mod tests {
             "--resume",
             "--out",
             "sweep.jsonl",
+            "--trace",
+            "sweep.trace.jsonl",
         ]))
         .unwrap();
         assert_eq!(a.grid.capacities, vec![64 << 10, 128 << 10, 1 << 20]);
@@ -683,6 +700,10 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert!(a.pareto && a.resume && !a.lint);
         assert_eq!(a.out.as_deref(), Some(std::path::Path::new("sweep.jsonl")));
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("sweep.trace.jsonl"))
+        );
         assert_eq!(a.grid.len(), 3 * 2 * 2 * 2 * 2 * 3);
     }
 

@@ -19,6 +19,9 @@
 //! * [`explore`] — batch design-space exploration: grid expansion, a
 //!   hermetic thread pool, solve memoization, resumable JSONL sweeps and
 //!   Pareto-frontier extraction (`cactid explore`).
+//! * [`obs`] — zero-dependency observability: process-wide counters,
+//!   histograms and timing spans recorded across the solve and simulation
+//!   paths, dumped as a JSONL trace sidecar by `--trace`.
 //!
 //! See the README for a guided tour and `examples/` for runnable
 //! demonstrations.
@@ -26,6 +29,7 @@ pub use cactid_analyze as analyze;
 pub use cactid_circuit as circuit;
 pub use cactid_core as core;
 pub use cactid_explore as explore;
+pub use cactid_obs as obs;
 pub use cactid_tech as tech;
 pub use cactid_units as units;
 pub use llc_study as study;

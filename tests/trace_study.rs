@@ -1,0 +1,71 @@
+//! End-to-end observability test: a miniature study run must leave
+//! optimizer, solve-cache, pool, and simulator counters in the process
+//! registry, and the trace sidecar must carry all of them as valid JSONL.
+
+use cacti_d::obs;
+use cacti_d::study::{configs, sweep};
+use cacti_d::workloads::{NpbApp, NpbClass};
+
+#[test]
+fn study_run_populates_every_counter_family_in_the_trace() {
+    // Building a study configuration solves the L1/L2/L3/main-memory specs
+    // through the global solve cache → optimizer + cache counters.
+    let base = configs::build(configs::LlcKind::LpDramEd48);
+    // A two-point capacity sweep rides the work-claiming pool and runs the
+    // simulator → pool + sim counters.
+    let pts = sweep::capacity_sweep(
+        &base,
+        NpbApp::FtB,
+        NpbClass::B,
+        &[12 << 20, 24 << 20],
+        50_000,
+    );
+    assert_eq!(pts.len(), 2);
+
+    let snap = obs::snapshot();
+    for name in [
+        "core.solve.calls",     // optimizer
+        "core.select.calls",    // §2.4 staged selection
+        "explore.cache.misses", // solve memo
+        "explore.pool.claims",  // work-claiming pool
+        "sim.loads",            // simulator aggregate publish
+        "sim.l1.hits",
+    ] {
+        let v = snap.counter(name);
+        assert!(
+            v.is_some_and(|v| v > 0),
+            "counter {name} missing or zero: {v:?}"
+        );
+    }
+    assert!(
+        snap.histogram("explore.pool.work_ns")
+            .is_some_and(|h| h.count >= 2),
+        "pool work histogram missing"
+    );
+
+    // The sidecar carries every family and stays one-JSON-object-per-line.
+    let dir = std::env::temp_dir().join(format!("cactid-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("study.trace.jsonl");
+    obs::write_trace(&path, "test-study").unwrap();
+    let body = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines[0].contains("\"type\":\"meta\""));
+    assert!(lines[0].contains("\"cmd\":\"test-study\""));
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSONL object: {line}"
+        );
+    }
+    for family in [
+        "\"name\":\"core.solve.",
+        "\"name\":\"explore.cache.",
+        "\"name\":\"explore.pool.",
+        "\"name\":\"sim.",
+    ] {
+        assert!(body.contains(family), "trace lacks {family}");
+    }
+}
