@@ -81,4 +81,28 @@ for NAME in core.solve.calls explore.pool.claims explore.cache.misses; do
 done
 rm -rf "$TDIR"
 
+echo "== solve-throughput bench smoke (--quick)"
+# The hermetic single-solve bench must run, emit a schema-valid
+# BENCH_solve.json, and show the cheap-bound pre-screen actually firing
+# (bound_pruned > 0) on the COMM-DRAM DIMM spec. Quick mode keeps this to
+# a few seconds; the committed artifact is regenerated with a full run.
+BDIR=$(mktemp -d)
+cargo bench --quiet -p cactid-bench --bench solve_throughput -- \
+    --quick --out "$BDIR/bench.json" >/dev/null 2>&1
+for KEY in '"schema":"cactid-bench-solve-v1"' '"staged_candidates_per_sec"' \
+    '"reference_us_per_solve"' '"speedup_parallel_vs_staged"' \
+    '"improvement_vs_prechange"' '"comm_dram_meets_2x"'; do
+    grep -q "$KEY" "$BDIR/bench.json" || {
+        echo "BENCH_solve.json missing key $KEY" >&2
+        exit 1
+    }
+done
+grep -q '"spec":"comm-dram-dimm","orgs_per_solve":[0-9]*,"bound_pruned":[1-9]' \
+    "$BDIR/bench.json" || {
+    echo "bound pruning did not fire on the COMM-DRAM smoke spec:" >&2
+    cat "$BDIR/bench.json" >&2
+    exit 1
+}
+rm -rf "$BDIR"
+
 echo "ci: all checks passed"

@@ -150,6 +150,30 @@ impl Decoder {
         }
     }
 
+    /// Delay of the activated decode path for `input_ramp` — exactly the
+    /// delay component of [`Decoder::evaluate`], without its
+    /// ramp-independent energy/leakage/area bookkeeping. Callers that have
+    /// already evaluated the decoder at a zero ramp (for area and energy)
+    /// re-time it here when the real input ramp becomes known.
+    pub fn delay(&self, dev: &DeviceParams, input_ramp: Seconds) -> Seconds {
+        let w_pn = NAND_INPUT_W_MULT * dev.min_width;
+        let nand_stack_r = dev.res_on_n(w_pn) * PREDEC_GROUP_BITS as f64;
+        let c_pd_first = self.predec_driver.stage_caps[0];
+        let tf_pnand = nand_stack_r * (dev.cap_drain(w_pn * 3.0) + c_pd_first);
+        let (d_pnand, ramp1) = stage(input_ramp, tf_pnand, 0.5);
+        let (pd_delay, pd_ramp) = self.predec_driver.delay(dev, ramp1);
+
+        let w_fn = NAND_INPUT_W_MULT * dev.min_width;
+        let fnand_r = dev.res_on_n(w_fn) * self.n_groups.max(2) as f64;
+        let c_wl_first = self.wl_driver.stage_caps[0];
+        let tf_fnand = fnand_r * (dev.cap_drain(w_fn * 3.0) + c_wl_first);
+        let (d_fnand, ramp2) = stage(pd_ramp, tf_fnand, 0.5);
+
+        let (wl_delay, _) = self.wl_driver.delay(dev, ramp2);
+        let d_wire = 0.38 * self.r_wordline * self.c_wordline;
+        d_pnand + pd_delay + d_fnand + wl_delay + d_wire
+    }
+
     /// The horizontal width the decode strip adds to a subarray:
     /// area divided by the array height it runs along.
     pub fn strip_width(&self, dev: &DeviceParams) -> Meters {
@@ -178,6 +202,24 @@ mod tests {
             Farads::ff(10.0),
             Meters::from_si(0.3e-6),
         )
+    }
+
+    #[test]
+    fn delay_only_path_matches_evaluate_bitwise() {
+        let d = dev();
+        let dec = Decoder::design(
+            &d,
+            1024,
+            Farads::from_si(2e-13),
+            Ohms::from_si(9e3),
+            d.vdd,
+            Farads::from_si(3e-14),
+            Meters::from_si(1.4e-7),
+        );
+        for ramp_ps in [0.0, 3.7, 55.0, 410.0] {
+            let ramp = Seconds::ps(ramp_ps);
+            assert_eq!(dec.delay(&d, ramp), dec.evaluate(&d, ramp).delay);
+        }
     }
 
     #[test]

@@ -57,6 +57,33 @@ impl BufferChain {
         self.evaluate_at(dev, input_ramp, dev.vdd)
     }
 
+    /// Delay and output ramp of the chain for `input_ramp`, skipping the
+    /// ramp-independent energy/leakage/area bookkeeping. Performs the
+    /// identical float operations in the identical order as the delay
+    /// accumulation inside [`BufferChain::evaluate_at`], so the result is
+    /// bit-identical — the swing voltage only affects energy, never delay.
+    pub fn delay(&self, dev: &DeviceParams, input_ramp: Seconds) -> (Seconds, Seconds) {
+        let mut delay = Seconds::ZERO;
+        let mut ramp = input_ramp;
+        let n = self.n_stages();
+        for i in 0..n {
+            let w_n = self.stage_width_n(dev, i);
+            let w_p = w_n * dev.p_to_n_ratio;
+            let r = dev.res_on_n(w_n);
+            let c_self = dev.cap_drain(w_n + w_p);
+            let c_next = if i + 1 < n {
+                self.stage_caps[i + 1]
+            } else {
+                self.c_load
+            };
+            let tf = r * (c_self + c_next);
+            let (d, ramp_out) = stage(ramp, tf, 0.5);
+            delay += d;
+            ramp = ramp_out;
+        }
+        (delay, ramp)
+    }
+
     /// Like [`BufferChain::evaluate`] but switching the *final* load at
     /// `v_swing` (e.g. a boosted-V_PP wordline) while internal stages swing
     /// the device VDD.
@@ -115,6 +142,17 @@ mod tests {
 
     fn dev() -> DeviceParams {
         Technology::new(TechNode::N32).device(DeviceType::Hp)
+    }
+
+    #[test]
+    fn delay_only_path_matches_evaluate_bitwise() {
+        let d = dev();
+        let chain = BufferChain::design(&d, d.c_inv_min(), 600.0 * d.c_inv_min());
+        for ramp_ps in [0.0, 2.9, 80.0] {
+            let ramp = Seconds::ps(ramp_ps);
+            let full = chain.evaluate(&d, ramp);
+            assert_eq!(chain.delay(&d, ramp), (full.delay, full.ramp_out));
+        }
     }
 
     #[test]

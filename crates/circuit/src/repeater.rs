@@ -82,9 +82,11 @@ impl RepeatedWire {
         let r_w = wire.res(self.seg_len);
         let mut delay = Seconds::ZERO;
         let mut ramp = input_ramp;
+        // Driver sees its own drain, the wire, and the next repeater; the
+        // time constant is identical for every segment — only the ramp
+        // evolves through the chain.
+        let tf = r_drv * (c_self + c_w + c_in) + r_w * (0.38 * c_w + 0.69 * c_in);
         for _ in 0..self.n_seg {
-            // Driver sees its own drain, the wire, and the next repeater.
-            let tf = r_drv * (c_self + c_w + c_in) + r_w * (0.38 * c_w + 0.69 * c_in);
             let (d, r_out) = stage(ramp, tf, 0.5);
             delay += d;
             ramp = r_out;

@@ -176,6 +176,11 @@ pub struct ArrayResult {
     pub sense_signal: Volts,
     /// Energy to refresh one row stripe (0 for SRAM).
     pub row_refresh_energy: Joules,
+    /// Delay of the column-select (CSL) driver chain. Not part of the
+    /// random access path (see [`DelayBreakdown::column_decode`]); the
+    /// main-memory interface consumes it for its serial CAS decode instead
+    /// of re-designing the chain per candidate.
+    pub column_select_delay: Seconds,
 }
 
 impl ArrayResult {
@@ -208,54 +213,75 @@ impl ArrayResult {
     }
 }
 
+/// The closed-form feasibility screen of [`evaluate`], separated out so the
+/// solver's staged pipeline can reject candidates before paying for the
+/// full circuit evaluation.
+///
+/// This computes *exactly* the three infeasibility conditions `evaluate`
+/// checks — subarray height against the cell's `max_rows_per_subarray`,
+/// distributed wordline RC against the 3 ns hierarchical-wordline bound,
+/// and the DRAM charge-sharing signal against the sense margin — with the
+/// same expressions, so a candidate passes this screen if and only if
+/// `evaluate` succeeds on it. On success it returns the sense signal the
+/// organization develops (the margin itself for SRAM).
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] exactly when [`evaluate`]
+/// would for the same `(cell, rows, cols)`.
+pub fn prescreen(cell: &CellParams, rows: u64, cols: u64) -> Result<Volts, CactiError> {
+    if rows > cell.max_rows_per_subarray as u64 {
+        return Err(CactiError::NoFeasibleSolution);
+    }
+    // Wordlines are driven from one end without hierarchical re-buffering;
+    // beyond a few ns of distributed RC the organization needs a
+    // hierarchical wordline scheme outside this model's scope.
+    let wl_rc =
+        0.38 * (cell.r_wordline_per_cell * cols as f64) * (cell.c_wordline_per_cell * cols as f64);
+    if wl_rc > Seconds::from_si(3e-9) {
+        return Err(CactiError::NoFeasibleSolution);
+    }
+    if cell.technology.is_dram() {
+        let s = cell
+            .dram_sense_signal(rows as usize)
+            .expect("dram cell provides signal");
+        if s < cell.v_sense_margin {
+            return Err(CactiError::NoFeasibleSolution);
+        }
+        Ok(s)
+    } else {
+        Ok(cell.v_sense_margin)
+    }
+}
+
 /// Evaluates one array organization.
 ///
 /// # Errors
 ///
 /// Returns [`CactiError::NoFeasibleSolution`] when the organization is
 /// electrically infeasible (e.g. a DRAM bitline too long to meet the sense
-/// margin).
+/// margin); [`prescreen`] reports the identical verdict without the cost
+/// of the full evaluation.
 pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, CactiError> {
     let cell = &input.cell;
     let periph = &input.periph;
     let is_dram = cell.technology.is_dram();
     let f = tech.feature_size();
 
-    if input.rows > cell.max_rows_per_subarray as u64 {
-        return Err(CactiError::NoFeasibleSolution);
-    }
-    // Wordlines are driven from one end without hierarchical re-buffering;
-    // beyond a few ns of distributed RC the organization needs a
-    // hierarchical wordline scheme outside this model's scope.
-    let wl_rc = 0.38
-        * (cell.r_wordline_per_cell * input.cols as f64)
-        * (cell.c_wordline_per_cell * input.cols as f64);
-    if wl_rc > Seconds::from_si(3e-9) {
-        return Err(CactiError::NoFeasibleSolution);
-    }
+    let sense_signal = prescreen(cell, input.rows, input.cols)?;
 
     // ---- Bitline electrical state ----
     let c_bl =
         cell.c_bitline_per_cell * input.rows as f64 + 2.0 * periph.c_drain * periph.min_width;
     let r_bl = cell.r_bitline_per_cell * input.rows as f64;
-    let sense_signal = if is_dram {
-        let s = cell
-            .dram_sense_signal(input.rows as usize)
-            .expect("dram cell provides signal");
-        if s < cell.v_sense_margin {
-            return Err(CactiError::NoFeasibleSolution);
-        }
-        s
-    } else {
-        cell.v_sense_margin
-    };
 
     // ---- Subarray / bank geometry (needed for wire lengths) ----
+    let wire = tech.wire(WireType::SemiGlobal);
     let c_wl = cell.c_wordline_per_cell * input.cols as f64;
     let r_wl = cell.r_wordline_per_cell * input.cols as f64;
     let array_w = input.cols as f64 * cell.width;
     let array_h = input.rows as f64 * cell.height;
-    let predec_wire = tech.wire(WireType::SemiGlobal).cap(array_w);
+    let predec_wire = wire.cap(array_w);
     let decoder = Decoder::design(
         periph,
         input.rows.max(2) as usize,
@@ -279,23 +305,29 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
 
     let sub_w = array_w + dec_strip_w;
     let sub_h = array_h + sa_strip_h + cal::SUBARRAY_EDGE_F * f;
-    let wire = tech.wire(WireType::SemiGlobal);
     let spine_w =
         (u64::from(input.address_bits) + input.output_bits) as f64 * wire.pitch * cal::SPINE_FILL;
     let bank_w = f64::from(input.ndwl) * sub_w + spine_w;
     let bank_h = f64::from(input.ndbl) * sub_h + cal::CONTROL_STRIP_F * f;
 
     // ---- H-trees ----
+    // Address-in and data-out traverse the same repeatered span from a
+    // clean driver edge, so one evaluation serves both directions.
     let htree_len = (bank_w / 2.0 + bank_h / 2.0).max(10.0 * f);
     let ht = RepeatedWire::design(periph, &wire, htree_len, input.repeater_relax);
     let ht_in = ht.evaluate(periph, &wire, Seconds::ZERO);
-    let ht_out = ht.evaluate(periph, &wire, Seconds::ZERO);
-    let ht_stage = ht.stage_delay(periph, &wire);
+    let ht_out = &ht_in;
+    // `RepeatedWire::stage_delay` is its zero-ramp evaluation divided by
+    // the segment count, and `ht_in` *is* that evaluation — divide instead
+    // of walking the repeater chain a second time.
+    let ht_stage = ht_in.delay / ht.n_seg as f64;
 
     // ---- Row path ----
     let t_htree_in = ht_in.delay;
-    let dec_timed = decoder.evaluate(periph, ht_in.ramp_out);
-    let t_decode = dec_timed.delay;
+    // Re-time the decode path at the real H-tree ramp; area/energy/leakage
+    // were already captured by the zero-ramp evaluation above and are
+    // ramp-independent.
+    let t_decode = decoder.delay(periph, ht_in.ramp_out);
 
     let derate = cell.timing_derate;
     let (t_bitline, t_restore) = if is_dram {
@@ -448,17 +480,8 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
         height: bank_h,
         sense_signal,
         row_refresh_energy,
+        column_select_delay: t_column_decode,
     })
-}
-
-/// Column-decode latency helper for the main-memory interface, where the
-/// column select happens serially after the row opens.
-pub fn column_decode_delay(tech: &Technology, input: &ArrayInput) -> Seconds {
-    let wire = tech.wire(WireType::SemiGlobal);
-    let array_w = input.cols as f64 * input.cell.width;
-    let csl_load = wire.cap(array_w) + 8.0 * input.periph.c_inv_min();
-    let csl = BufferChain::design(&input.periph, input.periph.c_inv_min(), csl_load);
-    csl.evaluate(&input.periph, Seconds::ZERO).delay
 }
 
 #[cfg(test)]

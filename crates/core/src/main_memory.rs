@@ -4,7 +4,7 @@
 //! timing set (tRCD, CAS latency, tRAS, tRP, tRC) and the multibank
 //! interleave cycle time tRRD.
 
-use crate::array::{column_decode_delay, ArrayInput, ArrayResult};
+use crate::array::{ArrayInput, ArrayResult};
 use crate::error::CactiError;
 use crate::spec::{MemoryKind, MemorySpec};
 use cactid_circuit::repeater::RepeatedWire;
@@ -140,7 +140,9 @@ pub fn assemble(
 
     // ---- Timing (row timings carry the JEDEC-style guard band) ----
     let t_rcd = cal::MM_TIMING_MARGIN * bank.t_row_to_sense();
-    let t_col_dec = column_decode_delay(tech, input);
+    // The CSL driver chain was already designed and timed by the array
+    // evaluation; reuse it instead of re-deriving the chain per candidate.
+    let t_col_dec = bank.column_select_delay;
     let cas_latency = t_col_dec + bank.t_column() + chip_path.delay + cal::IO_OVERHEAD;
     let t_ras = t_rcd + cal::MM_CELL_MARGIN * bank.delay.restore;
     let t_rp =

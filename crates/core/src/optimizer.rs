@@ -1,44 +1,151 @@
 //! Solution-space sweep and the staged optimization of paper §2.4:
 //! max-area filter → max-access-time filter → weighted objective.
+//!
+//! The sweep itself is a staged pipeline (DESIGN.md §14): organizations
+//! stream out of [`org::enumerate_lazy`], a closed-form pre-screen
+//! ([`array::prescreen`]) rejects electrically doomed candidates before the
+//! full circuit models run, and per-spec invariants (technology parameters,
+//! the tag design) are hoisted out of the per-candidate loop.
 
 use crate::array::{self, ArrayInput};
 use crate::error::CactiError;
 use crate::lint::{Severity, SolutionLinter};
 use crate::main_memory;
 use crate::org::{self, OrgParams};
+use crate::par;
 use crate::solution::Solution;
 use crate::spec::{MemoryKind, MemorySpec};
-use crate::tag;
-use cactid_tech::Technology;
+use crate::tag::{self, TagResult};
+use cactid_tech::{CellParams, DeviceParams, Technology};
+use std::sync::Arc;
 
-fn build_input(tech: &Technology, spec: &MemorySpec, org: &OrgParams) -> ArrayInput {
-    ArrayInput {
-        rows: org.rows(spec),
-        cols: org.cols(spec),
-        ndwl: org.ndwl,
-        ndbl: org.ndbl,
-        deg_bl_mux: org.deg_bl_mux,
-        deg_sa_mux: org.deg_sa_mux,
-        output_bits: spec.output_bits(),
-        address_bits: spec.address_bits,
-        cell: tech.cell(spec.cell_tech),
-        periph: tech.peripheral_device(spec.cell_tech),
-        repeater_relax: spec.opt.repeater_relax,
-        sleep_transistors: spec.opt.sleep_transistors,
-        sense_fraction: spec.sense_fraction(),
+/// Everything about a solve that is invariant across candidates, computed
+/// once per spec: the interned technology, the cell/peripheral parameter
+/// derivations (interpolated nodes re-blend anchor tables on every
+/// `Technology::cell` call, which dominated the per-candidate cost on
+/// small sweeps), and the single tag design shared by `Arc`.
+struct SpecCtx<'a> {
+    spec: &'a MemorySpec,
+    tech: &'static Technology,
+    cell: CellParams,
+    periph: DeviceParams,
+    output_bits: u64,
+    sense_fraction: f64,
+    tag: Option<Arc<TagResult>>,
+}
+
+impl<'a> SpecCtx<'a> {
+    fn new(spec: &'a MemorySpec) -> Result<Self, CactiError> {
+        let tech = Technology::cached(spec.node);
+        let tag = if spec.kind.is_cache() {
+            Some(Arc::new(tag::design_tag(tech, spec)?))
+        } else {
+            None
+        };
+        Ok(Self {
+            spec,
+            tech,
+            cell: tech.cell(spec.cell_tech),
+            periph: tech.peripheral_device(spec.cell_tech),
+            output_bits: spec.output_bits(),
+            sense_fraction: spec.sense_fraction(),
+            tag,
+        })
     }
+
+    fn build_input(&self, org: &OrgParams) -> ArrayInput {
+        ArrayInput {
+            rows: org.rows(self.spec),
+            cols: org.cols(self.spec),
+            ndwl: org.ndwl,
+            ndbl: org.ndbl,
+            deg_bl_mux: org.deg_bl_mux,
+            deg_sa_mux: org.deg_sa_mux,
+            output_bits: self.output_bits,
+            address_bits: self.spec.address_bits,
+            cell: self.cell,
+            periph: self.periph,
+            repeater_relax: self.spec.opt.repeater_relax,
+            sleep_transistors: self.spec.opt.sleep_transistors,
+            sense_fraction: self.sense_fraction,
+        }
+    }
+}
+
+/// What the pipeline decided about one enumerated organization. Lint runs
+/// later (serially, in index order), so it is not a candidate outcome.
+enum CandidateOutcome {
+    /// Rejected by the closed-form pre-screen without running the models.
+    BoundPruned,
+    /// Rejected by the full electrical models.
+    ElectricalPruned,
+    /// Survived the models; boxed so the enum stays small for the slots.
+    Feasible(Box<Solution>),
+    /// A model error that poisons the whole solve (bad main-memory spec).
+    Fatal(CactiError),
+}
+
+/// Evaluates one candidate through the staged pipeline. With `prescreen`
+/// the closed-form bounds run first; they are the exact feasibility
+/// conditions `array::evaluate` would check, so pruning here cannot change
+/// the solution set — only skip doomed model evaluations.
+fn evaluate_candidate(ctx: &SpecCtx<'_>, org: OrgParams, prescreen: bool) -> CandidateOutcome {
+    if prescreen && array::prescreen(&ctx.cell, org.rows(ctx.spec), org.cols(ctx.spec)).is_err() {
+        return CandidateOutcome::BoundPruned;
+    }
+    let input = ctx.build_input(&org);
+    let Ok(data) = array::evaluate(ctx.tech, &input) else {
+        return CandidateOutcome::ElectricalPruned;
+    };
+    let mm = match ctx.spec.kind {
+        MemoryKind::MainMemory { .. } => {
+            match main_memory::assemble(ctx.tech, ctx.spec, &input, &data) {
+                Ok(mm) => Some(mm),
+                Err(e) => return CandidateOutcome::Fatal(e),
+            }
+        }
+        _ => None,
+    };
+    let sol = Solution::assemble(ctx.spec, org, &input, data, ctx.tag.clone(), mm);
+    CandidateOutcome::Feasible(Box::new(sol))
+}
+
+/// Applies the lint stage to a surviving candidate; `None` means rejected.
+fn admit(
+    spec: &MemorySpec,
+    linter: Option<&dyn SolutionLinter>,
+    mut sol: Solution,
+    stats: &mut SolveStats,
+) -> Option<Solution> {
+    if let Some(linter) = linter {
+        let diags = linter.lint_candidate(spec, &sol);
+        if diags.iter().any(|d| d.severity == Severity::Error) {
+            stats.lint_rejected += 1;
+            return None;
+        }
+        sol.warnings = diags;
+    }
+    Some(sol)
 }
 
 /// Counters describing the work one [`solve_with_stats`] call performed.
 ///
 /// Batch drivers (the `cactid-explore` engine) aggregate these across a
 /// sweep to report how much of the organization space was enumerated, how
+/// much the cheap pre-screen rejected before the circuit models ran, how
 /// much survived the electrical models, and how much the lint engine
 /// rejected.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Structurally feasible organizations enumerated for the spec.
     pub orgs_enumerated: usize,
+    /// Candidates rejected by the closed-form pre-screen bounds before the
+    /// full electrical models ran. Zero on the unpruned reference path.
+    pub bound_pruned: usize,
+    /// Candidates rejected by the full electrical models. With the
+    /// pre-screen on this is zero (the screen is exact); the reference
+    /// path reports here what the staged path reports as `bound_pruned`.
+    pub electrical_pruned: usize,
     /// Organizations that survived the electrical models and (if a linter
     /// ran) the `Error`-severity rules — the size of the solution set.
     pub feasible: usize,
@@ -58,75 +165,101 @@ pub struct SolveOutcome {
     pub stats: SolveStats,
 }
 
-fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
-    let _span = cactid_obs::span("core.solve");
-    cactid_obs::counter!("core.solve.calls").inc();
-    let mut stats = SolveStats::default();
-    let tech = Technology::cached(spec.node);
-    let tag_result = if spec.kind.is_cache() {
-        match tag::design_tag(tech, spec) {
-            Ok(t) => Some(t),
-            Err(e) => {
-                return SolveOutcome {
-                    result: Err(e),
-                    stats,
-                }
-            }
-        }
-    } else {
-        None
-    };
-
-    let orgs = org::enumerate(spec);
-    stats.orgs_enumerated = orgs.len();
-    cactid_obs::counter!("core.solve.orgs_enumerated").add(orgs.len() as u64);
-    let mut out = Vec::new();
-    for org in orgs {
-        let input = build_input(tech, spec, &org);
-        let Ok(data) = array::evaluate(tech, &input) else {
-            cactid_obs::counter!("core.solve.electrical_pruned").inc();
-            continue;
-        };
-        let mm = match spec.kind {
-            MemoryKind::MainMemory { .. } => match main_memory::assemble(tech, spec, &input, &data)
-            {
-                Ok(mm) => Some(mm),
-                Err(e) => {
-                    return SolveOutcome {
-                        result: Err(e),
-                        stats,
-                    }
-                }
-            },
-            _ => None,
-        };
-        let mut sol = Solution::assemble(spec, org, &input, data, tag_result.clone(), mm);
-        if let Some(linter) = linter {
-            let diags = linter.lint_candidate(spec, &sol);
-            if diags.iter().any(|d| d.severity == Severity::Error) {
-                stats.lint_rejected += 1;
-                cactid_obs::counter!("core.solve.lint_rejected").inc();
-                continue;
-            }
-            sol.warnings = diags;
-        }
-        out.push(sol);
-    }
+/// Wraps a completed sweep's `out` set into the final result and marks
+/// whether the sweep finished with nothing feasible (the only condition
+/// under which the `no_feasible` counter fires — early fatal errors do
+/// not count as an exhausted sweep).
+fn finish_sweep(
+    out: Vec<Solution>,
+    stats: &mut SolveStats,
+) -> (Result<Vec<Solution>, CactiError>, bool) {
     stats.feasible = out.len();
-    cactid_obs::counter!("core.solve.feasible").add(out.len() as u64);
     if out.is_empty() {
-        cactid_obs::counter!("core.solve.no_feasible").inc();
-    }
-    let result = if out.is_empty() {
-        Err(if stats.lint_rejected > 0 {
+        let e = if stats.lint_rejected > 0 {
             CactiError::LintRejected(stats.lint_rejected)
         } else {
             CactiError::NoFeasibleSolution
-        })
+        };
+        (Err(e), true)
     } else {
-        Ok(out)
+        (Ok(out), false)
+    }
+}
+
+/// Publishes one solve's worth of batched counters to the process-global
+/// observability registry. The hot loop accumulates into [`SolveStats`]
+/// locally; this is the single flush per solve.
+fn flush_obs(stats: &SolveStats, swept_empty: bool) {
+    cactid_obs::counter!("core.solve.calls").inc();
+    cactid_obs::counter!("core.solve.orgs_enumerated").add(stats.orgs_enumerated as u64);
+    cactid_obs::counter!("core.solve.bound_pruned").add(stats.bound_pruned as u64);
+    cactid_obs::counter!("core.solve.electrical_pruned").add(stats.electrical_pruned as u64);
+    cactid_obs::counter!("core.solve.lint_rejected").add(stats.lint_rejected as u64);
+    cactid_obs::counter!("core.solve.feasible").add(stats.feasible as u64);
+    if swept_empty {
+        cactid_obs::counter!("core.solve.no_feasible").inc();
+    }
+}
+
+/// The serial staged sweep. `prescreen` selects the pruned pipeline; the
+/// debug-only reference path passes `false` and pays the full model cost
+/// for every candidate. Returns the outcome plus the exhausted-sweep flag
+/// for [`flush_obs`].
+fn sweep_serial(
+    spec: &MemorySpec,
+    linter: Option<&dyn SolutionLinter>,
+    prescreen: bool,
+) -> (SolveOutcome, bool) {
+    let mut stats = SolveStats::default();
+    let ctx = match SpecCtx::new(spec) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            return (
+                SolveOutcome {
+                    result: Err(e),
+                    stats,
+                },
+                false,
+            )
+        }
     };
-    SolveOutcome { result, stats }
+
+    let mut iter = org::enumerate_lazy(spec);
+    let mut out = Vec::new();
+    while let Some(org) = iter.next() {
+        stats.orgs_enumerated += 1;
+        match evaluate_candidate(&ctx, org, prescreen) {
+            CandidateOutcome::BoundPruned => stats.bound_pruned += 1,
+            CandidateOutcome::ElectricalPruned => stats.electrical_pruned += 1,
+            CandidateOutcome::Fatal(e) => {
+                // A fatal error always reported the full enumeration count
+                // in the eager implementation; drain the iterator so the
+                // lazy pipeline keeps that contract.
+                stats.orgs_enumerated += iter.count();
+                return (
+                    SolveOutcome {
+                        result: Err(e),
+                        stats,
+                    },
+                    false,
+                );
+            }
+            CandidateOutcome::Feasible(sol) => {
+                if let Some(sol) = admit(spec, linter, *sol, &mut stats) {
+                    out.push(sol);
+                }
+            }
+        }
+    }
+    let (result, swept_empty) = finish_sweep(out, &mut stats);
+    (SolveOutcome { result, stats }, swept_empty)
+}
+
+fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
+    let _span = cactid_obs::span("core.solve");
+    let (outcome, swept_empty) = sweep_serial(spec, linter, true);
+    flush_obs(&outcome.stats, swept_empty);
+    outcome
 }
 
 /// The batch-oriented solver entry point: like [`solve_with`] (or [`solve`]
@@ -138,6 +271,86 @@ fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveO
 /// threads.
 pub fn solve_with_stats(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
     solve_inner(spec, linter)
+}
+
+/// Like [`solve_with_stats`], but fans the candidate evaluations out over
+/// `threads` scoped workers (`0` means the machine's available
+/// parallelism). The merge is serial and in organization-index order —
+/// including the lint stage, which the [`SolutionLinter`] trait does not
+/// require to be thread-safe — so the solution set, its ordering, and the
+/// stats are identical to the serial path. A fatal model error reported by
+/// any candidate poisons the solve exactly as it does serially: stats
+/// merge stops at the first fatal index and the full enumeration count is
+/// still reported.
+///
+/// Worth reaching for only on sweeps whose model time dominates the
+/// per-thread spawn cost — large main-memory or high-capacity cache specs.
+pub fn solve_with_stats_parallel(
+    spec: &MemorySpec,
+    linter: Option<&dyn SolutionLinter>,
+    threads: usize,
+) -> SolveOutcome {
+    let _span = cactid_obs::span("core.solve");
+    let mut stats = SolveStats::default();
+    let ctx = match SpecCtx::new(spec) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            flush_obs(&stats, false);
+            return SolveOutcome {
+                result: Err(e),
+                stats,
+            };
+        }
+    };
+
+    let orgs = org::enumerate(spec);
+    stats.orgs_enumerated = orgs.len();
+    let outcomes = par::parallel_map(threads, orgs.len(), |i| {
+        evaluate_candidate(&ctx, orgs[i], true)
+    });
+
+    let mut out = Vec::new();
+    let mut fatal = None;
+    for outcome in outcomes {
+        match outcome {
+            CandidateOutcome::BoundPruned => stats.bound_pruned += 1,
+            CandidateOutcome::ElectricalPruned => stats.electrical_pruned += 1,
+            CandidateOutcome::Fatal(e) => {
+                fatal = Some(e);
+                break;
+            }
+            CandidateOutcome::Feasible(sol) => {
+                if let Some(sol) = admit(spec, linter, *sol, &mut stats) {
+                    out.push(sol);
+                }
+            }
+        }
+    }
+    if let Some(e) = fatal {
+        flush_obs(&stats, false);
+        return SolveOutcome {
+            result: Err(e),
+            stats,
+        };
+    }
+    let (result, swept_empty) = finish_sweep(out, &mut stats);
+    flush_obs(&stats, swept_empty);
+    SolveOutcome { result, stats }
+}
+
+/// The debug-only unpruned reference path: every enumerated candidate runs
+/// through the full electrical models with the pre-screen disabled. Exists
+/// so equivalence tests can prove the staged/pruned pipeline returns
+/// exactly the same solution set — `bound_pruned` here is always zero and
+/// `electrical_pruned` reports what the staged path prunes by bound.
+pub fn solve_with_stats_reference(
+    spec: &MemorySpec,
+    linter: Option<&dyn SolutionLinter>,
+) -> SolveOutcome {
+    let _span = cactid_obs::span("core.solve");
+    let (outcome, swept_empty) = sweep_serial(spec, linter, false);
+    flush_obs(&outcome.stats, swept_empty);
+    outcome
 }
 
 /// Evaluates every feasible organization for `spec` and returns the full

@@ -1,0 +1,91 @@
+//! A minimal hermetic scoped-thread fan-out for intra-spec parallelism.
+//!
+//! The workspace carries zero registry dependencies, so instead of rayon
+//! this module provides the one primitive the staged solver needs: N scoped
+//! `std::thread` workers claiming candidate indices off a shared atomic
+//! cursor and depositing results into index-addressed slots. It is the same
+//! shape as `explore::pool`, minus that pool's observability plumbing —
+//! intra-spec fan-out sits inside the `core.solve` span and must not
+//! perturb the per-solve counter contract.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `work(i)` for every `i in 0..n` on `threads` workers and returns
+/// the results in index order regardless of completion order.
+///
+/// * `threads == 0` is taken as the machine's available parallelism; the
+///   effective count is clamped to `n`.
+/// * With one effective thread everything runs inline on the caller's
+///   thread in index order — no spawning, so single-threaded calls are
+///   exactly as deterministic and cheap as a plain loop.
+pub(crate) fn parallel_map<R, F>(threads: usize, n: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+    .min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(&work).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots = Mutex::new({
+        let mut v: Vec<Option<R>> = Vec::with_capacity(n);
+        v.resize_with(n, || None);
+        v
+    });
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = work(i);
+                slots.lock().expect("par slot vector poisoned")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("par slot vector poisoned")
+        .into_iter()
+        .map(|s| s.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let seq: Vec<usize> = (0..257).map(|i| i * i).collect();
+        for threads in [0, 1, 2, 8, 64] {
+            assert_eq!(parallel_map(threads, 257, |i| i * i), seq);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        assert!(parallel_map::<usize, _>(8, 0, |i| i).is_empty());
+        assert_eq!(parallel_map(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_index_is_worked_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(4, 100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

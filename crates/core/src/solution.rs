@@ -8,6 +8,7 @@ use crate::org::OrgParams;
 use crate::spec::{AccessMode, MemoryKind, MemorySpec};
 use crate::tag::TagResult;
 use cactid_units::{Joules, Seconds, SquareMeters, Watts};
+use std::sync::Arc;
 
 /// One complete solution produced by the solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,8 +17,10 @@ pub struct Solution {
     pub org: OrgParams,
     /// Data-array evaluation (one bank).
     pub data: ArrayResult,
-    /// Tag-array evaluation (one bank), for caches.
-    pub tag: Option<TagResult>,
+    /// Tag-array evaluation (one bank), for caches. One tag design serves
+    /// every candidate of a solve, so the sweep shares it by `Arc` instead
+    /// of cloning the full evaluation per candidate.
+    pub tag: Option<Arc<TagResult>>,
     /// Chip-level main-memory result, for main-memory specs.
     pub main_memory: Option<MainMemoryResult>,
     /// End-to-end access time.
@@ -50,7 +53,7 @@ impl Solution {
         org: OrgParams,
         input: &ArrayInput,
         data: ArrayResult,
-        tag: Option<TagResult>,
+        tag: Option<Arc<TagResult>>,
         main_memory: Option<MainMemoryResult>,
     ) -> Solution {
         let n_banks = f64::from(spec.n_banks);
@@ -102,9 +105,7 @@ impl Solution {
         };
 
         // ---- Energy / power ----
-        let tag_read = tag
-            .as_ref()
-            .map_or(Joules::ZERO, super::tag::TagResult::read_energy);
+        let tag_read = tag.as_ref().map_or(Joules::ZERO, |t| t.read_energy());
         let tag_write = tag
             .as_ref()
             .map_or(Joules::ZERO, |t| t.array.write_energy + t.comparator_energy);

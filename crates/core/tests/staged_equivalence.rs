@@ -1,0 +1,131 @@
+//! The staged-pipeline determinism contract (DESIGN.md §14): the pruned
+//! pipeline, the debug-only unpruned reference, and the parallel fan-out
+//! must all return exactly the same solution set in the same order, and
+//! the pre-screen must account for precisely the candidates the full
+//! models would have rejected.
+
+use cactid_core::{
+    solve_with_stats, solve_with_stats_parallel, solve_with_stats_reference, AccessMode,
+    MemoryKind, MemorySpec, Solution,
+};
+use cactid_tech::{CellTechnology, TechNode};
+
+fn sram_l2() -> MemorySpec {
+    MemorySpec::builder()
+        .capacity_bytes(1 << 20)
+        .block_bytes(64)
+        .associativity(8)
+        .banks(1)
+        .cell_tech(CellTechnology::Sram)
+        .node(TechNode::N32)
+        .kind(MemoryKind::Cache {
+            access_mode: AccessMode::Normal,
+        })
+        .build()
+        .unwrap()
+}
+
+fn lp_dram_l3() -> MemorySpec {
+    MemorySpec::builder()
+        .capacity_bytes(8 << 20)
+        .block_bytes(64)
+        .associativity(16)
+        .banks(1)
+        .cell_tech(CellTechnology::LpDram)
+        .node(TechNode::N32)
+        .kind(MemoryKind::Cache {
+            access_mode: AccessMode::Normal,
+        })
+        .build()
+        .unwrap()
+}
+
+/// The `ci.sh` COMM-DRAM smoke spec (128 MB x8 BL8 chip, 8 Kb page, 78 nm).
+fn comm_dram_smoke() -> MemorySpec {
+    MemorySpec::builder()
+        .capacity_bytes(1 << 27)
+        .block_bytes(8)
+        .banks(8)
+        .cell_tech(CellTechnology::CommDram)
+        .node(TechNode::N78)
+        .kind(MemoryKind::MainMemory {
+            io_bits: 8,
+            burst_length: 8,
+            prefetch: 8,
+            page_bits: 8 << 10,
+        })
+        .build()
+        .unwrap()
+}
+
+fn assert_identical_sets(label: &str, a: &[Solution], b: &[Solution]) {
+    assert_eq!(a.len(), b.len(), "{label}: solution counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x, y, "{label}: solutions diverge at org {:?}", x.org);
+    }
+}
+
+#[test]
+fn staged_solve_equals_the_unpruned_reference() {
+    for (label, spec) in [
+        ("sram-l2", sram_l2()),
+        ("lp-dram-l3", lp_dram_l3()),
+        ("comm-dram", comm_dram_smoke()),
+    ] {
+        let staged = solve_with_stats(&spec, None);
+        let reference = solve_with_stats_reference(&spec, None);
+        assert_identical_sets(
+            label,
+            staged.result.as_ref().unwrap(),
+            reference.result.as_ref().unwrap(),
+        );
+        assert_eq!(
+            staged.stats.orgs_enumerated, reference.stats.orgs_enumerated,
+            "{label}: enumeration counts differ"
+        );
+        assert_eq!(
+            staged.stats.feasible, reference.stats.feasible,
+            "{label}: feasible counts differ"
+        );
+        // The pre-screen is exact: what it prunes by bound is precisely
+        // what the reference pipeline prunes electrically, and nothing
+        // slips past it into the full models.
+        assert_eq!(
+            staged.stats.bound_pruned, reference.stats.electrical_pruned,
+            "{label}: the pre-screen does not account for the model rejections"
+        );
+        assert_eq!(staged.stats.electrical_pruned, 0, "{label}");
+        assert_eq!(reference.stats.bound_pruned, 0, "{label}");
+    }
+}
+
+#[test]
+fn parallel_solve_equals_serial_at_every_thread_count() {
+    for (label, spec) in [("sram-l2", sram_l2()), ("comm-dram", comm_dram_smoke())] {
+        let serial = solve_with_stats(&spec, None);
+        for threads in [1, 2, 8] {
+            let par = solve_with_stats_parallel(&spec, None, threads);
+            assert_identical_sets(
+                label,
+                serial.result.as_ref().unwrap(),
+                par.result.as_ref().unwrap(),
+            );
+            assert_eq!(
+                serial.stats, par.stats,
+                "{label}: stats diverge at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_pruning_fires_on_the_comm_dram_smoke_spec() {
+    let out = solve_with_stats(&comm_dram_smoke(), None);
+    assert!(out.result.is_ok());
+    assert!(
+        out.stats.bound_pruned > 0,
+        "the pre-screen stopped firing on the COMM-DRAM smoke spec: {:?}",
+        out.stats
+    );
+    assert!(out.stats.feasible > 0);
+}

@@ -249,6 +249,7 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
                 stats.solved += 1;
                 stats.memoized += group.len() - 1;
                 stats.orgs_enumerated += solved.stats.orgs_enumerated;
+                stats.bound_pruned += solved.stats.bound_pruned;
                 stats.lint_rejected += solved.stats.lint_rejected;
             }
             let status = record::solved_status(&solved);

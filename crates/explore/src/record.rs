@@ -112,6 +112,7 @@ pub fn render_solved(point: &GridPoint, solve: &CachedSolve) -> String {
         }
     }
     o.u64("orgs_enumerated", solve.stats.orgs_enumerated as u64)
+        .u64("bound_pruned", solve.stats.bound_pruned as u64)
         .u64("feasible", solve.stats.feasible as u64)
         .u64("lint_rejected", solve.stats.lint_rejected as u64);
     o.finish()
@@ -177,6 +178,8 @@ mod tests {
             result: cactid_core::optimize(p.spec.as_ref().unwrap()),
             stats: SolveStats {
                 orgs_enumerated: 42,
+                bound_pruned: 11,
+                electrical_pruned: 0,
                 feasible: 7,
                 lint_rejected: 0,
             },
@@ -193,6 +196,7 @@ mod tests {
         assert!(line.contains("\"access_ns\":"));
         assert!(line.contains("\"org\":{\"ndwl\":"));
         assert!(line.contains("\"orgs_enumerated\":42"));
+        assert!(line.contains("\"bound_pruned\":11"));
         assert!(!line.contains("\"error\""));
     }
 

@@ -33,6 +33,8 @@ pub struct EngineStats {
     pub infeasible: usize,
     /// Organizations enumerated across all fresh solves.
     pub orgs_enumerated: usize,
+    /// Candidates the pre-screen bounds pruned across all fresh solves.
+    pub bound_pruned: usize,
     /// Candidates the lint engine rejected across all fresh solves.
     pub lint_rejected: usize,
     /// [`cactid_tech::Technology`] constructions observed during the run
@@ -66,7 +68,7 @@ impl EngineStats {
             "cactid-explore: {} points ({} unique specs)\n  \
              solved {}, memoized {}, resumed {}, invalid {}\n  \
              status: {} ok, {} infeasible\n  \
-             orgs enumerated {}, lint-rejected {}, tech constructions {}\n  \
+             orgs enumerated {}, bound-pruned {}, lint-rejected {}, tech constructions {}\n  \
              pareto frontier: {} points{}\n  \
              timing: expand {:.1} ms, solve {:.1} ms, finalize {:.1} ms",
             self.points,
@@ -78,6 +80,7 @@ impl EngineStats {
             self.ok,
             self.infeasible,
             self.orgs_enumerated,
+            self.bound_pruned,
             self.lint_rejected,
             self.tech_constructions,
             self.pareto_points,

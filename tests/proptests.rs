@@ -77,10 +77,10 @@ fn solutions_are_physical() {
             .unwrap();
         if let Ok(sols) = solve(&spec) {
             for s in sols {
-                assert!(s.access_time.is_finite() && s.access_time > 0.0);
-                assert!(s.area.is_finite() && s.area > 0.0);
-                assert!(s.read_energy.is_finite() && s.read_energy > 0.0);
-                assert!(s.leakage_power.is_finite() && s.leakage_power > 0.0);
+                assert!(s.access_time.is_finite() && s.access_time.value() > 0.0);
+                assert!(s.area.is_finite() && s.area.value() > 0.0);
+                assert!(s.read_energy.is_finite() && s.read_energy.value() > 0.0);
+                assert!(s.leakage_power.is_finite() && s.leakage_power.value() > 0.0);
                 let bits = s.org.rows(&spec)
                     * s.org.cols(&spec)
                     * u64::from(s.org.ndwl)
@@ -163,7 +163,7 @@ fn dram_signal_monotone() {
         let a = cell.dram_sense_signal(rows_a).unwrap();
         let b = cell.dram_sense_signal(rows_a + extra).unwrap();
         assert!(b < a);
-        assert!(a < cell.vdd_cell / 2.0 + 1e-12);
+        assert!(a.value() < cell.vdd_cell.value() / 2.0 + 1e-12);
     }
 }
 
@@ -177,4 +177,86 @@ fn cache_eviction_is_set_local() {
         cache.insert(i * 1024, LineState::Shared);
     }
     assert_eq!(cache.valid_lines(), 4);
+}
+
+/// The staged/pruned solve pipeline and the debug-only unpruned reference
+/// produce identical `(org, access_time, area, energy)` tuples for random
+/// valid specs, and the pre-screen accounts for exactly the candidates the
+/// full models reject.
+#[test]
+fn staged_solve_matches_the_unpruned_reference() {
+    use cacti_d::core::{solve_with_stats, solve_with_stats_reference};
+    let mut rng = XorShift64Star::new(0xCAC7_1D06);
+    for _ in 0..CASES {
+        let cap_shift = rng.next_in_range(16, 23) as u32;
+        let assoc = 1u32 << rng.next_in_range(0, 4) as u32;
+        let cell = CellTechnology::ALL[rng.next_below(3) as usize];
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1u64 << cap_shift)
+            .block_bytes(64)
+            .associativity(assoc)
+            .banks(1)
+            .cell_tech(cell)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap();
+        let staged = solve_with_stats(&spec, None);
+        let reference = solve_with_stats_reference(&spec, None);
+        assert_eq!(
+            staged.stats.bound_pruned, reference.stats.electrical_pruned,
+            "pre-screen does not account for the model rejections"
+        );
+        match (staged.result, reference.result) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.org, y.org);
+                    assert_eq!(x.access_time, y.access_time);
+                    assert_eq!(x.area, y.area);
+                    assert_eq!(x.read_energy, y.read_energy);
+                }
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("pipelines disagree on feasibility: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// `solve_with_stats_parallel` returns the same solutions in the same
+/// order as the serial staged pipeline, at every thread count.
+#[test]
+fn parallel_solve_ordering_equals_serial() {
+    use cacti_d::core::{solve_with_stats, solve_with_stats_parallel};
+    let mut rng = XorShift64Star::new(0xCAC7_1D07);
+    for _ in 0..CASES / 4 {
+        let cap_shift = rng.next_in_range(16, 21) as u32;
+        let cell = CellTechnology::ALL[rng.next_below(3) as usize];
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1u64 << cap_shift)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(cell)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap();
+        let serial = solve_with_stats(&spec, None);
+        let threads = 1 + rng.next_below(8) as usize;
+        let par = solve_with_stats_parallel(&spec, None, threads);
+        assert_eq!(
+            serial.stats, par.stats,
+            "stats diverge at {threads} threads"
+        );
+        match (serial.result, par.result) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "ordering diverges at {threads} threads"),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("pipelines disagree on feasibility: {a:?} vs {b:?}"),
+        }
+    }
 }
