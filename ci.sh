@@ -81,6 +81,49 @@ for NAME in core.solve.calls explore.pool.claims explore.cache.misses; do
 done
 rm -rf "$TDIR"
 
+echo "== cactid audit smoke run (static grid analysis + json diagnostics)"
+# Whole-grid static feasibility: a mixed grid must classify all three
+# verdicts without solving and print the per-rule infeasibility histogram.
+ADIR=$(mktemp -d)
+$CACTID audit --grid --sizes 48K,64K,128K,512M,1G --blocks 64,128 \
+    --assocs 4,8 --cells sram,comm-dram --nodes 32,90 \
+    > "$ADIR/audit.txt"
+grep -q "infeasibility histogram" "$ADIR/audit.txt" || {
+    echo "audit summary lacks the infeasibility histogram:" >&2
+    cat "$ADIR/audit.txt" >&2
+    exit 1
+}
+grep -q "statically infeasible" "$ADIR/audit.txt" || {
+    echo "audit found no statically infeasible points on the smoke grid" >&2
+    exit 1
+}
+# The audited engine run must emit byte-identical JSONL to a plain run.
+$CACTID explore --sizes 64K,512M --cells sram,comm-dram --threads 2 \
+    --out "$ADIR/plain.jsonl" 2>/dev/null
+$CACTID explore --sizes 64K,512M --cells sram,comm-dram --threads 2 \
+    --out "$ADIR/audited.jsonl" --audit 2>/dev/null
+cmp "$ADIR/plain.jsonl" "$ADIR/audited.jsonl" || {
+    echo "explore --audit changed the output JSONL" >&2
+    exit 1
+}
+# Machine-readable diagnostics: every line one JSON object carrying the
+# schema's required keys, and the lint exit contract holds.
+if $CACTID lint --size 1536K --format json > "$ADIR/diag.jsonl"; then
+    echo "cactid lint exited 0 on a spec with a CD0001 error" >&2
+    exit 1
+fi
+grep -q '^{"code":"CD0001","severity":"error","location":{"object":"spec"' \
+    "$ADIR/diag.jsonl" || {
+    echo "json diagnostics missing the CD0001 schema line:" >&2
+    cat "$ADIR/diag.jsonl" >&2
+    exit 1
+}
+if grep -vq '^{.*}$' "$ADIR/diag.jsonl"; then
+    echo "json diagnostics contain a non-JSONL line" >&2
+    exit 1
+fi
+rm -rf "$ADIR"
+
 echo "== solve-throughput bench smoke (--quick)"
 # The hermetic single-solve bench must run, emit a schema-valid
 # BENCH_solve.json, and show the cheap-bound pre-screen actually firing

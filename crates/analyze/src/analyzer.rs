@@ -1,39 +1,77 @@
-//! The [`Analyzer`]: the rule registry plus staged lint passes, and the
-//! linted solve/optimize entry points.
+//! The [`Analyzer`]: the rule registry plus staged lint passes, severity
+//! overrides, and the linted solve/optimize entry points.
 
 use crate::context::LintContext;
+use crate::registry::{RuleRegistry, SeverityOverrides};
 use crate::rule::{Rule, Stage};
-use crate::rules;
+use crate::run::RunContext;
 use cactid_core::lint::{Diagnostic, Report, SolutionLinter};
 use cactid_core::{CactiError, MemorySpec, OrgParams, Solution};
 
-/// The diagnostics engine: all twenty-two registered rules, runnable per
-/// stage over specs, organizations, and solutions.
+/// The diagnostics engine: a [`RuleRegistry`] plus a set of
+/// [`SeverityOverrides`], runnable per stage over specs, organizations,
+/// solutions, and completed batch runs.
 ///
 /// `Analyzer` implements [`SolutionLinter`], so it can be plugged into
 /// the optimizer via [`cactid_core::solve_with`] /
 /// [`cactid_core::optimize_with`] — or more conveniently through this
 /// crate's [`solve`] / [`optimize`], which also lint the spec first.
+/// Severity overrides apply to *every* diagnostic the analyzer emits,
+/// including engine-side candidate linting, so `--allow`ing a rule really
+/// does let offending candidates through the sweep.
+#[derive(Debug)]
 pub struct Analyzer {
-    rules: Vec<Box<dyn Rule>>,
+    registry: RuleRegistry,
+    overrides: SeverityOverrides,
 }
 
 impl Analyzer {
-    /// Builds the engine with the full `CD0001`–`CD0022` registry.
+    /// Builds the engine with the full standard registry and no overrides.
     pub fn new() -> Self {
         Analyzer {
-            rules: rules::all(),
+            registry: RuleRegistry::standard(),
+            overrides: SeverityOverrides::new(),
         }
     }
 
-    /// Iterates over the registered rules in code order.
-    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
-        self.rules.iter().map(Box::as_ref)
+    /// Builds the engine with the standard registry and the given severity
+    /// overrides.
+    ///
+    /// # Errors
+    ///
+    /// When an override names a rule code the registry does not contain.
+    pub fn with_overrides(overrides: SeverityOverrides) -> Result<Self, String> {
+        let registry = RuleRegistry::standard();
+        overrides.validate(&registry)?;
+        Ok(Analyzer {
+            registry,
+            overrides,
+        })
     }
 
-    /// Looks a rule up by its code (`"CD0015"`).
+    /// The underlying registry.
+    pub fn registry(&self) -> &RuleRegistry {
+        &self.registry
+    }
+
+    /// Iterates over the registered object rules in code order.
+    pub fn rules(&self) -> impl Iterator<Item = &dyn Rule> {
+        self.registry.object_rules().iter().map(Box::as_ref)
+    }
+
+    /// Looks an object rule up by its code (`"CD0015"`).
     pub fn rule(&self, code: &str) -> Option<&dyn Rule> {
         self.rules().find(|r| r.code() == code)
+    }
+
+    fn apply_overrides(&self, raw: Report) -> Report {
+        if self.overrides.is_empty() {
+            return raw;
+        }
+        raw.into_vec()
+            .into_iter()
+            .filter_map(|d| self.overrides.apply(d))
+            .collect()
     }
 
     fn run(&self, ctx: &LintContext<'_>, stages: &[Stage]) -> Report {
@@ -43,7 +81,7 @@ impl Analyzer {
                 rule.check(ctx, &mut report);
             }
         }
-        report
+        self.apply_overrides(report)
     }
 
     /// Runs the spec-stage rules over a specification.
@@ -65,12 +103,21 @@ impl Analyzer {
         )
     }
 
-    /// Runs all three stages over an assembled solution.
+    /// Runs the three object stages over an assembled solution.
     pub fn lint_solution(&self, spec: &MemorySpec, solution: &Solution) -> Report {
         self.run(
             &LintContext::for_spec(spec).with_solution(solution),
-            Stage::ALL,
+            Stage::OBJECT,
         )
+    }
+
+    /// Runs the `CD01xx` cross-record rules over a completed batch run.
+    pub fn lint_run(&self, run: &RunContext) -> Report {
+        let mut report = Report::new();
+        for rule in self.registry.run_rules() {
+            rule.check(run, &mut report);
+        }
+        self.apply_overrides(report)
     }
 }
 
@@ -141,7 +188,8 @@ pub fn optimize(spec: &MemorySpec) -> Result<Solution, CactiError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cactid_core::{AccessMode, MemoryKind};
+    use crate::registry::SeverityAction;
+    use cactid_core::{AccessMode, MemoryKind, Severity};
     use cactid_tech::{CellTechnology, TechNode};
 
     fn l2() -> MemorySpec {
@@ -206,5 +254,56 @@ mod tests {
             assert!(a.rule(rule.code()).is_some());
         }
         assert!(a.rule("CD9999").is_none());
+    }
+
+    #[test]
+    fn overrides_reshape_lint_spec_output() {
+        let mut spec = l2();
+        spec.capacity_bytes = 3 << 19; // CD0001 at Error by default
+
+        let mut allow = SeverityOverrides::new();
+        allow.set("CD0001", SeverityAction::Allow);
+        let report = Analyzer::with_overrides(allow).unwrap().lint_spec(&spec);
+        assert!(!report.iter().any(|d| d.code == "CD0001"), "{report:?}");
+
+        let mut demote = SeverityOverrides::new();
+        demote.set("CD0001", SeverityAction::Warn);
+        let report = Analyzer::with_overrides(demote).unwrap().lint_spec(&spec);
+        let d = report.iter().find(|d| d.code == "CD0001").unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn with_overrides_rejects_unknown_codes() {
+        let mut ov = SeverityOverrides::new();
+        ov.set("CD7777", SeverityAction::Deny);
+        let err = Analyzer::with_overrides(ov).unwrap_err();
+        assert!(err.contains("CD7777"), "{err}");
+    }
+
+    #[test]
+    fn demoting_a_spec_error_lets_optimize_proceed() {
+        let mut spec = l2();
+        spec.capacity_bytes = 3 << 19;
+        let mut ov = SeverityOverrides::new();
+        ov.set("CD0001", SeverityAction::Allow);
+        let analyzer = Analyzer::with_overrides(ov).unwrap();
+        // The spec gate sees no error; the sweep itself decides.
+        assert!(analyzer.lint_spec(&spec).is_clean());
+    }
+
+    #[test]
+    fn lint_run_applies_run_rules_and_overrides() {
+        let text = r#"{"idx":0,"status":"exploded"}"#;
+        let run = RunContext::parse(text);
+        let report = Analyzer::new().lint_run(&run);
+        assert!(report.iter().any(|d| d.code == "CD0105"));
+        assert!(report.error_count() >= 1);
+
+        let mut ov = SeverityOverrides::new();
+        ov.set("CD0105", SeverityAction::Warn);
+        let report = Analyzer::with_overrides(ov).unwrap().lint_run(&run);
+        assert_eq!(report.error_count(), 0);
+        assert!(report.warn_count() >= 1);
     }
 }

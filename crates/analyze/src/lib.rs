@@ -1,14 +1,23 @@
 //! # cactid-analyze — diagnostics and static validation for CACTI-D
 //!
 //! A lint engine over the three kinds of objects the CACTI-D model
-//! handles: input **specs**, candidate array **organizations**, and
-//! assembled **solutions**. Twenty-two rules (`CD0001`–`CD0022`) each enforce
-//! one invariant from the paper — power-of-two geometry and Table-1
-//! parameter bounds at the spec stage, `Ndwl`/`Ndbl`/mux legality and
-//! wordline-RC sanity at the organization stage, and the §2.3.2 DRAM
-//! command-timing inequalities (`tRCD + CAS ≤ access`,
-//! `tRC = tRAS + tRP`, `tRRD > 0`), refresh consistency, and sense
-//! margins at the solution stage.
+//! handles — input **specs**, candidate array **organizations**, and
+//! assembled **solutions** — plus a fourth, cross-record **run** stage
+//! over completed `cactid-explore` JSONL runs. Twenty-two object rules
+//! (`CD0001`–`CD0022`) each enforce one invariant from the paper:
+//! power-of-two geometry and Table-1 parameter bounds at the spec stage,
+//! `Ndwl`/`Ndbl`/mux legality and wordline-RC sanity at the organization
+//! stage, and the §2.3.2 DRAM command-timing inequalities
+//! (`tRCD + CAS ≤ access`, `tRC = tRAS + tRP`, `tRRD > 0`), refresh
+//! consistency, and sense margins at the solution stage. Five run rules
+//! (`CD0101`–`CD0105`) check capacity-sweep monotonicity, Pareto
+//! annotation consistency, metric plausibility windows, and record-set
+//! integrity across a whole run.
+//!
+//! Every rule is registered in the central [`RuleRegistry`] with its
+//! metadata (code, stage, default severity, one-line invariant, paper
+//! reference). Severities can be reshaped per rule with
+//! [`SeverityOverrides`] (`--allow`/`--warn`/`--deny` on the CLI).
 //!
 //! Findings are structured [`Diagnostic`] records — stable rule code,
 //! [`Severity`], a [`Location`] naming the offending field, a message
@@ -48,13 +57,19 @@
 
 pub mod analyzer;
 pub mod context;
+pub mod json;
+pub mod registry;
 pub mod render;
 pub mod rule;
 pub mod rules;
+pub mod run;
 
 pub use analyzer::{optimize, solve, Analyzer};
 pub use context::LintContext;
-pub use rule::{Rule, Stage};
+pub use registry::{RuleMeta, RuleRegistry, SeverityAction, SeverityOverrides};
+pub use render::{render_json, summary_line};
+pub use rule::{Rule, RunRule, Stage};
+pub use run::{RunContext, RunRecord};
 
 // The record types live in cactid-core (so the optimizer can consume
 // diagnostics without a dependency cycle); re-export them as this crate's

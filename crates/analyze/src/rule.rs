@@ -1,15 +1,19 @@
 //! The lint-rule abstraction: every diagnostic the engine can emit comes
-//! from a [`Rule`] registered in [`crate::rules::all`].
+//! from a [`Rule`] or [`RunRule`] registered in
+//! [`crate::registry::RuleRegistry`].
 
 use crate::context::LintContext;
-use cactid_core::lint::Report;
+use crate::run::RunContext;
+use cactid_core::lint::{Report, Severity};
 
 /// The validation stage a rule belongs to.
 ///
-/// Stages form a pipeline: spec rules need only a [`cactid_core::MemorySpec`]
-/// (and the Table-1 cell parameters it resolves to), organization rules
-/// additionally need an [`cactid_core::OrgParams`], and solution rules an
-/// assembled [`cactid_core::Solution`].
+/// The object stages form a pipeline: spec rules need only a
+/// [`cactid_core::MemorySpec`] (and the Table-1 cell parameters it resolves
+/// to), organization rules additionally need an [`cactid_core::OrgParams`],
+/// and solution rules an assembled [`cactid_core::Solution`]. The `Run`
+/// stage sits outside that pipeline: its rules ([`RunRule`]) analyze a
+/// completed batch run — a whole JSONL record set — rather than one object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Checks on the input specification and its resolved cell technology.
@@ -18,11 +22,33 @@ pub enum Stage {
     Organization,
     /// Checks on one assembled solution.
     Solution,
+    /// Cross-record checks on a completed batch run (`CD01xx`).
+    Run,
 }
 
 impl Stage {
-    /// All stages, in pipeline order.
-    pub const ALL: &'static [Stage] = &[Stage::Spec, Stage::Organization, Stage::Solution];
+    /// The object stages, in pipeline order (excludes [`Stage::Run`],
+    /// which operates on record sets, not objects).
+    pub const OBJECT: &'static [Stage] = &[Stage::Spec, Stage::Organization, Stage::Solution];
+
+    /// All stages, object pipeline first.
+    pub const ALL: &'static [Stage] = &[
+        Stage::Spec,
+        Stage::Organization,
+        Stage::Solution,
+        Stage::Run,
+    ];
+
+    /// Stable lowercase name used in the JSON diagnostics schema and the
+    /// registry listing.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Spec => "spec",
+            Stage::Organization => "organization",
+            Stage::Solution => "solution",
+            Stage::Run => "run",
+        }
+    }
 }
 
 /// One lint rule: a stable code, the invariant it enforces, and a check.
@@ -36,7 +62,7 @@ impl Stage {
 /// the worker threads of a batch sweep (the `cactid-explore` engine lints
 /// candidates from every thread through a single shared reference).
 pub trait Rule: Send + Sync {
-    /// Stable diagnostic code, `CD0001`–`CD0020`.
+    /// Stable diagnostic code, `CD0001`–`CD0022`.
     fn code(&self) -> &'static str;
 
     /// The stage whose data this rule examines.
@@ -49,6 +75,32 @@ pub trait Rule: Send + Sync {
     /// `"§2.3.2"`.
     fn paper_ref(&self) -> &'static str;
 
+    /// The severity the rule's primary finding carries before any
+    /// `--allow`/`--warn`/`--deny` override. Rules may emit secondary
+    /// findings below this level (never above it).
+    fn default_severity(&self) -> Severity;
+
     /// Checks the invariant, appending any findings to `report`.
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report);
+}
+
+/// A cross-record rule over a completed batch run (`CD01xx`): same
+/// metadata contract as [`Rule`], but the check sees the whole parsed
+/// record set ([`RunContext`]) instead of one object. Run rules always
+/// report at [`Stage::Run`].
+pub trait RunRule: Send + Sync {
+    /// Stable diagnostic code, `CD0101` and up.
+    fn code(&self) -> &'static str;
+
+    /// One-line statement of the invariant the rule enforces.
+    fn summary(&self) -> &'static str;
+
+    /// The paper section the invariant comes from.
+    fn paper_ref(&self) -> &'static str;
+
+    /// The severity the rule's primary finding carries by default.
+    fn default_severity(&self) -> Severity;
+
+    /// Checks the record set, appending any findings to `report`.
+    fn check(&self, run: &RunContext, report: &mut Report);
 }

@@ -4,7 +4,7 @@
 
 use crate::context::LintContext;
 use crate::rule::{Rule, Stage};
-use cactid_core::lint::{Diagnostic, Location, Report};
+use cactid_core::lint::{Diagnostic, Location, Report, Severity};
 use cactid_core::MemoryKind;
 use cactid_units::Seconds;
 
@@ -47,6 +47,10 @@ impl Rule for Partitioning {
     fn paper_ref(&self) -> &'static str {
         "§2.4"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(org) = ctx.org else { return };
         for (field, v, cap) in [("ndwl", org.ndwl, MAX_NDWL), ("ndbl", org.ndbl, MAX_NDBL)] {
@@ -106,6 +110,10 @@ impl Rule for CapacityConservation {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(org) = ctx.org else { return };
         if org.ndwl == 0 || org.ndbl == 0 || ctx.spec.n_banks == 0 {
@@ -174,6 +182,10 @@ impl Rule for MuxLegality {
     fn paper_ref(&self) -> &'static str {
         "§2.3.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(org) = ctx.org else { return };
         let spec = ctx.spec;
@@ -261,6 +273,10 @@ impl Rule for SubarrayDims {
     fn paper_ref(&self) -> &'static str {
         "§2.3.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(org) = ctx.org else { return };
         if org.ndwl == 0 || org.ndbl == 0 || ctx.spec.n_banks == 0 {
@@ -369,6 +385,10 @@ impl Rule for WordlineRc {
     fn paper_ref(&self) -> &'static str {
         "§2.3.3"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(org) = ctx.org else { return };
         if org.ndwl == 0 || org.ndbl == 0 || ctx.spec.n_banks == 0 {

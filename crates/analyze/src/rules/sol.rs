@@ -5,7 +5,7 @@
 use crate::context::LintContext;
 use crate::rule::{Rule, Stage};
 use crate::rules::{approx_eq, approx_ge};
-use cactid_core::lint::{Diagnostic, Location, Report};
+use cactid_core::lint::{Diagnostic, Location, Report, Severity};
 use cactid_core::{main_memory, MemoryKind};
 use cactid_units::{Joules, Seconds, Watts};
 
@@ -42,6 +42,10 @@ impl Rule for DramTimingInequalities {
     fn paper_ref(&self) -> &'static str {
         "§2.3.2"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let Some(mm) = &sol.main_memory else { return };
@@ -156,6 +160,10 @@ impl Rule for FiniteMetrics {
     fn paper_ref(&self) -> &'static str {
         "§2.3"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let strict = [
@@ -208,6 +216,10 @@ impl Rule for RefreshConsistency {
     fn paper_ref(&self) -> &'static str {
         "§2.3.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let spec = ctx.spec;
@@ -280,6 +292,10 @@ impl Rule for AreaEfficiency {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let e = sol.area_efficiency;
@@ -323,6 +339,10 @@ impl Rule for EnergyOrdering {
     fn paper_ref(&self) -> &'static str {
         "§2.3.5"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let Some(mm) = &sol.main_memory else { return };
@@ -401,6 +421,10 @@ impl Rule for SenseMargin {
     fn paper_ref(&self) -> &'static str {
         "§2.3.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let signal = sol.data.sense_signal.value();
@@ -463,6 +487,10 @@ impl Rule for AccessTimePlausibility {
     fn paper_ref(&self) -> &'static str {
         "§2.3"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         for (field, t) in [
@@ -529,6 +557,10 @@ impl Rule for EnergyPlausibility {
     fn paper_ref(&self) -> &'static str {
         "§2.4"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let Some(sol) = ctx.solution else { return };
         let mut energies = vec![

@@ -4,7 +4,7 @@
 
 use crate::context::LintContext;
 use crate::rule::{Rule, Stage};
-use cactid_core::lint::{Diagnostic, Location, Report};
+use cactid_core::lint::{Diagnostic, Location, Report, Severity};
 use cactid_core::MemoryKind;
 use cactid_tech::{CellTechnology, TechNode};
 use cactid_units::{Amperes, Farads, Ohms, Seconds, Volts};
@@ -41,6 +41,10 @@ impl Rule for CapacityGeometry {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let s = ctx.spec;
         if s.capacity_bytes == 0 {
@@ -123,6 +127,10 @@ impl Rule for BlockSize {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let b = ctx.spec.block_bytes;
         if b == 0 || !b.is_power_of_two() {
@@ -163,6 +171,10 @@ impl Rule for BankCount {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let n = ctx.spec.n_banks;
         if n == 0 || !n.is_power_of_two() {
@@ -204,6 +216,10 @@ impl Rule for Associativity {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let a = ctx.spec.associativity;
         let loc = Location::spec("associativity");
@@ -259,6 +275,10 @@ impl Rule for CellNodeCompat {
     fn paper_ref(&self) -> &'static str {
         "Table 1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let s = ctx.spec;
         if matches!(s.kind, MemoryKind::MainMemory { .. })
@@ -304,6 +324,10 @@ impl Rule for CellTable1Bounds {
     fn paper_ref(&self) -> &'static str {
         "Table 1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let c = &ctx.cell;
         if !(0.3..=3.0).contains(&c.vdd_cell.value()) {
@@ -402,6 +426,10 @@ impl Rule for DramInterface {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let MemoryKind::MainMemory {
             io_bits,
@@ -491,6 +519,10 @@ impl Rule for AddressBits {
     fn paper_ref(&self) -> &'static str {
         "§2.1"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let s = ctx.spec;
         let loc = Location::spec("address_bits");
@@ -548,6 +580,10 @@ impl Rule for OptimizationKnobs {
     fn paper_ref(&self) -> &'static str {
         "§2.4"
     }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
     fn check(&self, ctx: &LintContext<'_>, report: &mut Report) {
         let o = &ctx.spec.opt;
         let weights = [

@@ -213,6 +213,38 @@ impl ArrayResult {
     }
 }
 
+/// Which of the three closed-form checks rejected a candidate, reported by
+/// [`prescreen_explain`] so static analyses (the `cactid audit` grid
+/// screen) can build per-reason infeasibility histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrescreenFailure {
+    /// The subarray has more rows than the cell's `max_rows_per_subarray`.
+    SubarrayRows,
+    /// The distributed wordline RC exceeds the 3 ns hierarchical-wordline
+    /// bound.
+    WordlineElmore,
+    /// The DRAM charge-sharing signal falls below the sense margin.
+    SenseMargin,
+}
+
+impl PrescreenFailure {
+    /// Every failure reason, in check order.
+    pub const ALL: &'static [PrescreenFailure] = &[
+        PrescreenFailure::SubarrayRows,
+        PrescreenFailure::WordlineElmore,
+        PrescreenFailure::SenseMargin,
+    ];
+
+    /// Stable kebab-case label used in histograms and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrescreenFailure::SubarrayRows => "subarray-rows",
+            PrescreenFailure::WordlineElmore => "wordline-elmore",
+            PrescreenFailure::SenseMargin => "sense-margin",
+        }
+    }
+}
+
 /// The closed-form feasibility screen of [`evaluate`], separated out so the
 /// solver's staged pipeline can reject candidates before paying for the
 /// full circuit evaluation.
@@ -227,11 +259,15 @@ impl ArrayResult {
 ///
 /// # Errors
 ///
-/// Returns [`CactiError::NoFeasibleSolution`] exactly when [`evaluate`]
-/// would for the same `(cell, rows, cols)`.
-pub fn prescreen(cell: &CellParams, rows: u64, cols: u64) -> Result<Volts, CactiError> {
+/// Returns the [`PrescreenFailure`] naming the first check that failed —
+/// exactly when [`evaluate`] would fail for the same `(cell, rows, cols)`.
+pub fn prescreen_explain(
+    cell: &CellParams,
+    rows: u64,
+    cols: u64,
+) -> Result<Volts, PrescreenFailure> {
     if rows > cell.max_rows_per_subarray as u64 {
-        return Err(CactiError::NoFeasibleSolution);
+        return Err(PrescreenFailure::SubarrayRows);
     }
     // Wordlines are driven from one end without hierarchical re-buffering;
     // beyond a few ns of distributed RC the organization needs a
@@ -239,19 +275,30 @@ pub fn prescreen(cell: &CellParams, rows: u64, cols: u64) -> Result<Volts, Cacti
     let wl_rc =
         0.38 * (cell.r_wordline_per_cell * cols as f64) * (cell.c_wordline_per_cell * cols as f64);
     if wl_rc > Seconds::from_si(3e-9) {
-        return Err(CactiError::NoFeasibleSolution);
+        return Err(PrescreenFailure::WordlineElmore);
     }
     if cell.technology.is_dram() {
         let s = cell
             .dram_sense_signal(rows as usize)
             .expect("dram cell provides signal");
         if s < cell.v_sense_margin {
-            return Err(CactiError::NoFeasibleSolution);
+            return Err(PrescreenFailure::SenseMargin);
         }
         Ok(s)
     } else {
         Ok(cell.v_sense_margin)
     }
+}
+
+/// [`prescreen_explain`] with the reason folded into the solver's error
+/// type.
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] exactly when [`evaluate`]
+/// would for the same `(cell, rows, cols)`.
+pub fn prescreen(cell: &CellParams, rows: u64, cols: u64) -> Result<Volts, CactiError> {
+    prescreen_explain(cell, rows, cols).map_err(|_| CactiError::NoFeasibleSolution)
 }
 
 /// Evaluates one array organization.

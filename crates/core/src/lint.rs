@@ -28,13 +28,29 @@ pub enum Severity {
     Error,
 }
 
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Severity {
+    /// Every severity, from least to most serious.
+    pub const ALL: &'static [Severity] = &[Severity::Info, Severity::Warn, Severity::Error];
+
+    /// Stable lowercase name used by the renderers and the JSON
+    /// diagnostics schema: `"info"`, `"warning"`, `"error"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
             Severity::Info => "info",
             Severity::Warn => "warning",
             Severity::Error => "error",
-        })
+        }
+    }
+
+    /// Parses the stable name back; the exact inverse of [`Self::as_str`].
+    pub fn parse_str(s: &str) -> Option<Severity> {
+        Severity::ALL.iter().copied().find(|v| v.as_str() == s)
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -51,17 +67,44 @@ pub enum LintObject {
     Solution,
     /// The DRAM chip-level result inside a main-memory solution.
     MainMemory,
+    /// A completed batch run (a JSONL record set) analyzed as a whole by
+    /// the cross-record `CD01xx` rules.
+    Run,
 }
 
-impl fmt::Display for LintObject {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl LintObject {
+    /// Every object kind, in pipeline order.
+    pub const ALL: &'static [LintObject] = &[
+        LintObject::Spec,
+        LintObject::Cell,
+        LintObject::Organization,
+        LintObject::Solution,
+        LintObject::MainMemory,
+        LintObject::Run,
+    ];
+
+    /// Stable dotted path prefix used by the renderers and the JSON
+    /// diagnostics schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
             LintObject::Spec => "spec",
             LintObject::Cell => "technology.cell",
             LintObject::Organization => "organization",
             LintObject::Solution => "solution",
             LintObject::MainMemory => "solution.main_memory",
-        })
+            LintObject::Run => "run",
+        }
+    }
+
+    /// Parses the stable name back; the exact inverse of [`Self::as_str`].
+    pub fn parse_str(s: &str) -> Option<LintObject> {
+        LintObject::ALL.iter().copied().find(|v| v.as_str() == s)
+    }
+}
+
+impl fmt::Display for LintObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -112,6 +155,14 @@ impl Location {
     pub fn main_memory(field: &'static str) -> Self {
         Location {
             object: LintObject::MainMemory,
+            field,
+        }
+    }
+
+    /// Location of a cross-record property of a completed run.
+    pub fn run(field: &'static str) -> Self {
+        Location {
+            object: LintObject::Run,
             field,
         }
     }
@@ -305,6 +356,20 @@ mod tests {
         assert!(Severity::Error > Severity::Warn);
         assert!(Severity::Warn > Severity::Info);
         assert_eq!(Severity::Warn.to_string(), "warning");
+    }
+
+    #[test]
+    fn severity_and_object_names_round_trip() {
+        for &sev in Severity::ALL {
+            assert_eq!(Severity::parse_str(sev.as_str()), Some(sev));
+        }
+        assert_eq!(Severity::parse_str("fatal"), None);
+        for &obj in LintObject::ALL {
+            assert_eq!(LintObject::parse_str(obj.as_str()), Some(obj));
+            assert_eq!(obj.to_string(), obj.as_str());
+        }
+        assert_eq!(LintObject::parse_str("chip"), None);
+        assert_eq!(Location::run("access_ns").to_string(), "run.access_ns");
     }
 
     #[test]

@@ -338,6 +338,146 @@ pub fn solve_with_stats_parallel(
     SolveOutcome { result, stats }
 }
 
+/// Per-reason counts of candidates rejected by the closed-form screen,
+/// accumulated by [`static_screen`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenHistogram {
+    /// Candidates with more subarray rows than the cell allows.
+    pub subarray_rows: usize,
+    /// Candidates past the 3 ns distributed wordline RC bound.
+    pub wordline_elmore: usize,
+    /// DRAM candidates whose charge-sharing signal misses the sense margin.
+    pub sense_margin: usize,
+}
+
+impl ScreenHistogram {
+    /// Counts one rejection.
+    pub fn record(&mut self, failure: array::PrescreenFailure) {
+        match failure {
+            array::PrescreenFailure::SubarrayRows => self.subarray_rows += 1,
+            array::PrescreenFailure::WordlineElmore => self.wordline_elmore += 1,
+            array::PrescreenFailure::SenseMargin => self.sense_margin += 1,
+        }
+    }
+
+    /// Total rejections across all reasons.
+    pub fn total(&self) -> usize {
+        self.subarray_rows + self.wordline_elmore + self.sense_margin
+    }
+
+    /// `(label, count)` pairs in check order, matching
+    /// [`array::PrescreenFailure::ALL`].
+    pub fn entries(&self) -> [(&'static str, usize); 3] {
+        [
+            ("subarray-rows", self.subarray_rows),
+            ("wordline-elmore", self.wordline_elmore),
+            ("sense-margin", self.sense_margin),
+        ]
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ScreenHistogram) {
+        self.subarray_rows += other.subarray_rows;
+        self.wordline_elmore += other.wordline_elmore;
+        self.sense_margin += other.sense_margin;
+    }
+}
+
+/// What [`static_screen`] proved about a spec without running any circuit
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScreenVerdict {
+    /// Provably infeasible: [`solve`] is guaranteed to return exactly this
+    /// error for the spec (the screen is exact, so no model evaluation can
+    /// change the outcome).
+    Infeasible(CactiError),
+    /// At least `survivors` organizations pass the closed-form screen. The
+    /// spec will very likely solve, but later stages the screen cannot see
+    /// (lint rejection, non-finite metrics in [`select`]) may still fail
+    /// it — the verdict is one-sided by design.
+    MaybeFeasible {
+        /// Organizations that pass the closed-form screen.
+        survivors: usize,
+    },
+}
+
+impl ScreenVerdict {
+    /// `true` for the provably-infeasible verdict.
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, ScreenVerdict::Infeasible(_))
+    }
+}
+
+/// The result of statically screening one spec: the verdict, the
+/// [`SolveStats`] a real solve of an infeasible spec would report, and the
+/// per-reason rejection histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticScreen {
+    /// Feasibility verdict.
+    pub verdict: ScreenVerdict,
+    /// For an [`ScreenVerdict::Infeasible`] spec these are byte-for-byte
+    /// the counters [`solve_with_stats`] would report: every enumerated
+    /// organization bound-pruned, nothing feasible. For a `MaybeFeasible`
+    /// spec only `orgs_enumerated` and `bound_pruned` are meaningful (the
+    /// real solve decides the rest).
+    pub stats: SolveStats,
+    /// Why the screen rejected what it rejected.
+    pub reasons: ScreenHistogram,
+}
+
+/// Statically classifies a spec using only the exact closed-form checks —
+/// the per-spec tag design and [`array::prescreen_explain`] over the full
+/// organization enumeration. No circuit model runs and no solve happens:
+/// an [`ScreenVerdict::Infeasible`] verdict is a *proof* that
+/// [`solve_with_stats`] would return the same error with the same stats,
+/// because the screen evaluates exactly the feasibility conditions
+/// [`array::evaluate`] checks first.
+///
+/// This is the engine behind `cactid audit`: a whole exploration grid can
+/// be classified in microseconds per point, and statically-doomed points
+/// skipped without changing a byte of the output records.
+pub fn static_screen(spec: &MemorySpec) -> StaticScreen {
+    cactid_obs::counter!("core.screen.calls").inc();
+    let mut stats = SolveStats::default();
+    let mut reasons = ScreenHistogram::default();
+    // Mirror SpecCtx::new: the technology tables are infallible, the tag
+    // design is the only per-spec stage that can fail before enumeration.
+    let tech = Technology::cached(spec.node);
+    if spec.kind.is_cache() {
+        if let Err(e) = tag::design_tag(tech, spec) {
+            cactid_obs::counter!("core.screen.infeasible").inc();
+            return StaticScreen {
+                verdict: ScreenVerdict::Infeasible(e),
+                stats,
+                reasons,
+            };
+        }
+    }
+    let cell = tech.cell(spec.cell_tech);
+    let mut survivors = 0usize;
+    for org in org::enumerate_lazy(spec) {
+        stats.orgs_enumerated += 1;
+        match array::prescreen_explain(&cell, org.rows(spec), org.cols(spec)) {
+            Ok(_) => survivors += 1,
+            Err(failure) => {
+                stats.bound_pruned += 1;
+                reasons.record(failure);
+            }
+        }
+    }
+    let verdict = if survivors == 0 {
+        cactid_obs::counter!("core.screen.infeasible").inc();
+        ScreenVerdict::Infeasible(CactiError::NoFeasibleSolution)
+    } else {
+        ScreenVerdict::MaybeFeasible { survivors }
+    };
+    StaticScreen {
+        verdict,
+        stats,
+        reasons,
+    }
+}
+
 /// The debug-only unpruned reference path: every enumerated candidate runs
 /// through the full electrical models with the pre-screen disabled. Exists
 /// so equivalence tests can prove the staged/pruned pipeline returns
@@ -613,6 +753,48 @@ mod tests {
         let snap = cactid_obs::snapshot();
         let h = snap.histogram("span.core.solve.ns").expect("solve span");
         assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn static_screen_matches_the_sweep_on_a_feasible_spec() {
+        let spec = l2();
+        let screen = static_screen(&spec);
+        let out = solve_with_stats(&spec, None);
+        assert_eq!(screen.stats.orgs_enumerated, out.stats.orgs_enumerated);
+        assert_eq!(screen.stats.bound_pruned, out.stats.bound_pruned);
+        assert_eq!(screen.reasons.total(), screen.stats.bound_pruned);
+        let sols = out.result.unwrap();
+        match screen.verdict {
+            ScreenVerdict::MaybeFeasible { survivors } => {
+                // The screen is exact: survivors are precisely the
+                // candidates the full models accept.
+                assert_eq!(survivors, sols.len());
+            }
+            ScreenVerdict::Infeasible(_) => panic!("l2 is feasible"),
+        }
+    }
+
+    #[test]
+    fn screen_histogram_records_and_merges() {
+        use crate::array::PrescreenFailure;
+        let mut h = ScreenHistogram::default();
+        h.record(PrescreenFailure::SubarrayRows);
+        h.record(PrescreenFailure::SubarrayRows);
+        h.record(PrescreenFailure::SenseMargin);
+        assert_eq!(h.total(), 3);
+        assert_eq!(
+            h.entries(),
+            [
+                ("subarray-rows", 2),
+                ("wordline-elmore", 0),
+                ("sense-margin", 1)
+            ]
+        );
+        let mut other = ScreenHistogram::default();
+        other.record(PrescreenFailure::WordlineElmore);
+        h.merge(&other);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.wordline_elmore, 1);
     }
 
     #[test]

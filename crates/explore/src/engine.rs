@@ -50,6 +50,11 @@ pub struct ExploreConfig<'a> {
     pub resume: bool,
     /// Extract the Pareto frontier and annotate `ok` records.
     pub pareto: bool,
+    /// Statically screen unique specs before the solve stage and skip the
+    /// ones proven infeasible ([`cactid_core::static_screen`]). Skipped
+    /// points render byte-identical records to a real solve of an
+    /// infeasible point, so output files are unaffected.
+    pub audit: bool,
     /// Lint engine consulted on every candidate (shared across workers).
     pub linter: Option<&'a (dyn SolutionLinter + Sync)>,
 }
@@ -61,6 +66,7 @@ impl fmt::Debug for ExploreConfig<'_> {
             .field("out", &self.out)
             .field("resume", &self.resume)
             .field("pareto", &self.pareto)
+            .field("audit", &self.audit)
             .field("linter", &self.linter.map(|_| "dyn SolutionLinter"))
             .finish()
     }
@@ -226,6 +232,41 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         }
     }
     stats.unique_specs = jobs.len();
+
+    // Optional static screen: prove unique specs infeasible with the exact
+    // closed-form checks the solve itself would apply, and retire their
+    // whole groups without touching the solver. The rendered records carry
+    // the screen's sweep counters, which match a real infeasible solve
+    // exactly, so the output stays byte-identical.
+    if config.audit {
+        let _audit_span = cactid_obs::span("explore.audit");
+        let mut kept = Vec::with_capacity(jobs.len());
+        for group in std::mem::take(&mut jobs) {
+            let spec = points[group[0]].spec.as_ref().expect("job specs are valid");
+            let screen = cactid_core::static_screen(spec);
+            match screen.verdict {
+                cactid_core::ScreenVerdict::Infeasible(err) => {
+                    let solved = crate::cache::CachedSolve {
+                        result: Err(err),
+                        stats: screen.stats,
+                    };
+                    let status = record::solved_status(&solved);
+                    for &idx in &group {
+                        let line = record::render_solved(&points[idx], &solved);
+                        if let Some(s) = sidecars.as_mut() {
+                            s.record(idx, &line, status, None)?;
+                        }
+                        lines[idx] = Some(line);
+                        statuses[idx] = Some(status);
+                    }
+                    stats.audit_skipped += group.len();
+                }
+                cactid_core::ScreenVerdict::MaybeFeasible { .. } => kept.push(group),
+            }
+        }
+        jobs = kept;
+        cactid_obs::counter!("explore.engine.audit_skipped").add(stats.audit_skipped as u64);
+    }
 
     let cache = SolveCache::new();
     let linter = config.linter;

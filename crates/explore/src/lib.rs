@@ -23,6 +23,11 @@
 //! * **[`mod@pareto`]** — frontier extraction over (access time, dynamic
 //!   read energy, area, leakage + refresh power) with dominated-point
 //!   counts.
+//! * **[`mod@audit`]** — whole-grid static feasibility analysis: every
+//!   point classified (`invalid` / `infeasible` / `maybe-feasible`)
+//!   *before* any solve, with a per-rule infeasibility histogram; the
+//!   engine's `audit` switch uses the same screen to skip
+//!   statically-doomed points without changing a byte of the output.
 //! * **[`EngineStats`]** — points solved / memoized / resumed / failed,
 //!   organizations enumerated, lint rejections, technology constructions,
 //!   and wall/CPU time per stage.
@@ -45,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod audit;
 pub mod cache;
 mod engine;
 mod error;
@@ -57,6 +63,7 @@ mod record;
 mod resume;
 mod stats;
 
+pub use audit::{audit, AuditReport, AuditVerdict, PointAudit};
 pub use cache::{optimize_cached, SolveCache};
 pub use engine::{explore, ExploreConfig, ExploreReport, PointStatus};
 pub use error::ExploreError;

@@ -14,22 +14,27 @@
 //! `--solutions`, lists the whole feasible set instead. The `lint`
 //! subcommand runs the `cactid-analyze` diagnostics engine
 //! (`CD0001`–`CD0022`) over the spec and — when the spec is solvable —
-//! over the optimized solution, printing a rustc-style report;
-//! `--deny-warnings` turns warnings into a non-zero exit. The `explore`
-//! subcommand expands a grid over comma-separated axes and runs the
-//! `cactid-explore` batch engine (parallel, resumable, Pareto-annotated
-//! JSONL).
+//! over the optimized solution, printing a rustc-style report (or JSONL
+//! with `--format json`); `--allow/--warn/--deny CDxxxx` reshape rule
+//! severities and `--deny-warnings` turns warnings into a non-zero exit.
+//! The `explore` subcommand expands a grid over comma-separated axes and
+//! runs the `cactid-explore` batch engine (parallel, resumable,
+//! Pareto-annotated JSONL); `--audit` lets it retire statically-doomed
+//! points without solving. The `audit` subcommand statically classifies
+//! every point of a grid before any solve (`--grid` + axis flags, with a
+//! per-rule infeasibility histogram) or replays the cross-record
+//! `CD0101`–`CD0105` rules over a finished run (`--jsonl FILE`).
 //!
 //! The binary lives in the facade crate (not `cactid-core`) because the
 //! `lint` subcommand needs `cactid-analyze`, which depends on the core —
 //! a bin inside the core could not see it.
 
-use cactid_analyze::{render, Analyzer};
+use cactid_analyze::{render, Analyzer, RunContext, SeverityAction, SeverityOverrides};
 use cactid_core::{
     AccessMode, Diagnostic, MemoryKind, MemorySpec, OptimizationOptions, Report, Solution,
     SolutionLinter,
 };
-use cactid_explore::{ExploreConfig, Grid, OptVariant};
+use cactid_explore::{AuditVerdict, ExploreConfig, Grid, OptVariant};
 use cactid_tech::{CellTechnology, TechNode};
 use cactid_units::{Seconds, Watts};
 use std::path::PathBuf;
@@ -47,14 +52,26 @@ fn usage() -> ! {
          subcommands:\n\
          \x20 lint     run the CD0001-CD0022 diagnostics over the spec (and the\n\
          \x20          optimized solution, when one exists) instead of printing it;\n\
-         \x20          accepts --deny-warnings; exits non-zero on errors\n\
+         \x20          accepts --deny-warnings, --format text|json, and repeatable\n\
+         \x20          --allow/--warn/--deny CDxxxx severity overrides;\n\
+         \x20          exits non-zero on errors\n\
          \x20 explore  batch design-space exploration; axes are comma lists:\n\
          \x20          --sizes LIST (required) [--blocks LIST] [--assocs LIST]\n\
          \x20          [--banks LIST] [--nodes LIST] [--cells LIST]\n\
          \x20          [--opts default|ed|c LIST] [--mode M] [--out FILE]\n\
          \x20          [--threads N] [--resume] [--pareto] [--lint]\n\
+         \x20          [--audit]       statically retire infeasible points\n\
+         \x20                          without solving (same output bytes)\n\
          \x20          [--trace FILE]  write a JSONL metrics sidecar and print a\n\
-         \x20                          counter/histogram summary to stderr"
+         \x20                          counter/histogram summary to stderr\n\
+         \x20 audit    static analysis without solving; one of two modes:\n\
+         \x20          --grid + the explore axis flags  classify every grid point\n\
+         \x20                   (invalid / infeasible / maybe-feasible) and print\n\
+         \x20                   the per-rule infeasibility histogram\n\
+         \x20          --jsonl FILE  run the cross-record CD0101-CD0105 rules over\n\
+         \x20                   a finished explore run\n\
+         \x20          both accept --format text|json, --allow/--warn/--deny\n\
+         \x20          CDxxxx, and --deny-warnings"
     );
     exit(2)
 }
@@ -77,6 +94,42 @@ fn parse_list<T>(flag: &str, v: &str, parse: impl Fn(&str) -> Option<T>) -> Resu
         .collect()
 }
 
+/// How diagnostics (and audit verdicts) are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    /// Rustc-style report (the default).
+    Text,
+    /// One JSON object per diagnostic / grid point, one per line.
+    Json,
+}
+
+fn parse_format(v: &str) -> Option<OutputFormat> {
+    match v {
+        "text" => Some(OutputFormat::Text),
+        "json" => Some(OutputFormat::Json),
+        _ => None,
+    }
+}
+
+/// Parses one `--allow/--warn/--deny CDxxxx` severity-override flag into
+/// `overrides`; returns `false` when `flag` is none of the three. Unknown
+/// codes are rejected later by [`Analyzer::with_overrides`].
+fn parse_severity_flag(
+    overrides: &mut SeverityOverrides,
+    flag: &str,
+    argv: &[String],
+    i: &mut usize,
+) -> Result<bool, String> {
+    let action = match flag {
+        "--allow" => SeverityAction::Allow,
+        "--warn" => SeverityAction::Warn,
+        "--deny" => SeverityAction::Deny,
+        _ => return Ok(false),
+    };
+    overrides.set(value(argv, i, flag)?, action);
+    Ok(true)
+}
+
 #[derive(Debug)]
 struct Args {
     size: u64,
@@ -95,6 +148,8 @@ struct Args {
     opt: OptimizationOptions,
     list_solutions: bool,
     deny_warnings: bool,
+    format: OutputFormat,
+    overrides: SeverityOverrides,
 }
 
 /// Consumes the value of `flag`, or explains what is missing.
@@ -146,6 +201,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         opt: OptimizationOptions::default(),
         list_solutions: false,
         deny_warnings: false,
+        format: OutputFormat::Text,
+        overrides: SeverityOverrides::new(),
     };
     let mut i = 0;
     while i < argv.len() {
@@ -193,8 +250,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--sleep" => a.opt.sleep_transistors = true,
             "--solutions" => a.list_solutions = true,
             "--deny-warnings" => a.deny_warnings = true,
+            "--format" => {
+                let v = value(argv, &mut i, flag)?;
+                a.format = parse_format(v).ok_or_else(|| bad(v))?;
+            }
             "--help" | "-h" => return Err("help requested".to_string()),
-            other => return Err(format!("unknown flag {other:?}")),
+            other => {
+                if !parse_severity_flag(&mut a.overrides, other, argv, &mut i)? {
+                    return Err(format!("unknown flag {other:?}"));
+                }
+            }
         }
         i += 1;
     }
@@ -213,6 +278,7 @@ struct ExploreArgs {
     resume: bool,
     pareto: bool,
     lint: bool,
+    audit: bool,
     trace: Option<PathBuf>,
 }
 
@@ -248,6 +314,43 @@ fn parse_opt_variant(v: &str) -> Option<OptVariant> {
     })
 }
 
+/// Parses one comma-list grid-axis flag into `grid`; returns `false` when
+/// `flag` is not a grid axis. Shared by `explore` and `audit --grid`.
+fn parse_grid_flag(
+    grid: &mut Grid,
+    flag: &str,
+    argv: &[String],
+    i: &mut usize,
+) -> Result<bool, String> {
+    match flag {
+        "--sizes" => grid.capacities = parse_list(flag, value(argv, i, flag)?, parse_size)?,
+        "--blocks" => {
+            grid.blocks = parse_list(flag, value(argv, i, flag)?, |v| v.parse::<u32>().ok())?;
+        }
+        "--assocs" => {
+            grid.associativities =
+                parse_list(flag, value(argv, i, flag)?, |v| v.parse::<u32>().ok())?;
+        }
+        "--banks" => {
+            grid.banks = parse_list(flag, value(argv, i, flag)?, |v| v.parse::<u32>().ok())?;
+        }
+        "--nodes" => {
+            grid.nodes = parse_list(flag, value(argv, i, flag)?, |v| {
+                v.parse::<u32>().ok().and_then(TechNode::from_nm)
+            })?;
+        }
+        "--cells" => grid.cells = parse_list(flag, value(argv, i, flag)?, parse_cell)?,
+        "--opts" => grid.opts = parse_list(flag, value(argv, i, flag)?, parse_opt_variant)?,
+        "--mode" => {
+            let v = value(argv, i, flag)?;
+            grid.access_mode =
+                parse_mode(v).ok_or_else(|| format!("invalid value {v:?} for {flag}"))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
     let mut a = ExploreArgs {
         grid: Grid::new(),
@@ -256,51 +359,26 @@ fn parse_explore_args(argv: &[String]) -> Result<ExploreArgs, String> {
         resume: false,
         pareto: false,
         lint: false,
+        audit: false,
         trace: None,
     };
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
         match flag {
-            "--sizes" => {
-                a.grid.capacities = parse_list(flag, value(argv, &mut i, flag)?, parse_size)?;
-            }
-            "--blocks" => {
-                a.grid.blocks =
-                    parse_list(flag, value(argv, &mut i, flag)?, |v| v.parse::<u32>().ok())?;
-            }
-            "--assocs" => {
-                a.grid.associativities =
-                    parse_list(flag, value(argv, &mut i, flag)?, |v| v.parse::<u32>().ok())?;
-            }
-            "--banks" => {
-                a.grid.banks =
-                    parse_list(flag, value(argv, &mut i, flag)?, |v| v.parse::<u32>().ok())?;
-            }
-            "--nodes" => {
-                a.grid.nodes = parse_list(flag, value(argv, &mut i, flag)?, |v| {
-                    v.parse::<u32>().ok().and_then(TechNode::from_nm)
-                })?;
-            }
-            "--cells" => {
-                a.grid.cells = parse_list(flag, value(argv, &mut i, flag)?, parse_cell)?;
-            }
-            "--opts" => {
-                a.grid.opts = parse_list(flag, value(argv, &mut i, flag)?, parse_opt_variant)?;
-            }
-            "--mode" => {
-                let v = value(argv, &mut i, flag)?;
-                a.grid.access_mode =
-                    parse_mode(v).ok_or_else(|| format!("invalid value {v:?} for {flag}"))?;
-            }
             "--out" => a.out = Some(PathBuf::from(value(argv, &mut i, flag)?)),
             "--trace" => a.trace = Some(PathBuf::from(value(argv, &mut i, flag)?)),
             "--threads" => a.threads = parse_num(flag, value(argv, &mut i, flag)?)?,
             "--resume" => a.resume = true,
             "--pareto" => a.pareto = true,
             "--lint" => a.lint = true,
+            "--audit" => a.audit = true,
             "--help" | "-h" => return Err("help requested".to_string()),
-            other => return Err(format!("unknown flag {other:?}")),
+            other => {
+                if !parse_grid_flag(&mut a.grid, other, argv, &mut i)? {
+                    return Err(format!("unknown flag {other:?}"));
+                }
+            }
         }
         i += 1;
     }
@@ -324,6 +402,7 @@ fn run_explore(argv: &[String]) -> ! {
         out: a.out.as_deref(),
         resume: a.resume,
         pareto: a.pareto,
+        audit: a.audit,
         linter: a.lint.then_some(&analyzer as &(dyn SolutionLinter + Sync)),
     };
     match cactid_explore::explore(&a.grid, &config) {
@@ -351,6 +430,206 @@ fn run_explore(argv: &[String]) -> ! {
             exit(1)
         }
     }
+}
+
+/// Everything `cactid audit` needs: either a grid (static pre-solve
+/// classification) or a finished run's JSONL (cross-record CD01xx rules).
+#[derive(Debug)]
+struct AuditArgs {
+    grid: Option<Grid>,
+    jsonl: Option<PathBuf>,
+    format: OutputFormat,
+    overrides: SeverityOverrides,
+    deny_warnings: bool,
+}
+
+fn parse_audit_args(argv: &[String]) -> Result<AuditArgs, String> {
+    let mut a = AuditArgs {
+        grid: None,
+        jsonl: None,
+        format: OutputFormat::Text,
+        overrides: SeverityOverrides::new(),
+        deny_warnings: false,
+    };
+    let mut grid = Grid::new();
+    let mut grid_mode = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        match flag {
+            "--grid" => grid_mode = true,
+            "--jsonl" => a.jsonl = Some(PathBuf::from(value(argv, &mut i, flag)?)),
+            "--format" => {
+                let v = value(argv, &mut i, flag)?;
+                a.format =
+                    parse_format(v).ok_or_else(|| format!("invalid value {v:?} for {flag}"))?;
+            }
+            "--deny-warnings" => a.deny_warnings = true,
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => {
+                if parse_grid_flag(&mut grid, other, argv, &mut i)? {
+                    grid_mode = true;
+                } else if !parse_severity_flag(&mut a.overrides, other, argv, &mut i)? {
+                    return Err(format!("unknown flag {other:?}"));
+                }
+            }
+        }
+        i += 1;
+    }
+    match (grid_mode, a.jsonl.is_some()) {
+        (true, true) => Err("--grid axes and --jsonl are mutually exclusive".to_string()),
+        (false, false) => {
+            Err("audit needs --grid with axis flags (--sizes ...) or --jsonl FILE".to_string())
+        }
+        (true, false) => {
+            if grid.capacities.is_empty() {
+                return Err("missing required flag --sizes".to_string());
+            }
+            a.grid = Some(grid);
+            Ok(a)
+        }
+        (false, true) => Ok(a),
+    }
+}
+
+/// Rebuilds the raw (unvalidated) spec for a grid point and names the
+/// spec-stage rules it trips — the CD-code attribution for `invalid`
+/// verdicts in `--format json` audit output.
+fn audit_rule_codes(
+    analyzer: &Analyzer,
+    grid: &Grid,
+    point: &cactid_explore::GridPoint,
+) -> Vec<&'static str> {
+    let opt = grid
+        .opts
+        .iter()
+        .find(|o| o.label == point.opt_label)
+        .map(|o| o.opt.clone())
+        .unwrap_or_default();
+    let spec = MemorySpec {
+        capacity_bytes: point.capacity_bytes,
+        block_bytes: point.block_bytes,
+        associativity: point.associativity,
+        n_banks: point.banks,
+        kind: MemoryKind::Cache {
+            access_mode: point.access_mode,
+        },
+        cell_tech: point.cell,
+        node: point.node,
+        address_bits: 40,
+        opt,
+    };
+    let mut codes: Vec<&'static str> = analyzer.lint_spec(&spec).iter().map(|d| d.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    codes
+}
+
+/// One audit grid point as a stable JSON object:
+/// `{"idx":N,"verdict":"...","detail":STRING|null,"rules":["CDxxxx",...]}`
+/// (`rules` names the spec-stage diagnostics for `invalid` points and is
+/// empty otherwise).
+fn audit_point_json(p: &cactid_explore::PointAudit, rules: &[&str]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "{{\"idx\":{},\"verdict\":\"{}\",\"detail\":",
+        p.idx,
+        p.verdict.as_str()
+    );
+    match &p.detail {
+        Some(d) => {
+            let _ = write!(s, "\"{}\"", cactid_analyze::json::escape(d));
+        }
+        None => s.push_str("null"),
+    }
+    s.push_str(",\"rules\":[");
+    for (k, code) in rules.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{code}\"");
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Grid mode: classify every point statically, print the verdicts (JSONL
+/// on stdout under `--format json`) and the histogram summary. Always
+/// exits 0 — classification is information, not failure.
+fn run_audit_grid(grid: &Grid, format: OutputFormat, analyzer: &Analyzer) -> ! {
+    let report = cactid_explore::audit(grid).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    match format {
+        OutputFormat::Text => println!("{}", report.render()),
+        OutputFormat::Json => {
+            let expansion = grid.expand().expect("audit already expanded this grid");
+            for p in &report.points {
+                let rules = if p.verdict == AuditVerdict::Invalid {
+                    audit_rule_codes(analyzer, grid, &expansion.points[p.idx])
+                } else {
+                    Vec::new()
+                };
+                println!("{}", audit_point_json(p, &rules));
+            }
+            eprintln!("{}", report.render());
+        }
+    }
+    exit(0)
+}
+
+/// Prints a lint report in the requested format and exits with the shared
+/// severity contract: errors always fail; warnings fail only under
+/// `--deny-warnings`; info diagnostics never affect the exit code.
+fn finish_lint(
+    analyzer: &Analyzer,
+    report: &Report,
+    deny_warnings: bool,
+    format: OutputFormat,
+) -> ! {
+    match format {
+        OutputFormat::Text => {
+            print!("{}", render::render(analyzer, report));
+            if report.is_empty() {
+                println!("{}", render::summary_line(report));
+            }
+        }
+        OutputFormat::Json => {
+            // Machine-readable JSONL on stdout; the human summary goes to
+            // stderr so piping stays clean.
+            print!("{}", render::render_json(analyzer, report));
+            eprintln!("{}", render::summary_line(report));
+        }
+    }
+    if report.error_count() > 0 || (deny_warnings && report.warn_count() > 0) {
+        exit(1)
+    }
+    exit(0)
+}
+
+/// The `cactid audit` subcommand: whole-grid static feasibility analysis
+/// (`--grid`) or cross-record run analysis (`--jsonl FILE`).
+fn run_audit(argv: &[String]) -> ! {
+    let a = parse_audit_args(argv).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let analyzer = Analyzer::with_overrides(a.overrides).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2)
+    });
+    if let Some(grid) = &a.grid {
+        run_audit_grid(grid, a.format, &analyzer);
+    }
+    let path = a.jsonl.expect("parse_audit_args guarantees a mode");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: reading {}: {e}", path.display());
+        exit(1)
+    });
+    let ctx = RunContext::parse(&text);
+    let report = analyzer.lint_run(&ctx);
+    finish_lint(&analyzer, &report, a.deny_warnings, a.format)
 }
 
 /// Assembles the spec directly from the parsed flags, **bypassing** the
@@ -491,7 +770,10 @@ fn print_solution(sol: &Solution) {
 /// (and, under `--deny-warnings`, no warnings) were emitted.
 fn run_lint(a: &Args) -> ! {
     let spec = spec_from_args(a);
-    let analyzer = Analyzer::new();
+    let analyzer = Analyzer::with_overrides(a.overrides.clone()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2)
+    });
     let spec_report = analyzer.lint_spec(&spec);
 
     let report = if spec_report.error_count() > 0 {
@@ -508,17 +790,7 @@ fn run_lint(a: &Args) -> ! {
             }
         }
     };
-
-    print!("{}", render::render(&analyzer, &report));
-    if report.is_empty() {
-        println!("{}", render::summary_line(&report));
-    }
-    let errors = report.error_count();
-    let warns = report.warn_count();
-    if errors > 0 || (a.deny_warnings && warns > 0) {
-        exit(1)
-    }
-    exit(0)
+    finish_lint(&analyzer, &report, a.deny_warnings, a.format)
 }
 
 fn print_warnings(analyzer: &Analyzer, warnings: &[Diagnostic]) {
@@ -533,6 +805,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("explore") {
         run_explore(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("audit") {
+        run_audit(&argv[1..]);
     }
     let (lint_mode, rest) = match argv.first().map(String::as_str) {
         Some("lint") => (true, &argv[1..]),
@@ -705,6 +980,90 @@ mod tests {
             Some(std::path::Path::new("sweep.trace.jsonl"))
         );
         assert_eq!(a.grid.len(), 3 * 2 * 2 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn explore_parser_accepts_audit_switch() {
+        let a = parse_explore_args(&args(&["--sizes", "1M", "--audit"])).unwrap();
+        assert!(a.audit);
+        let plain = parse_explore_args(&args(&["--sizes", "1M"])).unwrap();
+        assert!(!plain.audit);
+    }
+
+    #[test]
+    fn lint_parser_collects_severity_overrides_and_format() {
+        let a = parse_args(&args(&[
+            "--size", "1M", "--format", "json", "--allow", "CD0004", "--deny", "CD0021", "--warn",
+            "CD0002",
+        ]))
+        .unwrap();
+        assert_eq!(a.format, OutputFormat::Json);
+        assert_eq!(a.overrides.action("CD0004"), Some(SeverityAction::Allow));
+        assert_eq!(a.overrides.action("CD0021"), Some(SeverityAction::Deny));
+        assert_eq!(a.overrides.action("CD0002"), Some(SeverityAction::Warn));
+        assert_eq!(a.overrides.action("CD0001"), None);
+        let bad = parse_args(&args(&["--size", "1M", "--format", "yaml"])).unwrap_err();
+        assert!(bad.contains("--format"), "{bad}");
+    }
+
+    #[test]
+    fn audit_parser_separates_the_two_modes() {
+        let g =
+            parse_audit_args(&args(&["--grid", "--sizes", "64K,1M", "--assocs", "4,8"])).unwrap();
+        let grid = g.grid.expect("grid mode");
+        assert_eq!(grid.capacities, vec![64 << 10, 1 << 20]);
+        assert_eq!(grid.associativities, vec![4, 8]);
+        assert!(g.jsonl.is_none());
+
+        // Axis flags alone imply grid mode; --grid is just the marker.
+        let implied = parse_audit_args(&args(&["--sizes", "1M"])).unwrap();
+        assert!(implied.grid.is_some());
+
+        let j = parse_audit_args(&args(&[
+            "--jsonl",
+            "run.jsonl",
+            "--format",
+            "json",
+            "--deny",
+            "CD0104",
+            "--deny-warnings",
+        ]))
+        .unwrap();
+        assert!(j.grid.is_none());
+        assert_eq!(j.jsonl.as_deref(), Some(std::path::Path::new("run.jsonl")));
+        assert_eq!(j.format, OutputFormat::Json);
+        assert_eq!(j.overrides.action("CD0104"), Some(SeverityAction::Deny));
+        assert!(j.deny_warnings);
+
+        let both = parse_audit_args(&args(&["--sizes", "1M", "--jsonl", "x"])).unwrap_err();
+        assert!(both.contains("mutually exclusive"), "{both}");
+        let neither = parse_audit_args(&args(&[])).unwrap_err();
+        assert!(neither.contains("--grid"), "{neither}");
+        let no_sizes = parse_audit_args(&args(&["--grid"])).unwrap_err();
+        assert!(no_sizes.contains("--sizes"), "{no_sizes}");
+    }
+
+    #[test]
+    fn audit_point_json_is_stable() {
+        use cactid_explore::PointAudit;
+        let ok = PointAudit {
+            idx: 3,
+            verdict: AuditVerdict::MaybeFeasible,
+            detail: None,
+        };
+        assert_eq!(
+            audit_point_json(&ok, &[]),
+            r#"{"idx":3,"verdict":"maybe-feasible","detail":null,"rules":[]}"#
+        );
+        let bad = PointAudit {
+            idx: 0,
+            verdict: AuditVerdict::Invalid,
+            detail: Some("768 sets \"bad\"".to_string()),
+        };
+        assert_eq!(
+            audit_point_json(&bad, &["CD0001"]),
+            r#"{"idx":0,"verdict":"invalid","detail":"768 sets \"bad\"","rules":["CD0001"]}"#
+        );
     }
 
     #[test]
