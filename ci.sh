@@ -124,6 +124,36 @@ if grep -vq '^{.*}$' "$ADIR/diag.jsonl"; then
 fi
 rm -rf "$ADIR"
 
+echo "== cactid prove smoke run (soundness certificates + json schema)"
+# The interval prover must certify every shipped rule for each of the
+# three bench specs (an unsound rule is a CD0201 error: exit != 0), and
+# the JSON stream must carry the CD0204 certified-cutoff diagnostic with
+# full rule metadata.
+PDIR=$(mktemp -d)
+$CACTID prove --size 2M --block 64 --assoc 8 --banks 1 --cell sram \
+    --node 32 > "$PDIR/sram.txt"
+$CACTID prove --size 8M --assoc 16 --cell lp-dram --node 32 \
+    --mode sequential >/dev/null
+$CACTID prove --size 128M --banks 8 --block 8 --cell comm-dram --node 78 \
+    --main-memory --io 8 --burst 8 --prefetch 8 --page 8K >/dev/null
+grep -q "sound" "$PDIR/sram.txt" || {
+    echo "prove summary lacks a soundness verdict:" >&2
+    cat "$PDIR/sram.txt" >&2
+    exit 1
+}
+$CACTID prove --size 2M --block 64 --assoc 8 --banks 1 --cell sram \
+    --node 32 --format json > "$PDIR/diag.jsonl" 2>/dev/null
+grep -q '^{"code":"CD0204","severity":"info",.*"rule":{' "$PDIR/diag.jsonl" || {
+    echo "prove json diagnostics missing the CD0204 schema line:" >&2
+    cat "$PDIR/diag.jsonl" >&2
+    exit 1
+}
+if grep -vq '^{.*}$' "$PDIR/diag.jsonl"; then
+    echo "prove json diagnostics contain a non-JSONL line" >&2
+    exit 1
+fi
+rm -rf "$PDIR"
+
 echo "== solve-throughput bench smoke (--quick)"
 # The hermetic single-solve bench must run, emit a schema-valid
 # BENCH_solve.json, and show the cheap-bound pre-screen actually firing

@@ -145,10 +145,12 @@ fn reject_spec_errors(analyzer: &Analyzer, spec: &MemorySpec) -> Result<(), Cact
     if report.is_clean() {
         return Ok(());
     }
-    let first = report
+    let Some(first) = report
         .iter()
         .find(|d| d.severity == cactid_core::Severity::Error)
-        .expect("non-clean report has an error");
+    else {
+        unreachable!("a non-clean report contains an error diagnostic")
+    };
     Err(CactiError::InvalidSpec(format!(
         "[{}] {} (at {})",
         first.code, first.message, first.location

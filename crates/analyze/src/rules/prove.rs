@@ -1,0 +1,142 @@
+//! Prover rules `CD0201`–`CD0204`: metadata carriers for the findings of
+//! the `cactid-prove` interval-arithmetic certifier.
+//!
+//! The prover itself lives in the sibling `cactid-prove` crate — both it
+//! and this crate depend only on `cactid-core`, so the certificates cannot
+//! be computed *inside* a rule without a dependency cycle. These rules are
+//! therefore deliberately no-ops on the run context: the `cactid prove`
+//! command produces the diagnostics out-of-band and tags them with these
+//! codes, while the registry entries below give each code its stage,
+//! summary, paper reference, and default severity — which is what the
+//! renderers, the severity-override machinery, and the JSON schema's
+//! `rule` object need (an unregistered code would render `rule: null`).
+
+use crate::rule::RunRule;
+use crate::run::RunContext;
+use cactid_core::lint::{Report, Severity};
+
+/// All prover rules, ordered by code.
+pub fn all() -> Vec<Box<dyn RunRule>> {
+    vec![
+        Box::new(CertificateSoundness),
+        Box::new(WindowSatisfiability),
+        Box::new(DeadRuleEdge),
+        Box::new(CertifiedBoundsEmitted),
+    ]
+}
+
+/// `CD0201`: a soundness cross-check contradicted a definite abstract
+/// verdict, voiding the certificate.
+pub struct CertificateSoundness;
+
+impl RunRule for CertificateSoundness {
+    fn code(&self) -> &'static str {
+        "CD0201"
+    }
+    fn summary(&self) -> &'static str {
+        "every definite abstract prescreen verdict agrees with the concrete \
+         closed form at every sampled node of the domain"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§2.3"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn check(&self, _run: &RunContext, _report: &mut Report) {}
+}
+
+/// `CD0202`: a plausibility window is vacuous or clips the whole certified
+/// reachable range.
+pub struct WindowSatisfiability;
+
+impl RunRule for WindowSatisfiability {
+    fn code(&self) -> &'static str {
+        "CD0202"
+    }
+    fn summary(&self) -> &'static str {
+        "plausibility windows are satisfiable: non-empty, and not wholly \
+         below the certified floor of the reachable metric range"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 3"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn check(&self, _run: &RunContext, _report: &mut Report) {}
+}
+
+/// `CD0203`: a window edge is dead — certified unreachable for the spec.
+pub struct DeadRuleEdge;
+
+impl RunRule for DeadRuleEdge {
+    fn code(&self) -> &'static str {
+        "CD0203"
+    }
+    fn summary(&self) -> &'static str {
+        "window edges certified unreachable for a spec are reported, so \
+         dead checks are visible instead of silently never firing"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "Table 3"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn check(&self, _run: &RunContext, _report: &mut Report) {}
+}
+
+/// `CD0204`: certified prescreen bounds were established for the spec's
+/// technology domain.
+pub struct CertifiedBoundsEmitted;
+
+impl RunRule for CertifiedBoundsEmitted {
+    fn code(&self) -> &'static str {
+        "CD0204"
+    }
+    fn summary(&self) -> &'static str {
+        "certified prescreen cutoffs (wordline and sense-margin pass/reject \
+         regions) established by the interval scan, with cross-check counts"
+    }
+    fn paper_ref(&self) -> &'static str {
+        "§2.3"
+    }
+    fn default_severity(&self) -> Severity {
+        Severity::Info
+    }
+    fn check(&self, _run: &RunContext, _report: &mut Report) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prover_rules_are_metadata_only() {
+        let run = RunContext::parse("");
+        let mut report = Report::new();
+        for rule in all() {
+            rule.check(&run, &mut report);
+            assert!(rule.code().starts_with("CD02"));
+            assert!(!rule.summary().is_empty());
+        }
+        assert!(report.is_empty(), "prover rules must not emit inline");
+    }
+
+    #[test]
+    fn prover_severities_match_the_prover_contract() {
+        let expected = [
+            ("CD0201", Severity::Error),
+            ("CD0202", Severity::Warn),
+            ("CD0203", Severity::Info),
+            ("CD0204", Severity::Info),
+        ];
+        let rules = all();
+        assert_eq!(rules.len(), expected.len());
+        for (rule, (code, sev)) in rules.iter().zip(expected) {
+            assert_eq!(rule.code(), code);
+            assert_eq!(rule.default_severity(), sev);
+        }
+    }
+}

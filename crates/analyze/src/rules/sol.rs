@@ -470,9 +470,11 @@ impl Rule for SenseMargin {
 pub struct AccessTimePlausibility;
 
 /// Fastest plausible access for any array the model can build: 1 ps.
-const ACCESS_TIME_MIN: Seconds = Seconds::from_si(1.0e-12);
+/// Public so the `cactid prove` window analysis can reason about the edge.
+pub const ACCESS_TIME_MIN: Seconds = Seconds::from_si(1.0e-12);
 /// Slowest plausible access before the design is nonsense: 1 ms.
-const ACCESS_TIME_MAX: Seconds = Seconds::from_si(1.0e-3);
+/// Public so the `cactid prove` window analysis can reason about the edge.
+pub const ACCESS_TIME_MAX: Seconds = Seconds::from_si(1.0e-3);
 
 impl Rule for AccessTimePlausibility {
     fn code(&self) -> &'static str {
@@ -540,9 +542,11 @@ impl Rule for AccessTimePlausibility {
 pub struct EnergyPlausibility;
 
 /// Least plausible per-access dynamic energy: 1 fJ.
-const DYN_ENERGY_MIN: Joules = Joules::from_si(1.0e-15);
+/// Public so the `cactid prove` window analysis can reason about the edge.
+pub const DYN_ENERGY_MIN: Joules = Joules::from_si(1.0e-15);
 /// Greatest plausible per-access dynamic energy: 1 µJ.
-const DYN_ENERGY_MAX: Joules = Joules::from_si(1.0e-6);
+/// Public so the `cactid prove` window analysis can reason about the edge.
+pub const DYN_ENERGY_MAX: Joules = Joules::from_si(1.0e-6);
 
 impl Rule for EnergyPlausibility {
     fn code(&self) -> &'static str {

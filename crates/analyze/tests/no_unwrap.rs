@@ -1,0 +1,194 @@
+//! Panic-hygiene meta-lint over the whole workspace's library sources:
+//! no `.unwrap()` or `.expect(` outside `#[cfg(test)]` code. Library code
+//! either propagates errors, recovers (`unwrap_or_else`, poison
+//! recovery), or states the impossibility explicitly with
+//! `unreachable!`/`panic!` and a reason — a bare unwrap hides which of
+//! those three the author meant. Like the rule meta-lints, this reads the
+//! repository sources at test time, so a new offender is a test failure,
+//! not a review hazard.
+
+use std::path::{Path, PathBuf};
+
+/// The workspace `crates/` directory, resolved from this crate.
+fn crates_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../crates")
+}
+
+/// Every `.rs` file under `dir`, recursively.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One line with `//` comments, string-literal contents, and char
+/// literals removed, so brace counting and pattern matching see only
+/// code. Lifetimes (`'a`) are kept; escapes inside literals are skipped.
+fn strip_literals_and_comments(line: &str) -> String {
+    let mut out = String::new();
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '/' if chars.peek() == Some(&'/') => break,
+            '"' => {
+                while let Some(c2) = chars.next() {
+                    match c2 {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            '\'' => {
+                // A char literal closes within a few chars; a lifetime
+                // never closes — keep what was consumed in that case.
+                let mut buf = String::new();
+                let mut closed = false;
+                for _ in 0..3 {
+                    match chars.next() {
+                        Some('\\') => {
+                            if let Some(e) = chars.next() {
+                                buf.push('\\');
+                                buf.push(e);
+                            }
+                        }
+                        Some('\'') => {
+                            closed = true;
+                            break;
+                        }
+                        Some(other) => buf.push(other),
+                        None => break,
+                    }
+                }
+                if !closed {
+                    out.push_str(&buf);
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The non-test, non-comment lines of one source file, 1-indexed.
+///
+/// `#[cfg(test)]` blocks are skipped by brace counting from the attribute
+/// to the matching close, over comment- and literal-stripped lines so
+/// braces in strings or char literals cannot miscount.
+fn non_test_code(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0;
+    let mut skip_above: i64 = -1; // depth the cfg(test) block returns to
+    let mut armed = false; // saw #[cfg(test)], block not yet opened
+    for (i, line) in text.lines().enumerate() {
+        let code = strip_literals_and_comments(line);
+        if code.trim_start().starts_with("#[cfg(test)]") {
+            armed = true;
+            continue;
+        }
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if armed {
+            if opens == 0 {
+                // A braceless gated item (a `use`, a one-line fn signature
+                // continues below — treat the next braced line as the body).
+                if code.trim_end().ends_with(';') {
+                    armed = false;
+                }
+                continue;
+            }
+            skip_above = depth;
+            armed = false;
+        }
+        depth += opens - closes;
+        if skip_above >= 0 {
+            if depth <= skip_above {
+                skip_above = -1;
+            }
+            continue;
+        }
+        out.push((i + 1, code.clone()));
+    }
+    out
+}
+
+#[test]
+fn library_sources_never_unwrap_or_expect_outside_tests() {
+    let mut files = Vec::new();
+    let crates = crates_dir();
+    let entries =
+        std::fs::read_dir(&crates).unwrap_or_else(|e| panic!("{}: {e}", crates.display()));
+    for entry in entries {
+        let src = entry.unwrap().path().join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files);
+        }
+    }
+    assert!(files.len() > 10, "crate scan found too few sources");
+
+    let mut offenders = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        for (lineno, code) in non_test_code(&text) {
+            if code.contains(".unwrap()") || code.contains(".expect(") {
+                offenders.push(format!("{}:{lineno}: {}", path.display(), code.trim()));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "bare .unwrap()/.expect( in library (non-test) code — propagate the \
+         error, recover, or use unreachable!/panic! with a reason:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn the_test_block_skipper_skips_and_restores() {
+    let src = "\
+fn a() {
+    x.unwrap_or_else(|e| e);
+}
+#[cfg(test)]
+mod tests {
+    fn b() {
+        y.unwrap();
+    }
+}
+fn c() {
+    z.unwrap();
+}
+";
+    let kept = non_test_code(src);
+    let text: String = kept.iter().map(|(_, l)| l.as_str()).collect();
+    assert!(!text.contains("y.unwrap"), "cfg(test) body must be skipped");
+    assert!(
+        text.contains("z.unwrap"),
+        "code after the block must return"
+    );
+    assert!(text.contains("unwrap_or_else"), "prefix must be kept");
+}
+
+#[test]
+fn comments_and_gated_use_lines_are_ignored() {
+    let src = "\
+// a comment saying .unwrap() is fine here
+#[cfg(test)]
+use std::fmt::Write as _;
+fn d() {} // trailing .expect( note
+";
+    let kept = non_test_code(src);
+    let text: String = kept.iter().map(|(_, l)| l.as_str()).collect();
+    assert!(!text.contains(".unwrap()"));
+    assert!(!text.contains(".expect("));
+}

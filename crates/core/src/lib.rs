@@ -52,15 +52,16 @@ pub mod tag;
 mod optimizer;
 mod par;
 
-pub use array::PrescreenFailure;
+pub use array::{CertifiedBounds, PrescreenFailure};
 pub use dimm::{DimmConfig, DimmResult};
 pub use error::CactiError;
 pub use lint::{Diagnostic, Location, Report, Severity, SolutionLinter};
 pub use main_memory::{DramEnergies, DramTiming, MainMemoryResult};
 pub use optimizer::{
     optimize, optimize_with, select, solve, solve_with, solve_with_stats,
-    solve_with_stats_parallel, solve_with_stats_reference, static_screen, ScreenHistogram,
-    ScreenVerdict, SolveOutcome, SolveStats, StaticScreen,
+    solve_with_stats_certified, solve_with_stats_parallel, solve_with_stats_reference,
+    static_screen, static_screen_certified, ScreenHistogram, ScreenVerdict, SolveOutcome,
+    SolveStats, StaticScreen, PARALLEL_SERIAL_THRESHOLD,
 };
 pub use org::OrgParams;
 pub use solution::Solution;

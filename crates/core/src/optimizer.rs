@@ -85,12 +85,35 @@ enum CandidateOutcome {
     Fatal(CactiError),
 }
 
-/// Evaluates one candidate through the staged pipeline. With `prescreen`
+/// Which pre-screen the staged pipeline runs before the full models.
+#[derive(Clone, Copy)]
+enum Screen<'b> {
+    /// No pre-screen: the debug-only reference path.
+    Off,
+    /// The exact closed-form screen ([`array::prescreen_explain`]).
+    Exact,
+    /// The certified fast path ([`array::prescreen_verdict_with`]):
+    /// identical verdicts, with the closed forms skipped wherever the
+    /// certificate already decides them.
+    Certified(&'b array::CertifiedBounds),
+}
+
+impl Screen<'_> {
+    fn rejects(self, cell: &CellParams, rows: u64, cols: u64) -> bool {
+        match self {
+            Screen::Off => false,
+            Screen::Exact => array::prescreen_explain(cell, rows, cols).is_err(),
+            Screen::Certified(b) => array::prescreen_verdict_with(cell, rows, cols, b).is_err(),
+        }
+    }
+}
+
+/// Evaluates one candidate through the staged pipeline. With the screen on,
 /// the closed-form bounds run first; they are the exact feasibility
 /// conditions `array::evaluate` would check, so pruning here cannot change
 /// the solution set — only skip doomed model evaluations.
-fn evaluate_candidate(ctx: &SpecCtx<'_>, org: OrgParams, prescreen: bool) -> CandidateOutcome {
-    if prescreen && array::prescreen(&ctx.cell, org.rows(ctx.spec), org.cols(ctx.spec)).is_err() {
+fn evaluate_candidate(ctx: &SpecCtx<'_>, org: OrgParams, screen: Screen<'_>) -> CandidateOutcome {
+    if screen.rejects(&ctx.cell, org.rows(ctx.spec), org.cols(ctx.spec)) {
         return CandidateOutcome::BoundPruned;
     }
     let input = ctx.build_input(&org);
@@ -201,14 +224,14 @@ fn flush_obs(stats: &SolveStats, swept_empty: bool) {
     }
 }
 
-/// The serial staged sweep. `prescreen` selects the pruned pipeline; the
-/// debug-only reference path passes `false` and pays the full model cost
-/// for every candidate. Returns the outcome plus the exhausted-sweep flag
-/// for [`flush_obs`].
+/// The serial staged sweep. `screen` selects the pruned pipeline; the
+/// debug-only reference path passes [`Screen::Off`] and pays the full
+/// model cost for every candidate. Returns the outcome plus the
+/// exhausted-sweep flag for [`flush_obs`].
 fn sweep_serial(
     spec: &MemorySpec,
     linter: Option<&dyn SolutionLinter>,
-    prescreen: bool,
+    screen: Screen<'_>,
 ) -> (SolveOutcome, bool) {
     let mut stats = SolveStats::default();
     let ctx = match SpecCtx::new(spec) {
@@ -228,7 +251,7 @@ fn sweep_serial(
     let mut out = Vec::new();
     while let Some(org) = iter.next() {
         stats.orgs_enumerated += 1;
-        match evaluate_candidate(&ctx, org, prescreen) {
+        match evaluate_candidate(&ctx, org, screen) {
             CandidateOutcome::BoundPruned => stats.bound_pruned += 1,
             CandidateOutcome::ElectricalPruned => stats.electrical_pruned += 1,
             CandidateOutcome::Fatal(e) => {
@@ -257,7 +280,27 @@ fn sweep_serial(
 
 fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
-    let (outcome, swept_empty) = sweep_serial(spec, linter, true);
+    let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Exact);
+    flush_obs(&outcome.stats, swept_empty);
+    outcome
+}
+
+/// Like [`solve_with_stats`], but the pre-screen consults the certified
+/// cutoffs in `bounds` (produced and proved sound by `cactid-prove`),
+/// skipping the closed-form arithmetic wherever a certificate already
+/// decides the verdict. This is the opt-in entry behind the `cactid
+/// --certified` flag: with any bounds — sound, conservative, or stale —
+/// the solution set, its ordering, and the stats are byte-for-byte
+/// identical to [`solve_with_stats`], because the certified screen falls
+/// back to the identical concrete expressions outside its certified
+/// domain and `array::evaluate` re-checks feasibility on every survivor.
+pub fn solve_with_stats_certified(
+    spec: &MemorySpec,
+    linter: Option<&dyn SolutionLinter>,
+    bounds: &array::CertifiedBounds,
+) -> SolveOutcome {
+    let _span = cactid_obs::span("core.solve");
+    let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Certified(bounds));
     flush_obs(&outcome.stats, swept_empty);
     outcome
 }
@@ -283,14 +326,38 @@ pub fn solve_with_stats(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) 
 /// merge stops at the first fatal index and the full enumeration count is
 /// still reported.
 ///
+/// Below this candidate count the parallel entry point evaluates inline on
+/// the calling thread instead of fanning out: scoped-thread spawn and
+/// synchronization cost more than the models save on tiny sweeps. The
+/// solve-throughput bench measured the 70-candidate COMM-DRAM DIMM sweep
+/// at 0.62x serial speed when fanned out; with the fallback the parallel
+/// entry is exactly the serial evaluation (same outcomes, same merge), so
+/// such sweeps can never regress below 1.0x again.
+pub const PARALLEL_SERIAL_THRESHOLD: usize = 128;
+
 /// Worth reaching for only on sweeps whose model time dominates the
-/// per-thread spawn cost — large main-memory or high-capacity cache specs.
+/// per-thread spawn cost — large main-memory or high-capacity cache specs;
+/// sweeps under [`PARALLEL_SERIAL_THRESHOLD`] candidates run inline.
 pub fn solve_with_stats_parallel(
     spec: &MemorySpec,
     linter: Option<&dyn SolutionLinter>,
     threads: usize,
 ) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
+    // Tiny sweeps run the actual serial sweep, not a serialized imitation
+    // of the fan-out: same lazy enumeration, no intermediate outcome
+    // buffer. The prefix count costs at most THRESHOLD cheap geometry
+    // steps, so large sweeps pay nothing noticeable for the probe.
+    let tiny = org::enumerate_lazy(spec)
+        .take(PARALLEL_SERIAL_THRESHOLD)
+        .count()
+        < PARALLEL_SERIAL_THRESHOLD;
+    if tiny {
+        let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Exact);
+        flush_obs(&outcome.stats, swept_empty);
+        return outcome;
+    }
+
     let mut stats = SolveStats::default();
     let ctx = match SpecCtx::new(spec) {
         Ok(ctx) => ctx,
@@ -305,8 +372,8 @@ pub fn solve_with_stats_parallel(
 
     let orgs = org::enumerate(spec);
     stats.orgs_enumerated = orgs.len();
-    let outcomes = par::parallel_map(threads, orgs.len(), |i| {
-        evaluate_candidate(&ctx, orgs[i], true)
+    let outcomes: Vec<CandidateOutcome> = par::parallel_map(threads, orgs.len(), |i| {
+        evaluate_candidate(&ctx, orgs[i], Screen::Exact)
     });
 
     let mut out = Vec::new();
@@ -437,6 +504,20 @@ pub struct StaticScreen {
 /// be classified in microseconds per point, and statically-doomed points
 /// skipped without changing a byte of the output records.
 pub fn static_screen(spec: &MemorySpec) -> StaticScreen {
+    static_screen_inner(spec, None)
+}
+
+/// [`static_screen`] with the certified fast path: where the
+/// [`array::CertifiedBounds`] certificate already decides a check, the
+/// closed form is skipped. The verdict, stats, and per-reason histogram
+/// are identical to [`static_screen`] for any bounds, sound or
+/// conservative — the fast path preserves the check order and falls back
+/// to the concrete expressions outside its certified domain.
+pub fn static_screen_certified(spec: &MemorySpec, bounds: &array::CertifiedBounds) -> StaticScreen {
+    static_screen_inner(spec, Some(bounds))
+}
+
+fn static_screen_inner(spec: &MemorySpec, bounds: Option<&array::CertifiedBounds>) -> StaticScreen {
     cactid_obs::counter!("core.screen.calls").inc();
     let mut stats = SolveStats::default();
     let mut reasons = ScreenHistogram::default();
@@ -457,8 +538,12 @@ pub fn static_screen(spec: &MemorySpec) -> StaticScreen {
     let mut survivors = 0usize;
     for org in org::enumerate_lazy(spec) {
         stats.orgs_enumerated += 1;
-        match array::prescreen_explain(&cell, org.rows(spec), org.cols(spec)) {
-            Ok(_) => survivors += 1,
+        let verdict = match bounds {
+            Some(b) => array::prescreen_verdict_with(&cell, org.rows(spec), org.cols(spec), b),
+            None => array::prescreen_explain(&cell, org.rows(spec), org.cols(spec)).map(|_| ()),
+        };
+        match verdict {
+            Ok(()) => survivors += 1,
             Err(failure) => {
                 stats.bound_pruned += 1;
                 reasons.record(failure);
@@ -488,7 +573,7 @@ pub fn solve_with_stats_reference(
     linter: Option<&dyn SolutionLinter>,
 ) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
-    let (outcome, swept_empty) = sweep_serial(spec, linter, false);
+    let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Off);
     flush_obs(&outcome.stats, swept_empty);
     outcome
 }

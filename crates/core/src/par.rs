@@ -48,15 +48,19 @@ where
                     break;
                 }
                 let r = work(i);
-                slots.lock().expect("par slot vector poisoned")[i] = Some(r);
+                // A panicking worker already aborts the scope; recover the
+                // guard so an unrelated poisoned lock cannot double-panic.
+                slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
             });
         }
     });
     slots
         .into_inner()
-        .expect("par slot vector poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        .map(|s| s.expect("every index was claimed exactly once"))
+        .map(|s| s.unwrap_or_else(|| unreachable!("every index is claimed exactly once")))
         .collect()
 }
 

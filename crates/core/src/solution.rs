@@ -63,7 +63,9 @@ impl Solution {
         let data_access = data.access_time();
         let access_time = match spec.kind {
             MemoryKind::Cache { access_mode } => {
-                let t = tag.as_ref().expect("cache has a tag array");
+                let Some(t) = tag.as_ref() else {
+                    unreachable!("a cache solution carries a tag array")
+                };
                 match access_mode {
                     // Way select must arrive before the output mux; the
                     // data array's mux+htree-out remain after the merge.
@@ -77,7 +79,9 @@ impl Solution {
             }
             MemoryKind::Ram => data_access,
             MemoryKind::MainMemory { .. } => {
-                let mm = main_memory.as_ref().expect("main memory result");
+                let Some(mm) = main_memory.as_ref() else {
+                    unreachable!("a main-memory solution carries the chip result")
+                };
                 mm.timing.t_rcd + mm.timing.cas_latency
             }
         };

@@ -5,8 +5,9 @@
 //! models would have rejected.
 
 use cactid_core::{
-    solve_with_stats, solve_with_stats_parallel, solve_with_stats_reference, AccessMode,
-    MemoryKind, MemorySpec, Solution,
+    solve_with_stats, solve_with_stats_certified, solve_with_stats_parallel,
+    solve_with_stats_reference, AccessMode, MemoryKind, MemorySpec, Solution,
+    PARALLEL_SERIAL_THRESHOLD,
 };
 use cactid_tech::{CellTechnology, TechNode};
 
@@ -115,6 +116,76 @@ fn parallel_solve_equals_serial_at_every_thread_count() {
                 "{label}: stats diverge at {threads} threads"
             );
         }
+    }
+}
+
+/// The solve-throughput bench's COMM-DRAM DIMM spec (1 GB chip): its
+/// 70-candidate sweep sits under [`PARALLEL_SERIAL_THRESHOLD`], so the
+/// parallel entry point must take the inline serial path.
+fn comm_dram_dimm() -> MemorySpec {
+    MemorySpec::builder()
+        .capacity_bytes(1 << 30)
+        .block_bytes(8)
+        .banks(8)
+        .cell_tech(CellTechnology::CommDram)
+        .node(TechNode::N78)
+        .kind(MemoryKind::MainMemory {
+            io_bits: 8,
+            burst_length: 8,
+            prefetch: 8,
+            page_bits: 8 << 10,
+        })
+        .build()
+        .unwrap()
+}
+
+/// The certified screen with *proved* bounds returns exactly what the
+/// exact staged screen returns — same solutions, same stats, same
+/// rejection accounting. This is the wiring contract for `--certified`:
+/// the proof only licenses skipping closed forms, never changing answers.
+#[test]
+fn certified_solve_equals_the_staged_solve_with_proved_bounds() {
+    for (label, spec) in [
+        ("sram-l2", sram_l2()),
+        ("lp-dram-l3", lp_dram_l3()),
+        ("comm-dram", comm_dram_smoke()),
+    ] {
+        let bounds = cactid_prove::certified_bounds(spec.node, spec.cell_tech);
+        let staged = solve_with_stats(&spec, None);
+        let certified = solve_with_stats_certified(&spec, None, &bounds);
+        assert_identical_sets(
+            label,
+            staged.result.as_ref().unwrap(),
+            certified.result.as_ref().unwrap(),
+        );
+        assert_eq!(
+            staged.stats, certified.stats,
+            "{label}: certified stats diverge"
+        );
+    }
+}
+
+/// Small sweeps take the serial path inside the parallel entry point, so
+/// the 0.62x COMM-DRAM DIMM regression the solve bench recorded cannot
+/// recur: below the threshold the two entry points are the same code.
+#[test]
+fn comm_dram_dimm_sweep_falls_back_to_serial() {
+    let spec = comm_dram_dimm();
+    let serial = solve_with_stats(&spec, None);
+    assert!(
+        serial.stats.orgs_enumerated < PARALLEL_SERIAL_THRESHOLD,
+        "the DIMM sweep grew past the serial-fallback threshold: {} >= {}",
+        serial.stats.orgs_enumerated,
+        PARALLEL_SERIAL_THRESHOLD
+    );
+    for threads in [0, 2, 8] {
+        let par = solve_with_stats_parallel(&spec, None, threads);
+        assert_identical_sets(
+            "comm-dram-dimm",
+            serial.result.as_ref().unwrap(),
+            par.result.as_ref().unwrap(),
+        );
+        assert_eq!(serial.stats, par.stats, "threads={threads}");
     }
 }
 

@@ -159,10 +159,9 @@ pub fn audit(grid: &Grid) -> Result<AuditReport, ExploreError> {
     report.unique_specs = groups.len();
 
     for group in groups {
-        let spec = points[group[0]]
-            .spec
-            .as_ref()
-            .expect("grouped specs are valid");
+        let Ok(spec) = points[group[0]].spec.as_ref() else {
+            unreachable!("grouped specs are valid")
+        };
         let screen = static_screen(spec);
         report.orgs_screened += screen.stats.orgs_enumerated;
         report.reasons.merge(&screen.reasons);
@@ -190,7 +189,7 @@ pub fn audit(grid: &Grid) -> Result<AuditReport, ExploreError> {
 
     report.points = verdicts
         .into_iter()
-        .map(|v| v.expect("every point is classified"))
+        .map(|v| v.unwrap_or_else(|| unreachable!("every point is classified")))
         .collect();
     cactid_obs::counter!("explore.audit.points").add(report.points.len() as u64);
     Ok(report)

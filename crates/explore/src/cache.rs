@@ -59,7 +59,7 @@ impl SolveCache {
     pub fn len(&self) -> usize {
         self.map
             .lock()
-            .expect("solve cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .values()
             .map(Vec::len)
             .sum()
@@ -72,11 +72,17 @@ impl SolveCache {
 
     /// Drops every entry (benchmarks use this to re-run cold).
     pub fn clear(&self) {
-        self.map.lock().expect("solve cache poisoned").clear();
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     fn lookup(&self, key: u64, spec: &MemorySpec) -> Option<CachedSolve> {
-        let map = self.map.lock().expect("solve cache poisoned");
+        let map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.get(&key)
             .and_then(|bucket| bucket.iter().find(|(s, _)| s == spec))
             .map(|(_, entry)| entry.clone())
@@ -102,7 +108,10 @@ impl SolveCache {
             result: outcome.result.and_then(|sols| select(spec, &sols)),
             stats: outcome.stats,
         };
-        let mut map = self.map.lock().expect("solve cache poisoned");
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let bucket = map.entry(key).or_default();
         if let Some((_, first)) = bucket.iter().find(|(s, _)| s == spec) {
             // Lost a cold-spec race; keep the first insert so every caller

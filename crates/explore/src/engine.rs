@@ -28,8 +28,8 @@ use crate::record;
 pub use crate::record::PointStatus;
 use crate::resume;
 use crate::stats::EngineStats;
-use cactid_core::SolutionLinter;
-use cactid_tech::Technology;
+use cactid_core::{CertifiedBounds, SolutionLinter};
+use cactid_tech::{CellTechnology, TechNode, Technology};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -240,10 +240,20 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
     // exactly, so the output stays byte-identical.
     if config.audit {
         let _audit_span = cactid_obs::span("explore.audit");
+        // One interval scan per (node, cell) pair covers every spec that
+        // shares the technology; the certified screen gives the same
+        // verdicts, stats, and reason histogram as the exact one for any
+        // bounds, so the rendered records stay byte-identical.
+        let mut proved: HashMap<(TechNode, CellTechnology), CertifiedBounds> = HashMap::new();
         let mut kept = Vec::with_capacity(jobs.len());
         for group in std::mem::take(&mut jobs) {
-            let spec = points[group[0]].spec.as_ref().expect("job specs are valid");
-            let screen = cactid_core::static_screen(spec);
+            let Ok(spec) = points[group[0]].spec.as_ref() else {
+                unreachable!("job specs are valid")
+            };
+            let bounds = proved
+                .entry((spec.node, spec.cell_tech))
+                .or_insert_with(|| cactid_prove::certified_bounds(spec.node, spec.cell_tech));
+            let screen = cactid_core::static_screen_certified(spec, bounds);
             match screen.verdict {
                 cactid_core::ScreenVerdict::Infeasible(err) => {
                     let solved = crate::cache::CachedSolve {
@@ -276,10 +286,9 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         config.threads,
         jobs.len(),
         |j| {
-            let spec = points[jobs[j][0]]
-                .spec
-                .as_ref()
-                .expect("job specs are valid");
+            let Ok(spec) = points[jobs[j][0]].spec.as_ref() else {
+                unreachable!("job specs are valid")
+            };
             cache.solve_point(spec, linter.map(|l| l as &dyn SolutionLinter))
         },
         |j, (solved, was_cached)| {
@@ -342,7 +351,9 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         let dominates: HashMap<usize, usize> = front.iter().map(|p| (p.idx, p.dominates)).collect();
         for (i, line) in lines.iter_mut().enumerate() {
             if statuses[i] == Some(PointStatus::Ok) {
-                let line = line.as_mut().expect("ok points are rendered");
+                let Some(line) = line.as_mut() else {
+                    unreachable!("ok points are rendered")
+                };
                 record::annotate_pareto(line, dominates.get(&i).copied());
             }
         }
@@ -351,7 +362,7 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
 
     let lines: Vec<String> = lines
         .into_iter()
-        .map(|l| l.expect("every point is resolved"))
+        .map(|l| l.unwrap_or_else(|| unreachable!("every point is resolved")))
         .collect();
     if let Some(out) = config.out {
         drop(sidecars); // flushed; keep them on disk so reruns resume free

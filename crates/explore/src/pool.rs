@@ -74,7 +74,9 @@ where
                     cactid_obs::histogram!("explore.pool.work_ns").record(ns_between(t0, t1));
                     // Completion-order delivery serializes on this mutex;
                     // time spent queueing here is pool overhead, not work.
-                    let mut sink = sink.lock().expect("pool sink poisoned");
+                    let mut sink = sink
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     record_ns(cactid_obs::histogram!("explore.pool.sink_wait_ns"), t1);
                     sink(i, r);
                 }
@@ -113,7 +115,7 @@ where
     );
     slots
         .into_iter()
-        .map(|s| s.expect("every index was claimed exactly once"))
+        .map(|s| s.unwrap_or_else(|| unreachable!("every index is claimed exactly once")))
         .collect()
 }
 

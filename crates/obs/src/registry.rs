@@ -24,7 +24,10 @@ fn registry() -> &'static Registry {
 
 /// The counter named `name`, allocating it on first use.
 pub fn counter(name: &str) -> &'static Counter {
-    let mut map = registry().counters.lock().expect("obs registry poisoned");
+    let mut map = registry()
+        .counters
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(c) = map.get(name) {
         return c;
     }
@@ -35,7 +38,10 @@ pub fn counter(name: &str) -> &'static Counter {
 
 /// The histogram named `name`, allocating it on first use.
 pub fn histogram(name: &str) -> &'static Histogram {
-    let mut map = registry().histograms.lock().expect("obs registry poisoned");
+    let mut map = registry()
+        .histograms
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(h) = map.get(name) {
         return h;
     }
@@ -113,7 +119,7 @@ pub fn snapshot() -> Snapshot {
     let counters = registry()
         .counters
         .lock()
-        .expect("obs registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(name, c)| CounterSnapshot {
             name: name.clone(),
@@ -123,7 +129,7 @@ pub fn snapshot() -> Snapshot {
     let histograms = registry()
         .histograms
         .lock()
-        .expect("obs registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter()
         .map(|(name, h)| HistogramSnapshot {
             name: name.clone(),
@@ -146,7 +152,7 @@ pub fn reset() {
     for c in registry()
         .counters
         .lock()
-        .expect("obs registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .values()
     {
         c.reset();
@@ -154,7 +160,7 @@ pub fn reset() {
     for h in registry()
         .histograms
         .lock()
-        .expect("obs registry poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .values()
     {
         h.reset();

@@ -1,0 +1,229 @@
+//! Abstract input domains for the prover: interval-valued cell and
+//! peripheral parameters derived from a tech node's parameter ranges, plus
+//! the organization box the sweep enumeration can reach.
+//!
+//! A domain is built as the **hull of concrete parameter tables**: for
+//! each node in the covered set the exact Table-1 `CellParams` (and the
+//! peripheral device row) are sampled, and each field keeps its min/max.
+//! No widening is applied to the hull endpoints — they *are* concrete
+//! values, and containment is closed at the endpoints. An interpolated
+//! half-node (78 nm) additionally pulls in its bracketing ITRS anchors:
+//! both the linear and the log-space blends `cactid-tech` uses stay inside
+//! the endpoint hull for every interpolation fraction in `[0, 1]`, so the
+//! certificate covers the whole family between the anchors, not just the
+//! sampled node.
+//!
+//! The organization axes come from [`cactid_core::org::SWEEP_BOUNDS`]: the
+//! enumeration never emits more than `max_cols` columns, and the sense
+//! check is only reachable for `rows ≤ max_rows_per_subarray` (the
+//! subarray-rows check fires first), which caps the row scan.
+
+use crate::iv::Iv;
+use cactid_core::org;
+use cactid_tech::{CellTechnology, TechNode, Technology};
+use cactid_units::{Amperes, Farads, FaradsPerMeter, Meters, Ohms, Volts};
+
+/// Interval-valued cell parameters: the hull of the concrete
+/// [`cactid_tech::CellParams`] fields across the domain's nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct CellIv {
+    /// Cell supply voltage.
+    pub vdd_cell: Iv<Volts>,
+    /// Bitline capacitance contributed per cell.
+    pub c_bitline_per_cell: Iv<Farads>,
+    /// Wordline capacitance contributed per cell.
+    pub c_wordline_per_cell: Iv<Farads>,
+    /// Wordline resistance contributed per cell.
+    pub r_wordline_per_cell: Iv<Ohms>,
+    /// Bitline resistance contributed per cell.
+    pub r_bitline_per_cell: Iv<Ohms>,
+    /// DRAM storage capacitance.
+    pub c_storage: Iv<Farads>,
+    /// Minimum sense-amp input signal.
+    pub v_sense_margin: Iv<Volts>,
+    /// SRAM cell read current.
+    pub i_cell_read: Iv<Amperes>,
+    /// DRAM access-transistor on-resistance.
+    pub r_access_on: Iv<Ohms>,
+    /// Worst-case timing derate.
+    pub timing_derate: Iv<f64>,
+}
+
+/// The abstract input domain of one prover run: one cell technology, a set
+/// of concrete nodes whose parameter hull the intervals cover, and the
+/// reachable organization box.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// The cell technology the domain describes.
+    pub cell_tech: CellTechnology,
+    /// The concrete nodes sampled into the hull (cross-check anchors).
+    pub nodes: Vec<TechNode>,
+    /// Interval-valued cell parameters.
+    pub cell: CellIv,
+    /// Peripheral drain capacitance per width (enters the bitline load).
+    pub periph_c_drain: Iv<FaradsPerMeter>,
+    /// Peripheral minimum transistor width.
+    pub periph_min_width: Iv<Meters>,
+    /// Smallest `max_rows_per_subarray` across the nodes.
+    pub max_rows_lo: u64,
+    /// Largest `max_rows_per_subarray` across the nodes.
+    pub max_rows_hi: u64,
+    /// Column scan cap: the enumeration never exceeds it.
+    pub cols_cap: u64,
+    /// Row scan cap for the sense check (`= max_rows_hi`; taller subarrays
+    /// are rejected by the subarray-rows check before the sense check
+    /// runs).
+    pub rows_cap: u64,
+}
+
+/// The node family a single node's certificate must cover: the node
+/// itself, plus — for an interpolated half-node — the bracketing ITRS
+/// anchors whose hull contains every blend between them.
+fn family(node: TechNode) -> Vec<TechNode> {
+    if TechNode::ALL.contains(&node) {
+        return vec![node];
+    }
+    let f = node.feature_nm();
+    let mut out = vec![node];
+    // `ALL` is ordered by descending feature size, so the last anchor
+    // above `f` and the first below it are the bracketing pair.
+    if let Some(&hi) = TechNode::ALL.iter().rfind(|n| n.feature_nm() > f) {
+        out.push(hi);
+    }
+    if let Some(&lo) = TechNode::ALL.iter().find(|n| n.feature_nm() < f) {
+        out.push(lo);
+    }
+    out
+}
+
+impl Domain {
+    /// The hull domain over an explicit node set — the whole-grid form,
+    /// covering every listed node (and everything an interpolation blends
+    /// between listed anchors).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is empty: a domain must cover something.
+    #[must_use]
+    pub fn hull(nodes: &[TechNode], cell_tech: CellTechnology) -> Self {
+        assert!(!nodes.is_empty(), "a prover domain needs at least one node");
+        let mut cell_iv: Option<CellIv> = None;
+        let mut c_drain: Option<Iv<FaradsPerMeter>> = None;
+        let mut min_width: Option<Iv<Meters>> = None;
+        let mut max_rows_lo = u64::MAX;
+        let mut max_rows_hi = 0u64;
+        for &node in nodes {
+            let tech = Technology::cached(node);
+            let cell = tech.cell(cell_tech);
+            let periph = tech.peripheral_device(cell_tech);
+            let point = CellIv {
+                vdd_cell: Iv::exact(cell.vdd_cell),
+                c_bitline_per_cell: Iv::exact(cell.c_bitline_per_cell),
+                c_wordline_per_cell: Iv::exact(cell.c_wordline_per_cell),
+                r_wordline_per_cell: Iv::exact(cell.r_wordline_per_cell),
+                r_bitline_per_cell: Iv::exact(cell.r_bitline_per_cell),
+                c_storage: Iv::exact(cell.c_storage),
+                v_sense_margin: Iv::exact(cell.v_sense_margin),
+                i_cell_read: Iv::exact(cell.i_cell_read),
+                r_access_on: Iv::exact(cell.r_access_on),
+                timing_derate: Iv::exact(cell.timing_derate),
+            };
+            cell_iv = Some(match cell_iv {
+                None => point,
+                Some(acc) => CellIv {
+                    vdd_cell: acc.vdd_cell.hull(point.vdd_cell),
+                    c_bitline_per_cell: acc.c_bitline_per_cell.hull(point.c_bitline_per_cell),
+                    c_wordline_per_cell: acc.c_wordline_per_cell.hull(point.c_wordline_per_cell),
+                    r_wordline_per_cell: acc.r_wordline_per_cell.hull(point.r_wordline_per_cell),
+                    r_bitline_per_cell: acc.r_bitline_per_cell.hull(point.r_bitline_per_cell),
+                    c_storage: acc.c_storage.hull(point.c_storage),
+                    v_sense_margin: acc.v_sense_margin.hull(point.v_sense_margin),
+                    i_cell_read: acc.i_cell_read.hull(point.i_cell_read),
+                    r_access_on: acc.r_access_on.hull(point.r_access_on),
+                    timing_derate: acc.timing_derate.hull(point.timing_derate),
+                },
+            });
+            let d = Iv::exact(periph.c_drain);
+            c_drain = Some(c_drain.map_or(d, |acc| acc.hull(d)));
+            let w = Iv::exact(periph.min_width);
+            min_width = Some(min_width.map_or(w, |acc| acc.hull(w)));
+            max_rows_lo = max_rows_lo.min(cell.max_rows_per_subarray as u64);
+            max_rows_hi = max_rows_hi.max(cell.max_rows_per_subarray as u64);
+        }
+        let Some(cell) = cell_iv else {
+            unreachable!("nodes is non-empty");
+        };
+        let Some(periph_c_drain) = c_drain else {
+            unreachable!("nodes is non-empty");
+        };
+        let Some(periph_min_width) = min_width else {
+            unreachable!("nodes is non-empty");
+        };
+        Self {
+            cell_tech,
+            nodes: nodes.to_vec(),
+            cell,
+            periph_c_drain,
+            periph_min_width,
+            max_rows_lo,
+            max_rows_hi,
+            cols_cap: org::SWEEP_BOUNDS.max_cols,
+            rows_cap: max_rows_hi,
+        }
+    }
+
+    /// The domain a single node induces: the node itself for an ITRS
+    /// anchor; for an interpolated half-node, the hull of the node and its
+    /// bracketing anchors (sound for every blend between them).
+    #[must_use]
+    pub fn for_node(node: TechNode, cell_tech: CellTechnology) -> Self {
+        Self::hull(&family(node), cell_tech)
+    }
+
+    /// `true` when the domain is a DRAM technology (the sense-margin check
+    /// exists only there).
+    #[must_use]
+    pub fn is_dram(&self) -> bool {
+        self.cell_tech.is_dram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_node_domain_is_a_point() {
+        let d = Domain::for_node(TechNode::N32, CellTechnology::Sram);
+        assert_eq!(d.nodes, vec![TechNode::N32]);
+        assert_eq!(d.cell.vdd_cell.lo(), d.cell.vdd_cell.hi());
+        assert_eq!(d.max_rows_lo, d.max_rows_hi);
+        assert_eq!(d.rows_cap, 1024, "SRAM max_rows_per_subarray");
+        assert_eq!(d.cols_cap, org::SWEEP_BOUNDS.max_cols);
+    }
+
+    #[test]
+    fn half_node_domain_pulls_in_its_anchors() {
+        let d = Domain::for_node(TechNode::N78, CellTechnology::CommDram);
+        assert_eq!(d.nodes, vec![TechNode::N78, TechNode::N90, TechNode::N65]);
+        // The interpolated value lies strictly inside the anchor hull.
+        let n78 = Technology::cached(TechNode::N78).cell(CellTechnology::CommDram);
+        assert!(d.cell.c_bitline_per_cell.contains(n78.c_bitline_per_cell));
+        assert!(
+            d.cell.c_bitline_per_cell.lo() < d.cell.c_bitline_per_cell.hi(),
+            "hull over distinct anchors is not a point"
+        );
+    }
+
+    #[test]
+    fn hull_contains_every_listed_node() {
+        let nodes = [TechNode::N90, TechNode::N45];
+        let d = Domain::hull(&nodes, CellTechnology::LpDram);
+        for &n in &nodes {
+            let cell = Technology::cached(n).cell(CellTechnology::LpDram);
+            assert!(d.cell.vdd_cell.contains(cell.vdd_cell));
+            assert!(d.cell.c_storage.contains(cell.c_storage));
+            assert!(d.cell.v_sense_margin.contains(cell.v_sense_margin));
+        }
+    }
+}

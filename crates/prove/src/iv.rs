@@ -1,0 +1,292 @@
+//! Outward-rounded dimensional intervals.
+//!
+//! [`Iv<Q>`] is a closed interval `[lo, hi]` of one `cactid-units`
+//! quantity. Arithmetic evaluates on the raw SI corner values and then
+//! rounds **outward** by one ulp per operation, while the `where`-clauses
+//! on the generic impls (`A: Mul<B, Output = C>`) re-use the `dim_mul!`
+//! legality table — an interval product that mixes dimensions illegally is
+//! a compile error, exactly as it is for the point quantities.
+//!
+//! ## Why one ulp per operation is enough
+//!
+//! The containment invariant the prover relies on: if every operand
+//! interval contains the corresponding concrete `f64` value, the result
+//! interval contains the concrete result of the mirrored operation. Each
+//! concrete IEEE-754 operation rounds its exact real result to nearest,
+//! an error of at most ½ ulp; the corner arithmetic below commits at most
+//! the same rounding, so stepping each bound one full ulp outward strictly
+//! covers both. Induction over the (identically associated) expression
+//! tree extends this to whole closed forms. A NaN corner (`0·∞`, `∞−∞`)
+//! widens to the whole line, which is trivially sound.
+
+use cactid_units::Quantity;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A closed interval `[lo, hi]` of quantity `Q`, outward-rounded so that
+/// every mirrored concrete computation stays contained. See the module
+/// docs for the soundness argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Iv<Q> {
+    lo: Q,
+    hi: Q,
+}
+
+/// Collapses raw SI corner values into an outward-rounded `[lo, hi]` pair.
+fn outward(corners: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in corners {
+        if v.is_nan() {
+            return (f64::NEG_INFINITY, f64::INFINITY);
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo.next_down(), hi.next_up())
+}
+
+impl<Q: Quantity> Iv<Q> {
+    /// The degenerate interval `[q, q]` — an exactly known input. Domain
+    /// endpoints enter this way: the hull of concrete parameter values
+    /// needs no widening because containment is closed at the endpoints.
+    pub fn exact(q: Q) -> Self {
+        Self { lo: q, hi: q }
+    }
+
+    /// The interval `[lo, hi]`. Swapped bounds are debug-asserted, not
+    /// reordered — a reversed span is a caller bug, not an empty interval.
+    pub fn span(lo: Q, hi: Q) -> Self {
+        debug_assert!(lo.si() <= hi.si(), "reversed interval bounds");
+        Self { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(self) -> Q {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(self) -> Q {
+        self.hi
+    }
+
+    /// The smallest interval containing both `self` and `other`.
+    pub fn hull(self, other: Self) -> Self {
+        let lo = if self.lo.si() <= other.lo.si() {
+            self.lo
+        } else {
+            other.lo
+        };
+        let hi = if self.hi.si() >= other.hi.si() {
+            self.hi
+        } else {
+            other.hi
+        };
+        Self { lo, hi }
+    }
+
+    /// `true` when `q` lies inside the closed interval.
+    pub fn contains(self, q: Q) -> bool {
+        self.lo.si() <= q.si() && q.si() <= self.hi.si()
+    }
+
+    /// Reinterprets the interval as another quantity without touching the
+    /// SI values — the interval counterpart of the concrete code's
+    /// `value()`/`from_si()` escape hatches (e.g. the DRAM effective
+    /// series capacitance, whose intermediate F²/F has no named unit).
+    /// Exact: no rounding, so containment is preserved verbatim.
+    pub fn cast<R: Quantity>(self) -> Iv<R> {
+        Iv {
+            lo: R::of_si(self.lo.si()),
+            hi: R::of_si(self.hi.si()),
+        }
+    }
+
+    /// Is `x > t` for every/no pair `x ∈ self`, `t ∈ threshold`?
+    pub fn gt(self, threshold: Self) -> Verdict {
+        if self.lo.si() > threshold.hi.si() {
+            Verdict::Always
+        } else if self.hi.si() <= threshold.lo.si() {
+            Verdict::Never
+        } else {
+            Verdict::Mixed
+        }
+    }
+
+    /// Is `x < t` for every/no pair `x ∈ self`, `t ∈ threshold`?
+    pub fn lt(self, threshold: Self) -> Verdict {
+        if self.hi.si() < threshold.lo.si() {
+            Verdict::Always
+        } else if self.lo.si() >= threshold.hi.si() {
+            Verdict::Never
+        } else {
+            Verdict::Mixed
+        }
+    }
+
+    fn from_raw_outward(lo: f64, hi: f64) -> Self {
+        let (lo, hi) = outward(&[lo, hi]);
+        Self {
+            lo: Q::of_si(lo),
+            hi: Q::of_si(hi),
+        }
+    }
+}
+
+/// Three-valued truth of a predicate over every point of an interval
+/// domain: it holds for **all** points, for **none**, or the domain
+/// straddles the boundary and the abstract evaluation cannot decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The predicate holds at every point of the domain.
+    Always,
+    /// The predicate holds at no point of the domain.
+    Never,
+    /// Undecided: the domain straddles the predicate's boundary.
+    Mixed,
+}
+
+impl<Q: Quantity + Add<Output = Q>> Add for Iv<Q> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::from_raw_outward(self.lo.si() + rhs.lo.si(), self.hi.si() + rhs.hi.si())
+    }
+}
+
+impl<Q: Quantity + Sub<Output = Q>> Sub for Iv<Q> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_raw_outward(self.lo.si() - rhs.hi.si(), self.hi.si() - rhs.lo.si())
+    }
+}
+
+impl<A, B, C> Mul<Iv<B>> for Iv<A>
+where
+    A: Quantity + Mul<B, Output = C>,
+    B: Quantity,
+    C: Quantity,
+{
+    type Output = Iv<C>;
+    fn mul(self, rhs: Iv<B>) -> Iv<C> {
+        let (lo, hi) = outward(&[
+            self.lo.si() * rhs.lo.si(),
+            self.lo.si() * rhs.hi.si(),
+            self.hi.si() * rhs.lo.si(),
+            self.hi.si() * rhs.hi.si(),
+        ]);
+        Iv {
+            lo: C::of_si(lo),
+            hi: C::of_si(hi),
+        }
+    }
+}
+
+impl<A, B, C> Div<Iv<B>> for Iv<A>
+where
+    A: Quantity + Div<B, Output = C>,
+    B: Quantity,
+    C: Quantity,
+{
+    type Output = Iv<C>;
+    fn div(self, rhs: Iv<B>) -> Iv<C> {
+        // A divisor interval containing zero widens to the whole line —
+        // sound, and the prover's domains never produce one (all divisors
+        // are strictly positive physical quantities).
+        let (lo, hi) = if rhs.lo.si() <= 0.0 && rhs.hi.si() >= 0.0 {
+            (f64::NEG_INFINITY, f64::INFINITY)
+        } else {
+            outward(&[
+                self.lo.si() / rhs.lo.si(),
+                self.lo.si() / rhs.hi.si(),
+                self.hi.si() / rhs.lo.si(),
+                self.hi.si() / rhs.hi.si(),
+            ])
+        };
+        Iv {
+            lo: C::of_si(lo),
+            hi: C::of_si(hi),
+        }
+    }
+}
+
+impl<Q: Quantity + fmt::Display> fmt::Display for Iv<Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_units::{Farads, Ohms, Seconds, Volts};
+
+    #[test]
+    fn dimensional_products_follow_the_legality_table() {
+        let r = Iv::exact(Ohms::from_si(1.0e3));
+        let c = Iv::span(Farads::ff(50.0), Farads::ff(60.0));
+        let t: Iv<Seconds> = r * c;
+        assert!(t.contains(Ohms::from_si(1.0e3) * Farads::ff(55.0)));
+        // Scalar intervals compose on either side.
+        let scaled: Iv<Seconds> = Iv::exact(0.38_f64) * t;
+        assert!(scaled.lo() < t.lo());
+    }
+
+    #[test]
+    fn every_op_contains_the_mirrored_concrete_result() {
+        let a = 3.7e-13_f64;
+        let b = 9.1e2_f64;
+        let ia = Iv::exact(Farads::from_si(a));
+        let ib = Iv::exact(Ohms::from_si(b));
+        let t = ib * ia;
+        assert!(t.contains(Ohms::from_si(b) * Farads::from_si(a)));
+        let s = Iv::exact(Seconds::from_si(a)) + Iv::exact(Seconds::from_si(b));
+        assert!(s.contains(Seconds::from_si(a + b)));
+        let d = Iv::exact(Seconds::from_si(a)) - Iv::exact(Seconds::from_si(b));
+        assert!(d.contains(Seconds::from_si(a - b)));
+        let q: Iv<f64> = Iv::exact(Seconds::from_si(a)) / Iv::exact(Seconds::from_si(b));
+        assert!(q.contains(a / b));
+    }
+
+    #[test]
+    fn outward_rounding_strictly_widens() {
+        let x = Iv::exact(Volts::from_si(0.1));
+        let y = x * Iv::exact(2.0_f64);
+        assert!(y.lo() < Volts::from_si(0.2) && Volts::from_si(0.2) < y.hi());
+    }
+
+    #[test]
+    fn division_by_a_zero_straddling_interval_is_whole_line() {
+        let num = Iv::exact(Seconds::from_si(1.0));
+        let den = Iv::span(-1.0_f64, 1.0_f64);
+        let q = num / den;
+        assert_eq!(q.lo(), Seconds::from_si(f64::NEG_INFINITY));
+        assert_eq!(q.hi(), Seconds::from_si(f64::INFINITY));
+    }
+
+    #[test]
+    fn verdicts_are_three_valued() {
+        let x = Iv::span(Seconds::ns(1.0), Seconds::ns(2.0));
+        assert_eq!(x.gt(Iv::exact(Seconds::ns(0.5))), Verdict::Always);
+        assert_eq!(x.gt(Iv::exact(Seconds::ns(3.0))), Verdict::Never);
+        assert_eq!(x.gt(Iv::exact(Seconds::ns(1.5))), Verdict::Mixed);
+        assert_eq!(x.lt(Iv::exact(Seconds::ns(3.0))), Verdict::Always);
+        assert_eq!(x.lt(Iv::exact(Seconds::ns(0.5))), Verdict::Never);
+        // Interval thresholds: Always/Never quantify over both operands.
+        let t = Iv::span(Seconds::ns(1.5), Seconds::ns(1.8));
+        assert_eq!(x.gt(t), Verdict::Mixed);
+        assert_eq!(Iv::exact(Seconds::ns(2.0)).gt(t), Verdict::Always);
+    }
+
+    #[test]
+    fn hull_and_cast_are_exact() {
+        let a = Iv::exact(Farads::ff(10.0));
+        let b = Iv::exact(Farads::ff(30.0));
+        let h = a.hull(b);
+        assert_eq!(h.lo(), Farads::ff(10.0));
+        assert_eq!(h.hi(), Farads::ff(30.0));
+        let raw: Iv<f64> = h.cast();
+        assert_eq!(raw.lo(), Farads::ff(10.0).value());
+        assert_eq!(raw.cast::<Farads>(), h);
+    }
+}

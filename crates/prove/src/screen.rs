@@ -1,0 +1,201 @@
+//! The abstract prescreen: the three closed-form rejection tests of
+//! [`cactid_core::array::prescreen_explain`], transcribed operation for
+//! operation over interval-valued inputs.
+//!
+//! Each expression below mirrors the concrete source **with the same
+//! association**, so the per-operation containment induction of
+//! [`crate::iv`] applies: the concrete `f64` value computed by the solver
+//! lies inside the abstract interval at every point of the domain. A
+//! definite [`Verdict::Always`] on a rejection test is therefore a proof
+//! that the concrete screen — and, because `array::evaluate` runs the
+//! identical screen first, the evaluator — rejects every covered input;
+//! a definite [`Verdict::Never`] proves it never does.
+
+use crate::domain::Domain;
+use crate::iv::{Iv, Verdict};
+use cactid_core::array::WORDLINE_ELMORE_BOUND;
+use cactid_core::PrescreenFailure;
+use cactid_units::{Seconds, Volts};
+
+/// The abstract screen's view of one `(rows, cols)` point: a three-valued
+/// verdict per rejection test, plus the intervals behind them.
+#[derive(Debug, Clone, Copy)]
+pub struct AbsScreen {
+    /// Does the subarray-rows check reject? (Exact: integer compare.)
+    pub subarray_rows: Verdict,
+    /// Does the wordline-Elmore check reject?
+    pub wordline: Verdict,
+    /// Does the DRAM sense-margin check reject? `Never` for SRAM.
+    pub sense: Verdict,
+    /// The abstract wordline RC enclosure.
+    pub wl_rc: Iv<Seconds>,
+    /// The abstract charge-sharing signal enclosure (DRAM only).
+    pub sense_signal: Option<Iv<Volts>>,
+}
+
+/// The combined first-failure outcome at one point, respecting the check
+/// order of the concrete screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsOutcome {
+    /// Every check passes at every point of the domain: the concrete
+    /// screen returns `Ok` for every covered input.
+    Pass,
+    /// The named check rejects at every point of the domain and every
+    /// earlier check passes at every point: the concrete screen returns
+    /// exactly this failure for every covered input.
+    Reject(PrescreenFailure),
+    /// The domain straddles at least one check's boundary; the abstract
+    /// evaluation certifies nothing at this point.
+    Undecided,
+}
+
+/// Abstract wordline RC at `cols` columns, mirroring
+/// `0.38 * (r_wordline_per_cell * cols) * (c_wordline_per_cell * cols)`.
+pub fn abs_wordline_rc(dom: &Domain, cols: u64) -> Iv<Seconds> {
+    let cols_f = Iv::exact(cols as f64);
+    let r = dom.cell.r_wordline_per_cell * cols_f;
+    let c = dom.cell.c_wordline_per_cell * cols_f;
+    (Iv::exact(0.38_f64) * r) * c
+}
+
+/// Abstract DRAM charge-sharing signal at `rows`, mirroring
+/// `vdd_cell / 2.0 * c_storage / (c_storage + c_bitline_per_cell * rows)`.
+pub fn abs_sense_signal(dom: &Domain, rows: u64) -> Iv<Volts> {
+    let c_bl = dom.cell.c_bitline_per_cell * Iv::exact(rows as f64);
+    (dom.cell.vdd_cell / Iv::exact(2.0_f64)) * dom.cell.c_storage / (dom.cell.c_storage + c_bl)
+}
+
+/// Evaluates the three abstract rejection tests at one `(rows, cols)`
+/// point of the domain.
+pub fn abs_prescreen(dom: &Domain, rows: u64, cols: u64) -> AbsScreen {
+    // Check 1: rows > max_rows_per_subarray. Exact integers, so the only
+    // abstraction is the (normally degenerate) hull over the nodes' caps.
+    let subarray_rows = if rows > dom.max_rows_hi {
+        Verdict::Always
+    } else if rows <= dom.max_rows_lo {
+        Verdict::Never
+    } else {
+        Verdict::Mixed
+    };
+
+    // Check 2: wl_rc > WORDLINE_ELMORE_BOUND.
+    let wl_rc = abs_wordline_rc(dom, cols);
+    let wordline = wl_rc.gt(Iv::exact(WORDLINE_ELMORE_BOUND));
+
+    // Check 3 (DRAM only): sense signal < v_sense_margin.
+    let (sense, sense_signal) = if dom.is_dram() {
+        let s = abs_sense_signal(dom, rows);
+        (s.lt(dom.cell.v_sense_margin), Some(s))
+    } else {
+        (Verdict::Never, None)
+    };
+
+    AbsScreen {
+        subarray_rows,
+        wordline,
+        sense,
+        wl_rc,
+        sense_signal,
+    }
+}
+
+impl AbsScreen {
+    /// Per-test verdicts in check order.
+    #[must_use]
+    pub fn in_order(&self) -> [(PrescreenFailure, Verdict); 3] {
+        [
+            (PrescreenFailure::SubarrayRows, self.subarray_rows),
+            (PrescreenFailure::WordlineElmore, self.wordline),
+            (PrescreenFailure::SenseMargin, self.sense),
+        ]
+    }
+
+    /// Folds the per-test verdicts into the combined first-failure
+    /// outcome. `Reject(r)` is only produced when every check before `r`
+    /// is definitely passing, so the concrete failure *reason* is pinned,
+    /// not just the rejection.
+    #[must_use]
+    pub fn outcome(&self) -> AbsOutcome {
+        for (rule, verdict) in self.in_order() {
+            match verdict {
+                Verdict::Never => {}
+                Verdict::Always => return AbsOutcome::Reject(rule),
+                Verdict::Mixed => return AbsOutcome::Undecided,
+            }
+        }
+        AbsOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cactid_core::array::prescreen_explain;
+    use cactid_tech::{CellTechnology, TechNode, Technology};
+
+    /// The heart of the soundness claim, in miniature: at every scanned
+    /// point, a definite abstract outcome matches the concrete screen.
+    #[test]
+    fn definite_outcomes_agree_with_the_concrete_screen() {
+        for &(node, tech) in &[
+            (TechNode::N32, CellTechnology::Sram),
+            (TechNode::N78, CellTechnology::CommDram),
+            (TechNode::N32, CellTechnology::LpDram),
+        ] {
+            let dom = Domain::for_node(node, tech);
+            let cell = Technology::cached(node).cell(tech);
+            for rows in [16u64, 64, 512, 1024, 2048] {
+                for cols in [32u64, 256, 1024, 4096, 8192] {
+                    let abs = abs_prescreen(&dom, rows, cols).outcome();
+                    let conc = prescreen_explain(&cell, rows, cols);
+                    match abs {
+                        AbsOutcome::Pass => assert!(
+                            conc.is_ok(),
+                            "{node} {tech:?} ({rows},{cols}): abstract Pass, concrete {conc:?}"
+                        ),
+                        AbsOutcome::Reject(r) => assert_eq!(
+                            conc.err(),
+                            Some(r),
+                            "{node} {tech:?} ({rows},{cols}): abstract reason mismatch"
+                        ),
+                        AbsOutcome::Undecided => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn abstract_intervals_contain_the_concrete_values() {
+        let dom = Domain::for_node(TechNode::N78, CellTechnology::CommDram);
+        for &node in &dom.nodes.clone() {
+            let cell = Technology::cached(node).cell(CellTechnology::CommDram);
+            for cols in [1u64, 100, 8192] {
+                let conc = 0.38
+                    * (cell.r_wordline_per_cell * cols as f64)
+                    * (cell.c_wordline_per_cell * cols as f64);
+                assert!(
+                    abs_wordline_rc(&dom, cols).contains(conc),
+                    "wordline RC escapes its enclosure at {node}, cols {cols}"
+                );
+            }
+            for rows in [1u64, 16, 512] {
+                let Some(conc) = cell.dram_sense_signal(rows as usize) else {
+                    unreachable!("COMM-DRAM provides a sense signal");
+                };
+                assert!(
+                    abs_sense_signal(&dom, rows).contains(conc),
+                    "sense signal escapes its enclosure at {node}, rows {rows}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sram_never_fires_the_sense_check() {
+        let dom = Domain::for_node(TechNode::N45, CellTechnology::Sram);
+        let abs = abs_prescreen(&dom, 512, 512);
+        assert_eq!(abs.sense, Verdict::Never);
+        assert!(abs.sense_signal.is_none());
+    }
+}

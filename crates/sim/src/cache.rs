@@ -154,9 +154,9 @@ impl SetAssocCache {
         }
         // Evict the LRU line: the one with the greatest clock distance
         // (wrapping subtraction keeps this correct across clock wraps).
-        let victim_idx = range
-            .max_by_key(|&i| clock.wrapping_sub(self.lines[i].lru))
-            .expect("set has at least one way");
+        let Some(victim_idx) = range.max_by_key(|&i| clock.wrapping_sub(self.lines[i].lru)) else {
+            unreachable!("a set has at least one way")
+        };
         let victim = self.lines[victim_idx];
         self.lines[victim_idx] = Line {
             tag,

@@ -71,7 +71,7 @@ impl L3 {
     /// On an invalid configuration; use [`L3::try_new`] to get the typed
     /// [`ConfigError`] instead.
     pub fn new(cfg: L3Config) -> L3 {
-        L3::try_new(cfg).expect("invalid L3 configuration")
+        L3::try_new(cfg).unwrap_or_else(|e| panic!("invalid L3 configuration: {e}"))
     }
 
     /// The configuration this L3 was built from.

@@ -51,7 +51,8 @@ impl<T: TraceSource> Simulator<T> {
     /// On an invalid configuration; use [`Simulator::try_new`] to get the
     /// typed [`crate::config::ConfigError`] instead.
     pub fn new(cfg: SystemConfig, trace: T) -> Simulator<T> {
-        Simulator::try_new(cfg, trace).expect("invalid system configuration")
+        Simulator::try_new(cfg, trace)
+            .unwrap_or_else(|e| panic!("invalid system configuration: {e}"))
     }
 
     /// Builds an idle system, validating the configuration.
@@ -167,7 +168,9 @@ impl<T: TraceSource> Simulator<T> {
                 if self.threads[tid].pending.is_none() {
                     self.threads[tid].pending = Some(self.trace.next(tid));
                 }
-                let instr = self.threads[tid].pending.expect("just fetched");
+                let Some(instr) = self.threads[tid].pending else {
+                    unreachable!("a pending instruction was fetched just above")
+                };
                 let issued = match instr {
                     Instr::Fp if fp_free => {
                         fp_free = false;

@@ -147,7 +147,7 @@ fn cache_spec(
         })
         .optimization(opt)
         .build()
-        .expect("study cache specs are valid")
+        .unwrap_or_else(|e| panic!("study cache specs are valid: {e}"))
 }
 
 /// The study's 8 Gb DDR4-3200-class main-memory chip spec (paper §3.1).
@@ -166,7 +166,7 @@ pub fn main_memory_spec() -> MemorySpec {
         })
         .optimization(c_options())
         .build()
-        .expect("main-memory spec is valid")
+        .unwrap_or_else(|e| panic!("the main-memory spec is valid: {e}"))
 }
 
 /// Rounds a time to CPU cycles with the paper's pipeline-depth rule: the
@@ -226,7 +226,7 @@ pub fn build(kind: LlcKind) -> StudyConfig {
         CellTechnology::Sram,
         OptimizationOptions::default(),
     ))
-    .expect("L1 solves");
+    .unwrap_or_else(|e| panic!("the L1 spec solves: {e}"));
     let l2_sol = optimize_cached(&cache_spec(
         1 << 20,
         8,
@@ -234,19 +234,20 @@ pub fn build(kind: LlcKind) -> StudyConfig {
         CellTechnology::Sram,
         OptimizationOptions::default(),
     ))
-    .expect("L2 solves");
-    let mm_sol = optimize_cached(&main_memory_spec()).expect("main memory solves");
-    let mm = mm_sol
-        .main_memory
-        .as_ref()
-        .expect("main-memory solution has chip-level data");
+    .unwrap_or_else(|e| panic!("the L2 spec solves: {e}"));
+    let mm_sol = optimize_cached(&main_memory_spec())
+        .unwrap_or_else(|e| panic!("the main-memory spec solves: {e}"));
+    let Some(mm) = mm_sol.main_memory.as_ref() else {
+        unreachable!("a main-memory solution carries chip-level data")
+    };
 
     let l3_sol = kind.l3_shape().map(|(cap, assoc, cell, cap_opt)| {
         let mut opt = if cap_opt { c_options() } else { ed_options() };
         // The paper models an aggressively leakage-controlled SRAM L3
         // (sleep transistors halving idle-mat leakage, like the 65 nm Xeon).
         opt.sleep_transistors = cell == CellTechnology::Sram;
-        optimize_cached(&cache_spec(cap, assoc, 8, cell, opt)).expect("L3 solves")
+        optimize_cached(&cache_spec(cap, assoc, 8, cell, opt))
+            .unwrap_or_else(|e| panic!("the {} L3 spec solves: {e}", kind.label()))
     });
 
     let xbar = crossbar_eval();
@@ -277,7 +278,9 @@ pub fn build(kind: LlcKind) -> StudyConfig {
         page_policy: PagePolicy::Open,
     };
     system.l3 = l3_sol.as_ref().map(|sol| {
-        let (cap, assoc, cell, _) = kind.l3_shape().expect("kind has an L3");
+        let Some((cap, assoc, cell, _)) = kind.l3_shape() else {
+            unreachable!("an L3 solution implies an L3 shape")
+        };
         L3Config {
             bank: cache_config(sol, cap / 8, assoc),
             n_banks: 8,

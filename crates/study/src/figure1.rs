@@ -76,7 +76,7 @@ pub fn xeon_spec(opt: OptimizationOptions) -> MemorySpec {
             ..opt
         })
         .build()
-        .expect("xeon spec is valid")
+        .unwrap_or_else(|e| panic!("the Xeon spec is valid: {e}"))
 }
 
 /// Power at activity factor `af` given the cache cycles at ~1 GHz L3 clock.
@@ -141,7 +141,7 @@ pub fn sparc_spec(opt: OptimizationOptions) -> MemorySpec {
         })
         .optimization(opt)
         .build()
-        .expect("sparc spec is valid")
+        .unwrap_or_else(|e| panic!("the SPARC spec is valid: {e}"))
 }
 
 /// The SPARC L2 validation point: the best-access-time solution under
@@ -153,8 +153,9 @@ pub fn sparc_point() -> Figure1Point {
         ..OptimizationOptions::default()
     };
     let spec = sparc_spec(opt);
-    let sols = solve(&spec).expect("sparc spec solves");
-    let sol = cactid_core::select(&spec, &sols).expect("solve returned a non-empty set");
+    let sols = solve(&spec).unwrap_or_else(|e| panic!("the SPARC spec solves: {e}"));
+    let sol = cactid_core::select(&spec, &sols)
+        .unwrap_or_else(|e| unreachable!("solve returned a non-empty set: {e}"));
     Figure1Point {
         knobs: "sparc l2 (90nm)".into(),
         access_time: sol.access_time.value(),
@@ -169,7 +170,7 @@ pub fn best_access_mean_error(points: &[Figure1Point]) -> f64 {
     let best = points
         .iter()
         .min_by(|a, b| a.access_time.total_cmp(&b.access_time))
-        .expect("non-empty");
+        .unwrap_or_else(|| panic!("points must be non-empty"));
     let t = XEON_TARGETS[0];
     (pct_err(best.access_time, t.access_time).abs()
         + pct_err(best.area, t.area).abs()

@@ -111,7 +111,7 @@ pub fn find(study: &[(StudyConfig, Vec<AppRun>)], app: NpbApp, kind: LlcKind) ->
         .iter()
         .find(|(c, _)| c.kind == kind)
         .and_then(|(_, runs)| runs.iter().find(|r| r.app == app))
-        .expect("run exists")
+        .unwrap_or_else(|| panic!("no run for {app:?} on {kind:?}"))
 }
 
 /// Relative execution-time reduction of `kind` vs. no-L3 for one app

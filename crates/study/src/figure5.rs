@@ -46,7 +46,7 @@ pub fn figure5(study: &[(StudyConfig, Vec<AppRun>)]) -> Vec<PowerRun> {
 pub fn find(rows: &[PowerRun], app: NpbApp, kind: LlcKind) -> &PowerRun {
     rows.iter()
         .find(|r| r.app == app && r.kind == kind)
-        .expect("power run exists")
+        .unwrap_or_else(|| panic!("no power run for {app:?} on {kind:?}"))
 }
 
 /// Average (across apps) hierarchy-power increase of `kind` vs. no-L3.

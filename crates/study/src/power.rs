@@ -107,11 +107,9 @@ impl MemoryHierarchyPower {
             None => (0.0, 0.0, 0.0, 0.0, 0.0),
         };
 
-        let mm = cfg
-            .main_memory
-            .main_memory
-            .as_ref()
-            .expect("study config has a chip-level main-memory solution");
+        let Some(mm) = cfg.main_memory.main_memory.as_ref() else {
+            unreachable!("a study config carries a chip-level main-memory solution")
+        };
         let e = &mm.energies;
         let mem_dyn = CHIPS_PER_RANK
             * (c.mem_activates as f64 * e.activate.value()

@@ -43,7 +43,9 @@ pub fn capacity_sweep(
     // worker finished first.
     cactid_explore::pool::parallel_map(0, capacities, |_, &cap| {
         let mut cfg = base.clone();
-        let l3 = cfg.system.l3.as_mut().expect("base config has an L3");
+        let Some(l3) = cfg.system.l3.as_mut() else {
+            unreachable!("the sweep base config carries an L3")
+        };
         l3.bank.capacity_bytes = cap / u64::from(l3.n_banks);
         let trace = NpbTrace::with_class(app, class, cfg.system.n_threads());
         let mut sim = Simulator::new(cfg.system.clone(), trace);

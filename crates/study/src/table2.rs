@@ -83,13 +83,15 @@ pub fn micron_spec() -> MemorySpec {
             ..OptimizationOptions::default()
         })
         .build()
-        .expect("micron spec is valid")
+        .unwrap_or_else(|e| panic!("the Micron spec is valid: {e}"))
 }
 
 /// Solves the Micron spec and assembles the validation rows.
 pub fn table2() -> (Solution, Vec<Table2Row>) {
-    let sol = optimize(&micron_spec()).expect("micron spec solves");
-    let mm = sol.main_memory.as_ref().expect("chip-level result");
+    let sol = optimize(&micron_spec()).unwrap_or_else(|e| panic!("the Micron spec solves: {e}"));
+    let Some(mm) = sol.main_memory.as_ref() else {
+        unreachable!("a main-memory solution carries the chip-level result")
+    };
     let a = MICRON_ACTUAL;
     let rows = vec![
         Table2Row {

@@ -84,8 +84,12 @@ pub fn table3() -> Vec<Table3Column> {
     cols.push(column("L2", &base.l2, 1 << 20, 1, 8, false));
     for &kind in LlcKind::ALL.iter().skip(1) {
         let cfg = configs::build(kind);
-        let (cap, assoc, _, _) = kind.l3_shape().expect("has L3");
-        let sol = cfg.l3.as_ref().expect("L3 solution");
+        let Some((cap, assoc, _, _)) = kind.l3_shape() else {
+            unreachable!("every kind past NoL3 has an L3")
+        };
+        let Some(sol) = cfg.l3.as_ref() else {
+            unreachable!("an L3 shape implies an L3 solution")
+        };
         cols.push(column(
             &format!("L3 {}", kind.label()),
             sol,
@@ -97,7 +101,9 @@ pub fn table3() -> Vec<Table3Column> {
     }
     // Main memory chip: access time = tRCD + CL, cycle = tRC.
     let mm_sol = &base.main_memory;
-    let mm = mm_sol.main_memory.as_ref().expect("chip data");
+    let Some(mm) = mm_sol.main_memory.as_ref() else {
+        unreachable!("a main-memory solution carries chip-level data")
+    };
     let access = cycles(mm.timing.t_rcd + mm.timing.cas_latency);
     let ratio = 16; // DDR interface clock vs 2 GHz core
     cols.push(Table3Column {

@@ -93,10 +93,12 @@ impl Technology {
     /// over thousands of specs at one node constructs the model exactly
     /// once; [`Technology::constructions`] observes the deduplication.
     pub fn cached(node: TechNode) -> &'static Technology {
-        let slot = TechNode::ALL_WITH_HALF_NODES
+        let Some(slot) = TechNode::ALL_WITH_HALF_NODES
             .iter()
             .position(|&n| n == node)
-            .expect("every TechNode is listed in ALL_WITH_HALF_NODES");
+        else {
+            unreachable!("every TechNode is listed in ALL_WITH_HALF_NODES")
+        };
         CACHED[slot].get_or_init(|| Technology::new(node))
     }
 

@@ -62,7 +62,9 @@ impl NpbTrace {
     /// Panics if `n_threads` is 0 or the profile fails validation.
     pub fn from_profile(profile: Profile, n_threads: usize) -> NpbTrace {
         assert!(n_threads > 0);
-        profile.validate().expect("profile must be consistent");
+        if let Err(e) = profile.validate() {
+            panic!("profile must be consistent: {e}");
+        }
         let threads = (0..n_threads)
             .map(|t| ThreadGen {
                 rng: (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,

@@ -23,18 +23,29 @@
 //! points without solving. The `audit` subcommand statically classifies
 //! every point of a grid before any solve (`--grid` + axis flags, with a
 //! per-rule infeasibility histogram) or replays the cross-record
-//! `CD0101`–`CD0105` rules over a finished run (`--jsonl FILE`).
+//! `CD0101`–`CD0105` rules over a finished run (`--jsonl FILE`). The
+//! `prove` subcommand runs the `cactid-prove` interval certifier over the
+//! spec's technology domain: it checks every shipped prescreen rule
+//! sound on the whole sweep grid, analyzes the CD0021/CD0022
+//! plausibility windows for vacuity and dead edges, and reports the
+//! certified prescreen bounds (`CD0201`–`CD0204`). On the classic path,
+//! `--certified` routes the solve through those proven bounds — the
+//! solution set is byte-identical by construction.
 //!
 //! The binary lives in the facade crate (not `cactid-core`) because the
 //! `lint` subcommand needs `cactid-analyze`, which depends on the core —
 //! a bin inside the core could not see it.
 
+use cactid_analyze::rules::sol::{
+    ACCESS_TIME_MAX, ACCESS_TIME_MIN, DYN_ENERGY_MAX, DYN_ENERGY_MIN,
+};
 use cactid_analyze::{render, Analyzer, RunContext, SeverityAction, SeverityOverrides};
 use cactid_core::{
-    AccessMode, Diagnostic, MemoryKind, MemorySpec, OptimizationOptions, Report, Solution,
-    SolutionLinter,
+    AccessMode, CactiError, Diagnostic, MemoryKind, MemorySpec, OptimizationOptions, Report,
+    Solution, SolutionLinter,
 };
 use cactid_explore::{AuditVerdict, ExploreConfig, Grid, OptVariant};
+use cactid_prove::{MetricWindow, WindowMetric};
 use cactid_tech::{CellTechnology, TechNode};
 use cactid_units::{Seconds, Watts};
 use std::path::PathBuf;
@@ -47,7 +58,7 @@ fn usage() -> ! {
          \x20      [--mode normal|sequential|fast] [--ram]\n\
          \x20      [--main-memory --io N --burst N --prefetch N --page <bits|K>]\n\
          \x20      [--max-area PCT] [--max-time PCT] [--relax X] [--sleep]\n\
-         \x20      [--solutions]\n\
+         \x20      [--solutions] [--certified]\n\
          \n\
          subcommands:\n\
          \x20 lint     run the CD0001-CD0022 diagnostics over the spec (and the\n\
@@ -55,6 +66,11 @@ fn usage() -> ! {
          \x20          accepts --deny-warnings, --format text|json, and repeatable\n\
          \x20          --allow/--warn/--deny CDxxxx severity overrides;\n\
          \x20          exits non-zero on errors\n\
+         \x20 prove    run the interval-arithmetic certifier over the spec's\n\
+         \x20          technology domain: soundness certificates for every shipped\n\
+         \x20          prescreen rule, CD0021/CD0022 window satisfiability, and\n\
+         \x20          certified prescreen bounds (CD0201-CD0204); accepts the\n\
+         \x20          same lint output/severity flags\n\
          \x20 explore  batch design-space exploration; axes are comma lists:\n\
          \x20          --sizes LIST (required) [--blocks LIST] [--assocs LIST]\n\
          \x20          [--banks LIST] [--nodes LIST] [--cells LIST]\n\
@@ -147,6 +163,7 @@ struct Args {
     page_bits: u64,
     opt: OptimizationOptions,
     list_solutions: bool,
+    certified: bool,
     deny_warnings: bool,
     format: OutputFormat,
     overrides: SeverityOverrides,
@@ -200,6 +217,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         page_bits: 8 << 10,
         opt: OptimizationOptions::default(),
         list_solutions: false,
+        certified: false,
         deny_warnings: false,
         format: OutputFormat::Text,
         overrides: SeverityOverrides::new(),
@@ -249,6 +267,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--relax" => a.opt.repeater_relax = parse_num(flag, value(argv, &mut i, flag)?)?,
             "--sleep" => a.opt.sleep_transistors = true,
             "--solutions" => a.list_solutions = true,
+            "--certified" => a.certified = true,
             "--deny-warnings" => a.deny_warnings = true,
             "--format" => {
                 let v = value(argv, &mut i, flag)?;
@@ -793,6 +812,73 @@ fn run_lint(a: &Args) -> ! {
     finish_lint(&analyzer, &report, a.deny_warnings, a.format)
 }
 
+/// The shipped CD0021/CD0022 plausibility windows, in the shape the
+/// prover's window analysis consumes. Built from the same public
+/// constants the rules themselves compare against, so the analysis can
+/// never drift from the lint.
+fn shipped_windows() -> [MetricWindow; 2] {
+    [
+        MetricWindow {
+            rule_code: "CD0021",
+            metric: WindowMetric::AccessTime,
+            min_si: ACCESS_TIME_MIN.value(),
+            max_si: ACCESS_TIME_MAX.value(),
+        },
+        MetricWindow {
+            rule_code: "CD0022",
+            metric: WindowMetric::ReadEnergy,
+            min_si: DYN_ENERGY_MIN.value(),
+            max_si: DYN_ENERGY_MAX.value(),
+        },
+    ]
+}
+
+/// The `cactid prove` subcommand: certify the prescreen sound over the
+/// spec's whole technology domain, analyze the plausibility windows, and
+/// report via the standard diagnostics pipeline (CD0201-CD0204). The
+/// human-readable proof summary goes to stdout in text mode and stderr in
+/// JSON mode, so piping the JSONL stays clean.
+fn run_prove(argv: &[String]) -> ! {
+    let a = parse_args(argv).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    // Validates any --allow/--warn/--deny codes against the registry.
+    let analyzer = Analyzer::with_overrides(a.overrides.clone()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2)
+    });
+    let spec = spec_from_args(&a);
+    let proof = cactid_prove::certify_spec(&spec);
+    let report: Report = cactid_prove::diagnostics(&proof, &shipped_windows())
+        .into_vec()
+        .into_iter()
+        .filter_map(|d| a.overrides.apply(d))
+        .collect();
+    match a.format {
+        OutputFormat::Text => println!("{}", cactid_prove::text_summary(&proof)),
+        OutputFormat::Json => eprintln!("{}", cactid_prove::text_summary(&proof)),
+    }
+    finish_lint(&analyzer, &report, a.deny_warnings, a.format)
+}
+
+/// Solves the spec for the classic path: the exact staged screen by
+/// default, or — with `--certified` — through the prover's certified
+/// prescreen bounds. The certified screen only skips checks the proof
+/// shows redundant, so the solution set is identical either way.
+fn solve_classic(
+    a: &Args,
+    spec: &MemorySpec,
+    analyzer: &Analyzer,
+) -> Result<Vec<Solution>, CactiError> {
+    if a.certified {
+        let bounds = cactid_prove::certified_bounds(spec.node, spec.cell_tech);
+        cactid_core::solve_with_stats_certified(spec, Some(analyzer), &bounds).result
+    } else {
+        cactid_core::solve_with(spec, analyzer)
+    }
+}
+
 fn print_warnings(analyzer: &Analyzer, warnings: &[Diagnostic]) {
     if warnings.is_empty() {
         return;
@@ -808,6 +894,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("audit") {
         run_audit(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("prove") {
+        run_prove(&argv[1..]);
     }
     let (lint_mode, rest) = match argv.first().map(String::as_str) {
         Some("lint") => (true, &argv[1..]),
@@ -850,7 +939,7 @@ fn main() {
     );
     let analyzer = Analyzer::new();
     if a.list_solutions {
-        let sols = cactid_core::solve_with(&spec, &analyzer).unwrap_or_else(|e| {
+        let sols = solve_classic(&a, &spec, &analyzer).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             exit(1)
         });
@@ -874,7 +963,13 @@ fn main() {
         }
         println!("{} feasible organizations", sols.len());
     } else {
-        let sol = cactid_core::optimize_with(&spec, &analyzer).unwrap_or_else(|e| {
+        // solve + select is exactly optimize_with, split so --certified
+        // can swap the solve stage without touching the selection.
+        let sols = solve_classic(&a, &spec, &analyzer).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+        let sol = cactid_core::select(&spec, &sols).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             exit(1)
         });

@@ -225,6 +225,143 @@ fn staged_solve_matches_the_unpruned_reference() {
     }
 }
 
+/// Three-way verdict agreement on random subarray geometries: the
+/// closed-form pre-screen, the certified fast path (under both the proved
+/// and the conservative certificate), and the full electrical evaluation
+/// accept/reject exactly the same `(cell, rows, cols)` points — and the
+/// screens name the same failure reason.
+#[test]
+fn prescreen_certificates_and_evaluation_agree_on_random_arrays() {
+    use cacti_d::core::array::{evaluate, prescreen_explain, prescreen_verdict_with, ArrayInput};
+    use cacti_d::core::CertifiedBounds;
+
+    let mut rng = XorShift64Star::new(0xCAC7_1D08);
+    let conservative = CertifiedBounds::conservative();
+    let nodes = [TechNode::N90, TechNode::N45, TechNode::N32];
+    // The proved certificates are per (node, cell): build each once.
+    let mut proved = std::collections::HashMap::new();
+    for _ in 0..CASES {
+        let node = nodes[rng.next_below(3) as usize];
+        let cell_tech = CellTechnology::ALL[rng.next_below(3) as usize];
+        let rows = 1u64 << rng.next_in_range(4, 13);
+        let cols = 1u64 << rng.next_in_range(5, 13);
+        let tech = Technology::new(node);
+        let cell = tech.cell(cell_tech);
+        let input = ArrayInput {
+            rows,
+            cols,
+            ndwl: 4,
+            ndbl: 8,
+            deg_bl_mux: 1,
+            deg_sa_mux: 4,
+            output_bits: cols.min(512),
+            address_bits: 40,
+            cell,
+            periph: tech.peripheral_device(cell_tech),
+            repeater_relax: 1.0,
+            sleep_transistors: false,
+            sense_fraction: 1.0,
+        };
+
+        let explained = prescreen_explain(&cell, rows, cols).map(|_| ());
+        let evaluated = evaluate(&tech, &input);
+        assert_eq!(
+            explained.is_ok(),
+            evaluated.is_ok(),
+            "screen and evaluation disagree for {cell_tech:?}@{node:?} {rows}x{cols}"
+        );
+
+        let bounds = proved
+            .entry((node, cell_tech))
+            .or_insert_with(|| cacti_d::prove::certified_bounds(node, cell_tech));
+        for b in [&conservative, &*bounds] {
+            assert_eq!(
+                explained,
+                prescreen_verdict_with(&cell, rows, cols, b),
+                "certified fast path diverges for {cell_tech:?}@{node:?} {rows}x{cols}"
+            );
+        }
+    }
+}
+
+/// Three-way agreement on random cache specs: `static_screen`, its
+/// certified variant, and the real staged solve see the same organization
+/// population — identical enumeration and bound-prune counts, a provably
+/// infeasible verdict reproduces the solve's exact error and stats, and a
+/// maybe-feasible verdict never over-counts the survivors.
+#[test]
+fn static_screen_certificates_and_solve_agree_on_random_specs() {
+    use cacti_d::core::array::prescreen_explain;
+    use cacti_d::core::{
+        org, solve_with_stats, static_screen, static_screen_certified, ScreenVerdict,
+    };
+
+    let mut rng = XorShift64Star::new(0xCAC7_1D09);
+    let nodes = [TechNode::N90, TechNode::N45, TechNode::N32];
+    let mut proved = std::collections::HashMap::new();
+    for _ in 0..CASES / 2 {
+        let node = nodes[rng.next_below(3) as usize];
+        let cell = CellTechnology::ALL[rng.next_below(3) as usize];
+        let cap_shift = rng.next_in_range(14, 23) as u32;
+        let assoc = 1u32 << rng.next_in_range(0, 4) as u32;
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1u64 << cap_shift)
+            .block_bytes(64)
+            .associativity(assoc)
+            .banks(1)
+            .cell_tech(cell)
+            .node(node)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap();
+
+        let screen = static_screen(&spec);
+        let bounds = proved
+            .entry((node, cell))
+            .or_insert_with(|| cacti_d::prove::certified_bounds(node, cell));
+        assert_eq!(
+            screen,
+            static_screen_certified(&spec, bounds),
+            "certified screen diverges for {cell:?}@{node:?} {}B x{assoc}",
+            spec.capacity_bytes
+        );
+
+        // The screen's aggregate must restate the per-org closed form.
+        let tech = Technology::new(node);
+        let cell_params = tech.cell(cell);
+        let mut enumerated = 0usize;
+        let mut rejected = 0usize;
+        for o in org::enumerate_lazy(&spec) {
+            enumerated += 1;
+            if prescreen_explain(&cell_params, o.rows(&spec), o.cols(&spec)).is_err() {
+                rejected += 1;
+            }
+        }
+        assert_eq!(screen.stats.orgs_enumerated, enumerated);
+        assert_eq!(screen.stats.bound_pruned, rejected);
+        assert_eq!(screen.reasons.total(), rejected);
+
+        // And the real solve must see the same population.
+        let solved = solve_with_stats(&spec, None);
+        assert_eq!(solved.stats.orgs_enumerated, enumerated);
+        assert_eq!(solved.stats.bound_pruned, rejected);
+        match screen.verdict {
+            ScreenVerdict::Infeasible(ref e) => {
+                assert_eq!(solved.result.as_ref().err(), Some(e));
+                assert_eq!(solved.stats, screen.stats, "infeasible stats diverge");
+            }
+            ScreenVerdict::MaybeFeasible { survivors } => {
+                assert_eq!(survivors, enumerated - rejected);
+                if let Ok(sols) = &solved.result {
+                    assert!(sols.len() <= survivors, "more solutions than survivors");
+                }
+            }
+        }
+    }
+}
+
 /// `solve_with_stats_parallel` returns the same solutions in the same
 /// order as the serial staged pipeline, at every thread count.
 #[test]
