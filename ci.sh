@@ -154,6 +154,46 @@ if grep -vq '^{.*}$' "$PDIR/diag.jsonl"; then
 fi
 rm -rf "$PDIR"
 
+echo "== cactid serve smoke run (stdio JSONL + persistent store)"
+# Drive the resident service end to end over stdio: three requests where
+# the third duplicates the first, against a fresh store. The duplicate
+# must be answered from the persistent store (serve.store.hits >= 1 in
+# the trace sidecar), every response line must be JSONL, and the two
+# duplicate answers must differ only in their idx prefix.
+SDIR=$(mktemp -d)
+printf '%s\n' \
+  '{"id":1,"op":"solve","size":1048576,"assoc":8,"cell":"sram","node":32}' \
+  '{"id":2,"op":"solve","size":8388608,"assoc":16,"cell":"lp-dram","node":32}' \
+  '{"id":3,"op":"solve","size":1048576,"assoc":8,"cell":"sram","node":32}' \
+  | $CACTID serve --stdio --store "$SDIR/solutions.store" \
+      --trace "$SDIR/serve.trace.jsonl" > "$SDIR/responses.jsonl" 2>/dev/null
+test "$(wc -l < "$SDIR/responses.jsonl")" = 3 || {
+    echo "serve answered the wrong number of lines:" >&2
+    cat "$SDIR/responses.jsonl" >&2
+    exit 1
+}
+if grep -vq '^{.*}$' "$SDIR/responses.jsonl"; then
+    echo "serve emitted a non-JSONL response line" >&2
+    exit 1
+fi
+grep -q '"error"' "$SDIR/responses.jsonl" && {
+    echo "serve answered a smoke request with an error:" >&2
+    cat "$SDIR/responses.jsonl" >&2
+    exit 1
+}
+# Duplicate answered from the store, byte-identical after the idx prefix.
+grep -q '"name":"serve.store.hits","value":[1-9]' "$SDIR/serve.trace.jsonl" || {
+    echo "the duplicate request did not hit the persistent store" >&2
+    exit 1
+}
+test "$(sed -n '1s/^{"idx":1,//p' "$SDIR/responses.jsonl")" = \
+     "$(sed -n '3s/^{"idx":3,//p' "$SDIR/responses.jsonl")" || {
+    echo "duplicate answers differ beyond the idx prefix:" >&2
+    cat "$SDIR/responses.jsonl" >&2
+    exit 1
+}
+rm -rf "$SDIR"
+
 echo "== solve-throughput bench smoke (--quick)"
 # The hermetic single-solve bench must run, emit a schema-valid
 # BENCH_solve.json, and show the cheap-bound pre-screen actually firing
@@ -177,5 +217,21 @@ grep -q '"spec":"comm-dram-dimm","orgs_per_solve":[0-9]*,"bound_pruned":[1-9]' \
     exit 1
 }
 rm -rf "$BDIR"
+
+echo "== serve-throughput bench smoke (--quick)"
+# The cold-vs-warm serve bench must run (its internal asserts pin warm
+# byte-identity) and emit a schema-valid BENCH_serve.json.
+VDIR=$(mktemp -d)
+cargo bench --quiet -p cactid-bench --bench serve_throughput -- \
+    --quick --out "$VDIR/bench.json" >/dev/null 2>&1
+for KEY in '"schema":"cactid-bench-serve-v1"' '"warm_p50_us"' \
+    '"warm_queries_per_sec"' '"speedup_warm_vs_cold"' \
+    '"warm_byte_identical":true' '"warm_speedup_over_5x"'; do
+    grep -q "$KEY" "$VDIR/bench.json" || {
+        echo "BENCH_serve.json missing key $KEY" >&2
+        exit 1
+    }
+done
+rm -rf "$VDIR"
 
 echo "ci: all checks passed"

@@ -50,7 +50,7 @@ pub mod spec;
 pub mod tag;
 
 mod optimizer;
-mod par;
+pub mod par;
 
 pub use array::{CertifiedBounds, PrescreenFailure};
 pub use dimm::{DimmConfig, DimmResult};
@@ -72,6 +72,43 @@ mod tests {
     use super::*;
     use cactid_tech::{CellTechnology, TechNode};
     use cactid_units::Watts;
+
+    #[test]
+    fn shared_types_are_send_and_sync() {
+        // Long-lived services hand these across worker threads; a field
+        // change that silently drops Send/Sync must fail here, not at a
+        // distant spawn site.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemorySpec>();
+        assert_send_sync::<Solution>();
+        assert_send_sync::<CactiError>();
+        assert_send_sync::<SolveStats>();
+        assert_send_sync::<OptimizationOptions>();
+    }
+
+    #[test]
+    fn concurrent_solves_of_one_spec_agree_bitwise() {
+        // Eight threads race the same spec against the resident technology
+        // tables; every winner must be identical to the single-threaded
+        // answer (solves are pure given the spec).
+        let spec = MemorySpec::builder()
+            .capacity_bytes(256 << 10)
+            .block_bytes(64)
+            .associativity(8)
+            .banks(1)
+            .cell_tech(CellTechnology::Sram)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap();
+        let reference = optimize(&spec).unwrap();
+        let winners = par::parallel_map(8, 8, |_| optimize(&spec).unwrap());
+        for w in winners {
+            assert_eq!(w, reference);
+        }
+    }
 
     #[test]
     fn three_technologies_rank_as_the_paper_says() {

@@ -7,6 +7,10 @@
 //! shape as `explore::pool`, minus that pool's observability plumbing —
 //! intra-spec fan-out sits inside the `core.solve` span and must not
 //! perturb the per-solve counter contract.
+//!
+//! The module is public: downstream layers (batch engines, long-running
+//! services) reuse the same primitive for small index-addressed fan-outs
+//! instead of growing a second pool implementation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -19,7 +23,7 @@ use std::sync::Mutex;
 /// * With one effective thread everything runs inline on the caller's
 ///   thread in index order — no spawning, so single-threaded calls are
 ///   exactly as deterministic and cheap as a plain loop.
-pub(crate) fn parallel_map<R, F>(threads: usize, n: usize, work: F) -> Vec<R>
+pub fn parallel_map<R, F>(threads: usize, n: usize, work: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,

@@ -129,16 +129,38 @@ impl SolveCache {
     }
 }
 
-/// [`cactid_core::optimize`] through the process-global memo: the first
-/// call per distinct spec solves, every later call is a lookup. Study
-/// drivers that assemble many configurations from a shared pool of specs
-/// call this instead of `optimize`.
+/// [`cactid_core::optimize`] through an explicit, caller-owned memo: the
+/// first call per distinct spec solves, every later call against the same
+/// `cache` is a lookup. This is the injectable form — the exploration
+/// engine ([`crate::ExploreConfig::cache`]), study drivers, and long-lived
+/// services each pass the handle they want shared, instead of implicitly
+/// coupling through process state. Pass [`SolveCache::global`] to get the
+/// old process-wide sharing behavior explicitly.
+///
+/// The cache must only ever see lint-free solves (this function passes no
+/// linter); see the [`SolveCache`] docs for the sharing contract.
 ///
 /// # Errors
 ///
 /// Exactly those of [`cactid_core::optimize`].
+pub fn optimize_cached_in(cache: &SolveCache, spec: &MemorySpec) -> Result<Solution, CactiError> {
+    cache.solve_point(spec, None).0.result
+}
+
+/// [`cactid_core::optimize`] through the process-global memo.
+///
+/// Thin shim over [`optimize_cached_in`] with [`SolveCache::global`];
+/// kept so existing call sites keep compiling and behaving identically,
+/// but new code should take a [`SolveCache`] handle explicitly — implicit
+/// process-global state is impossible to scope, reset, or share across a
+/// service boundary deliberately.
+///
+/// # Errors
+///
+/// Exactly those of [`cactid_core::optimize`].
+#[deprecated(note = "pass a cache handle: `optimize_cached_in(SolveCache::global(), spec)`")]
 pub fn optimize_cached(spec: &MemorySpec) -> Result<Solution, CactiError> {
-    SolveCache::global().solve_point(spec, None).0.result
+    optimize_cached_in(SolveCache::global(), spec)
 }
 
 #[cfg(test)]
@@ -177,11 +199,42 @@ mod tests {
     #[test]
     fn cached_winner_matches_optimize() {
         let s = spec(128 << 10);
-        let via_cache = optimize_cached(&s).unwrap();
+        let via_cache = optimize_cached_in(SolveCache::global(), &s).unwrap();
         assert_eq!(via_cache, optimize(&s).unwrap());
         // And the global memo now serves it without re-solving.
         let (_, hit) = SolveCache::global().solve_point(&s, None);
         assert!(hit);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_global_shim_still_routes_through_the_global_memo() {
+        let s = spec(256 << 10);
+        let via_shim = optimize_cached(&s).unwrap();
+        assert_eq!(
+            via_shim,
+            optimize_cached_in(SolveCache::global(), &s).unwrap()
+        );
+        let (_, hit) = SolveCache::global().solve_point(&s, None);
+        assert!(hit, "the shim populated the global cache");
+    }
+
+    #[test]
+    fn injectable_handles_are_independent() {
+        let a = SolveCache::new();
+        let b = SolveCache::new();
+        let s = spec(64 << 10);
+        optimize_cached_in(&a, &s).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(b.is_empty(), "separate handles share nothing");
+        let (_, hit) = b.solve_point(&s, None);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn cache_handle_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveCache>();
     }
 
     #[test]

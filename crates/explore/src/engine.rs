@@ -57,6 +57,14 @@ pub struct ExploreConfig<'a> {
     pub audit: bool,
     /// Lint engine consulted on every candidate (shared across workers).
     pub linter: Option<&'a (dyn SolutionLinter + Sync)>,
+    /// Solve memo to populate and consult. `None` (the default) gives the
+    /// run a fresh private cache, preserving the engine's historical
+    /// behavior byte for byte; passing a handle lets long-lived callers
+    /// (the `cactid-serve` service, repeated in-process sweeps) share warm
+    /// results across runs. A shared cache must only ever see one linter
+    /// configuration — the linter participates in the solve but not in
+    /// the cache key (see [`SolveCache`]).
+    pub cache: Option<&'a SolveCache>,
 }
 
 impl fmt::Debug for ExploreConfig<'_> {
@@ -68,6 +76,7 @@ impl fmt::Debug for ExploreConfig<'_> {
             .field("pareto", &self.pareto)
             .field("audit", &self.audit)
             .field("linter", &self.linter.map(|_| "dyn SolutionLinter"))
+            .field("cache", &self.cache.map(|_| "SolveCache"))
             .finish()
     }
 }
@@ -278,7 +287,16 @@ pub fn explore(grid: &Grid, config: &ExploreConfig<'_>) -> Result<ExploreReport,
         cactid_obs::counter!("explore.engine.audit_skipped").add(stats.audit_skipped as u64);
     }
 
-    let cache = SolveCache::new();
+    // Injected handle or a run-private memo: the run-private default keeps
+    // the historical behavior (and the determinism tests' bytes) intact.
+    let private_cache;
+    let cache = match config.cache {
+        Some(shared) => shared,
+        None => {
+            private_cache = SolveCache::new();
+            &private_cache
+        }
+    };
     let linter = config.linter;
     let tech_before = Technology::constructions();
     let mut io_error: Option<ExploreError> = None;
@@ -480,6 +498,28 @@ mod tests {
                 .count
                 >= 1
         );
+    }
+
+    #[test]
+    fn injected_cache_is_shared_across_runs_with_identical_output() {
+        let cache = SolveCache::new();
+        let config = ExploreConfig {
+            cache: Some(&cache),
+            ..ExploreConfig::default()
+        };
+        let cold = explore(&grid(), &config).unwrap();
+        assert_eq!(cold.stats.solved, 4);
+        assert_eq!(cache.len(), 4);
+        // Second run over the same grid: every point served from the
+        // injected memo, not re-solved — and the bytes don't move.
+        let warm = explore(&grid(), &config).unwrap();
+        assert_eq!(warm.stats.solved, 0);
+        assert_eq!(warm.stats.memoized, 4);
+        assert_eq!(warm.lines, cold.lines);
+        // A default-config run still gets a private cache: it re-solves.
+        let private = explore(&grid(), &ExploreConfig::default()).unwrap();
+        assert_eq!(private.stats.solved, 4);
+        assert_eq!(private.lines, cold.lines);
     }
 
     #[test]

@@ -135,6 +135,70 @@ pub fn spec_fingerprint(spec: &MemorySpec) -> u64 {
     h.finish()
 }
 
+/// An **injective** single-line canonical encoding of a full
+/// [`MemorySpec`], covering exactly the fields [`spec_fingerprint`]
+/// hashes, in the same order.
+///
+/// Where the fingerprint compresses to 64 bits, this string loses
+/// nothing: integers render in decimal, floats as their IEEE-754 bit
+/// pattern in hex (so `0.0` and `-0.0`, or two knobs differing in the
+/// last ulp, stay distinct), and the kind tag prefixes its own fields.
+/// Two specs are equal **iff** their canonical strings are equal, which
+/// is what makes the string usable as a collision guard: a
+/// content-addressed store keyed by the 64-bit fingerprint compares
+/// canonical strings on lookup, so a fingerprint collision degrades to a
+/// miss instead of a wrong answer — the same discipline as
+/// [`crate::cache::SolveCache`]'s full-spec equality check.
+///
+/// The encoding never contains tabs or newlines, so it embeds safely in
+/// line- and TSV-oriented storage formats.
+pub fn spec_canon(spec: &MemorySpec) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(192);
+    let _ = write!(
+        s,
+        "cap={};blk={};asc={};bnk={}",
+        spec.capacity_bytes, spec.block_bytes, spec.associativity, spec.n_banks
+    );
+    match spec.kind {
+        MemoryKind::Cache { access_mode } => {
+            let _ = write!(s, ";kind=cache:{}", access_mode_code(access_mode));
+        }
+        MemoryKind::Ram => s.push_str(";kind=ram"),
+        MemoryKind::MainMemory {
+            io_bits,
+            burst_length,
+            prefetch,
+            page_bits,
+        } => {
+            let _ = write!(
+                s,
+                ";kind=mm:{io_bits}:{burst_length}:{prefetch}:{page_bits}"
+            );
+        }
+    }
+    let _ = write!(
+        s,
+        ";cell={};node={};adr={};opt=",
+        cell_code(spec.cell_tech),
+        spec.node.feature_nm() as u32,
+        spec.address_bits
+    );
+    for v in [
+        spec.opt.max_area_overhead,
+        spec.opt.max_access_time_overhead,
+        spec.opt.weight_dynamic,
+        spec.opt.weight_leakage,
+        spec.opt.weight_cycle,
+        spec.opt.weight_interleave,
+        spec.opt.repeater_relax,
+    ] {
+        let _ = write!(s, "{:016x}.", v.to_bits());
+    }
+    let _ = write!(s, "{}", u8::from(spec.opt.sleep_transistors));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +233,45 @@ mod tests {
             spec_fingerprint(&spec(1 << 20, 8)),
             spec_fingerprint(&spec(1 << 20, 8))
         );
+    }
+
+    #[test]
+    fn canon_is_injective_over_perturbed_specs() {
+        let base = spec_canon(&spec(1 << 20, 8));
+        assert_eq!(base, spec_canon(&spec(1 << 20, 8)), "equal specs agree");
+        assert_ne!(base, spec_canon(&spec(2 << 20, 8)));
+        assert_ne!(base, spec_canon(&spec(1 << 20, 4)));
+        let mut knobs = spec(1 << 20, 8);
+        knobs.opt.weight_dynamic = f64::from_bits(knobs.opt.weight_dynamic.to_bits() + 1);
+        assert_ne!(base, spec_canon(&knobs), "one-ulp knob change is visible");
+        let mut zero = spec(1 << 20, 8);
+        zero.opt.weight_cycle = 0.0;
+        let mut neg_zero = spec(1 << 20, 8);
+        neg_zero.opt.weight_cycle = -0.0;
+        assert_ne!(
+            spec_canon(&zero),
+            spec_canon(&neg_zero),
+            "bit-level float encoding"
+        );
+        let mut node = spec(1 << 20, 8);
+        node.node = TechNode::N45;
+        assert_ne!(base, spec_canon(&node));
+    }
+
+    #[test]
+    fn canon_is_line_and_tsv_safe() {
+        let mut mm = spec(1 << 30, 1);
+        mm.kind = MemoryKind::MainMemory {
+            io_bits: 8,
+            burst_length: 8,
+            prefetch: 8,
+            page_bits: 8 << 10,
+        };
+        for s in [spec_canon(&spec(1 << 20, 8)), spec_canon(&mm)] {
+            assert!(!s.contains('\t') && !s.contains('\n'), "{s:?}");
+            assert!(!s.is_empty());
+        }
+        assert!(spec_canon(&mm).contains("kind=mm:8:8:8:8192"));
     }
 
     #[test]

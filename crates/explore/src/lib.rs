@@ -59,12 +59,14 @@ pub mod hash;
 pub mod json;
 pub mod pareto;
 pub mod pool;
-mod record;
-mod resume;
+pub mod record;
+pub mod resume;
 mod stats;
 
 pub use audit::{audit, AuditReport, AuditVerdict, PointAudit};
-pub use cache::{optimize_cached, SolveCache};
+#[allow(deprecated)]
+pub use cache::optimize_cached;
+pub use cache::{optimize_cached_in, SolveCache};
 pub use engine::{explore, ExploreConfig, ExploreReport, PointStatus};
 pub use error::ExploreError;
 pub use grid::{Grid, GridPoint, OptVariant};

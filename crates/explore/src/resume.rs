@@ -117,7 +117,7 @@ fn parse_status(s: &str) -> Option<PointStatus> {
     }
 }
 
-/// Parses one checkpoint [`line`].
+/// Parses one checkpoint [`line()`].
 pub fn parse_line(text: &str) -> Result<(usize, PointStatus, Option<ParetoMetrics>), ExploreError> {
     let fields: Vec<&str> = text.split('\t').collect();
     let [idx, status, access, read, area, leak, SENTINEL] = fields[..] else {

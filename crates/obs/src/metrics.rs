@@ -78,6 +78,46 @@ fn bucket_of(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
+/// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of a distribution stored
+/// as [`Histogram`] bucket counts.
+///
+/// The rank-`ceil(q·count)` sample's bucket is located by a cumulative
+/// walk, then the value is linearly interpolated inside the bucket's
+/// `[2^(i-1), 2^i)` range — so the estimate is exact to within one octave,
+/// which is all a log2 histogram can promise. Bucket `0` (zero-valued
+/// samples) estimates as `0.0`; the open-ended last bucket interpolates
+/// toward one further doubling. An empty distribution estimates as `0.0`.
+pub fn quantile_from_buckets(buckets: &[u64; BUCKETS], count: u64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // ceil without going through floats losing precision on huge counts.
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cum + n >= rank {
+            if i == 0 {
+                return 0.0;
+            }
+            let lo = (1u64 << (i - 1)) as f64;
+            let hi = lo * 2.0;
+            let frac = (rank - cum) as f64 / n as f64;
+            return lo + frac * (hi - lo);
+        }
+        cum += n;
+    }
+    // Counts and buckets disagree (concurrent snapshot): fall back to the
+    // top of the highest populated bucket.
+    buckets
+        .iter()
+        .rposition(|&n| n > 0)
+        .map_or(0.0, |i| (1u64 << i.min(63)) as f64)
+}
+
 impl Histogram {
     /// An empty histogram.
     pub const fn new() -> Histogram {
@@ -123,6 +163,12 @@ impl Histogram {
             return 0.0;
         }
         self.sum() as f64 / n as f64
+    }
+
+    /// Estimated `q`-quantile of the recorded samples (0.0 when empty).
+    /// See [`quantile_from_buckets`] for the estimation contract.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets(), self.count(), q)
     }
 
     /// The per-bucket sample counts.
@@ -189,6 +235,59 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_zero_distributions_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_octave() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000); // bucket 10: [512, 1024)
+        }
+        for q in [0.5, 0.9, 0.99] {
+            let v = h.quantile(q);
+            assert!((512.0..=1024.0).contains(&v), "q{q} estimate {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_over_a_spread_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples, 9 slow, 1 very slow — the classic latency shape.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(10_000);
+        }
+        h.record(1_000_000);
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((64.0..=128.0).contains(&p50), "p50 {p50}");
+        assert!((8192.0..=16384.0).contains(&p99), "p99 {p99}");
+        // q is clamped; the extremes bracket the samples' octaves.
+        assert!(h.quantile(-1.0) <= h.quantile(2.0));
+        assert!(h.quantile(1.0) >= 524_288.0, "max-ish octave");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[11] = 4; // [1024, 2048), 4 samples
+        let q25 = quantile_from_buckets(&buckets, 4, 0.25);
+        let q100 = quantile_from_buckets(&buckets, 4, 1.0);
+        assert_eq!(q25, 1280.0, "rank 1 of 4 → lo + 1/4 of the bucket");
+        assert_eq!(q100, 2048.0, "rank 4 of 4 → bucket top");
     }
 
     #[test]

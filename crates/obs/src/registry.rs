@@ -82,6 +82,12 @@ impl HistogramSnapshot {
         }
         self.sum as f64 / self.count as f64
     }
+
+    /// Estimated `q`-quantile of the snapshotted distribution (0.0 when
+    /// empty). See [`crate::metrics::quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::metrics::quantile_from_buckets(&self.buckets, self.count, q)
+    }
 }
 
 /// Every registered metric at one point in time, sorted by name.

@@ -3,10 +3,13 @@
 //! The sidecar is a plain-text JSONL file, one object per line:
 //!
 //! ```text
-//! {"type":"meta","version":1,"cmd":"explore","unix_ms":1754460000000}
+//! {"type":"meta","version":2,"cmd":"explore","unix_ms":1754460000000}
 //! {"type":"counter","name":"core.solve.calls","value":4}
-//! {"type":"histogram","name":"span.explore.solve.ns","count":4,"sum":81,"max":40,"mean":20.25,"buckets":[0,...]}
+//! {"type":"histogram","name":"span.explore.solve.ns","count":4,"sum":81,"max":40,"mean":20.25,"p50":24,"p90":38,"p99":40,"buckets":[0,...]}
 //! ```
+//!
+//! Version 2 added the `p50`/`p90`/`p99` estimated quantiles (see
+//! [`crate::metrics::quantile_from_buckets`]) to every histogram line.
 //!
 //! Wall-clock time appears **only** in the `meta` line; counters and
 //! histograms carry event counts and monotonic-clock durations, never
@@ -54,12 +57,15 @@ fn render_jsonl(snap: &Snapshot) -> String {
         let _ = writeln!(
             out,
             "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\
-             \"mean\":{},\"buckets\":[{}]}}",
+             \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[{}]}}",
             escape(&h.name),
             h.count,
             h.sum,
             h.max,
             h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
             buckets.join(",")
         );
     }
@@ -80,7 +86,7 @@ pub fn write_trace(path: &Path, cmd: &str) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "{{\"type\":\"meta\",\"version\":1,\"cmd\":\"{}\",\"unix_ms\":{unix_ms}}}",
+        "{{\"type\":\"meta\",\"version\":2,\"cmd\":\"{}\",\"unix_ms\":{unix_ms}}}",
         escape(cmd)
     )?;
     f.write_all(render_jsonl(&snap).as_bytes())?;
@@ -88,8 +94,9 @@ pub fn write_trace(path: &Path, cmd: &str) -> std::io::Result<()> {
 }
 
 /// Renders the compact end-of-run summary table the CLIs print to stderr:
-/// every nonzero counter, then every nonempty histogram with count, mean
-/// and max. Durations (`*.ns` histograms) render in human milliseconds.
+/// every nonzero counter, then every nonempty histogram with count, mean,
+/// estimated p50/p99 and max. Durations (`*.ns` histograms) render in
+/// human milliseconds.
 pub fn render_summary(snap: &Snapshot) -> String {
     let mut out = String::new();
     let counters: Vec<_> = snap.counters.iter().filter(|c| c.value > 0).collect();
@@ -109,22 +116,29 @@ pub fn render_summary(snap: &Snapshot) -> String {
     if !histograms.is_empty() {
         let _ = writeln!(
             out,
-            "  {:<44} {:>8} {:>12} {:>12}",
-            "histogram", "count", "mean", "max"
+            "  {:<44} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "p50", "p99", "max"
         );
         for h in histograms {
-            let (mean, max) = if h.name.ends_with(".ns") {
+            let (mean, p50, p99, max) = if h.name.ends_with(".ns") {
                 (
                     format!("{:.3} ms", h.mean() / 1e6),
+                    format!("{:.3} ms", h.quantile(0.50) / 1e6),
+                    format!("{:.3} ms", h.quantile(0.99) / 1e6),
                     format!("{:.3} ms", h.max as f64 / 1e6),
                 )
             } else {
-                (format!("{:.1}", h.mean()), h.max.to_string())
+                (
+                    format!("{:.1}", h.mean()),
+                    format!("{:.1}", h.quantile(0.50)),
+                    format!("{:.1}", h.quantile(0.99)),
+                    h.max.to_string(),
+                )
             };
             let _ = writeln!(
                 out,
-                "  {:<44} {:>8} {:>12} {:>12}",
-                h.name, h.count, mean, max
+                "  {:<44} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                h.name, h.count, mean, p50, p99, max
             );
         }
     }
@@ -194,6 +208,14 @@ mod tests {
         }
         assert!(body.contains("\"name\":\"trace.test.events\""));
         assert!(body.contains("\"name\":\"trace.test.wait_ns\""));
+        // Version-2 histogram lines carry the estimated quantiles.
+        let hist = lines
+            .iter()
+            .find(|l| l.contains("\"name\":\"trace.test.wait_ns\""))
+            .unwrap();
+        for field in ["\"p50\":", "\"p90\":", "\"p99\":"] {
+            assert!(hist.contains(field), "missing {field} in {hist}");
+        }
     }
 
     #[test]

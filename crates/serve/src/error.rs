@@ -1,0 +1,29 @@
+//! The service error type.
+
+use std::fmt;
+
+/// Anything that can fail while opening or appending the solution store or
+/// running a service loop. Protocol-level problems (a malformed request
+/// line) are **not** errors at this level — they become error *responses*
+/// on the wire, so one bad client line never takes the service down.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A filesystem or socket operation failed; carries the path or peer
+    /// and the OS error text.
+    Io(String),
+    /// The store file exists but is not a valid store: wrong magic, or a
+    /// malformed interior line (a torn *tail* is recovered silently; torn
+    /// interiors are corruption).
+    Store(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ServeError::Store(msg) => write!(f, "solution store error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

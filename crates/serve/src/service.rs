@@ -1,0 +1,439 @@
+//! The service: request dispatch, the solve path, and the two transports.
+//!
+//! One [`Service`] owns an injectable in-process solve memo
+//! ([`SolveCache`]), an optional persistent [`SolutionStore`], and a
+//! thread budget for grid fan-out. Both transports — a stdin/stdout JSONL
+//! loop and a TCP listener — funnel into the same line handler, so they
+//! are byte-for-byte interchangeable and the stdio loop (trivially
+//! testable, no sockets) pins the protocol behavior for both.
+//!
+//! # The solve path and byte identity
+//!
+//! A `solve` request resolves in three stages, cheapest first:
+//!
+//! 1. **store** — fingerprint + canonical-key lookup in the persistent
+//!    store; a hit splices the stored body under the request's `id`
+//!    without any model evaluation.
+//! 2. **memo** — the in-process [`SolveCache`] (shared across requests
+//!    and grid points; the resident [`cactid_tech::Technology`] tables
+//!    are likewise constructed once per node).
+//! 3. **solve** — the full organization sweep, after which the rendered
+//!    body is appended to the store.
+//!
+//! Records carry only deterministic data (the explore JSONL contract), so
+//! the spliced warm answer is byte-identical to a cold in-process solve
+//! by construction: both come from the same
+//! [`cactid_explore::record::render_solved`] output, differing only in
+//! the `idx` prefix the service re-attaches per request.
+
+use crate::error::ServeError;
+use crate::protocol::{parse_request, Request};
+use crate::store::SolutionStore;
+use cactid_core::MemorySpec;
+use cactid_explore::hash::{spec_canon, spec_fingerprint};
+use cactid_explore::json::JsonObject;
+use cactid_explore::record::{mode_label, render_invalid, render_solved};
+use cactid_explore::{pool, GridPoint, SolveCache};
+use std::io::{BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Service construction options.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Worker threads for `grid` fan-out; `0` means the pool default.
+    pub threads: usize,
+    /// Path of the persistent solution store; `None` serves memo-only.
+    pub store: Option<PathBuf>,
+}
+
+/// How a service loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Requests handled by this loop (empty lines don't count).
+    pub requests: u64,
+    /// `true` when the loop ended on a `shutdown` request rather than
+    /// end-of-input.
+    pub shutdown: bool,
+}
+
+/// A resident solve service. See the module docs for the solve path.
+#[derive(Debug)]
+pub struct Service {
+    cache: SolveCache,
+    store: Option<SolutionStore>,
+    threads: usize,
+    requests: AtomicU64,
+}
+
+/// The store lookup key: everything besides the spec that shapes the
+/// rendered body (opt label and access-mode label), then the injective
+/// canonical spec encoding. Labels come from fixed tables, so the key is
+/// TSV-safe end to end.
+fn store_key(point: &GridPoint, spec: &MemorySpec) -> String {
+    format!(
+        "{};{};{}",
+        point.opt_label,
+        mode_label(point.access_mode),
+        spec_canon(spec)
+    )
+}
+
+/// The stored portion of a record line: everything after `{"idx":N,`.
+fn record_body(line: &str) -> &str {
+    line.split_once(',').map_or(line, |(_, rest)| rest)
+}
+
+/// Reattaches a request-local `idx` to a stored body.
+fn splice_idx(idx: usize, body: &str) -> String {
+    format!("{{\"idx\":{idx},{body}")
+}
+
+fn error_line(id: u64, msg: &str) -> String {
+    let mut o = JsonObject::new();
+    o.u64("id", id).str("error", msg);
+    o.finish()
+}
+
+impl Service {
+    /// Builds a service: opens (or creates) the persistent store when
+    /// configured, with an empty solve memo.
+    ///
+    /// # Errors
+    ///
+    /// Store open failures; see [`SolutionStore::open`].
+    pub fn new(config: &ServeConfig) -> Result<Self, ServeError> {
+        let store = match &config.store {
+            Some(p) => Some(SolutionStore::open(p)?),
+            None => None,
+        };
+        Ok(Service {
+            cache: SolveCache::new(),
+            store,
+            threads: config.threads,
+            requests: AtomicU64::new(0),
+        })
+    }
+
+    /// The persistent store, when one is configured.
+    pub fn store(&self) -> Option<&SolutionStore> {
+        self.store.as_ref()
+    }
+
+    /// The in-process solve memo.
+    pub fn cache(&self) -> &SolveCache {
+        &self.cache
+    }
+
+    /// Requests handled over the service's lifetime (all transports).
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Answers one request line. Returns the response lines plus whether
+    /// the request asked the service to shut down. Blank lines produce no
+    /// response and don't count as requests.
+    pub fn handle_line(&self, line: &str) -> (Vec<String>, bool) {
+        let line = line.trim();
+        if line.is_empty() {
+            return (Vec::new(), false);
+        }
+        let t0 = Instant::now();
+        cactid_obs::counter!("serve.requests").inc();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (responses, shutdown) = match parse_request(line) {
+            Err((id, msg)) => (vec![error_line(id, &msg)], false),
+            Ok(Request::Solve { point, .. }) => (vec![self.solve_line(&point)], false),
+            Ok(Request::Grid { id, grid }) => (self.grid_lines(id, &grid), false),
+            Ok(Request::Stats { id }) => (vec![self.stats_line(id)], false),
+            Ok(Request::Shutdown { id }) => {
+                let mut o = JsonObject::new();
+                o.u64("id", id).bool("ok", true);
+                (vec![o.finish()], true)
+            }
+        };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        cactid_obs::histogram!("serve.request.ns").record(ns);
+        (responses, shutdown)
+    }
+
+    /// Resolves one point: store hit → memo → full solve (then store
+    /// insert). Invalid specs render as `"invalid"` records and never
+    /// touch the store.
+    fn solve_line(&self, point: &GridPoint) -> String {
+        let spec = match &point.spec {
+            Ok(spec) => spec,
+            Err(e) => return render_invalid(point, e),
+        };
+        let fp = spec_fingerprint(spec);
+        let key = store_key(point, spec);
+        if let Some(store) = &self.store {
+            if let Some(body) = store.get(fp, &key) {
+                return splice_idx(point.idx, &body);
+            }
+        }
+        let (entry, _) = self.cache.solve_point(spec, None);
+        let line = render_solved(point, &entry);
+        if let Some(store) = &self.store {
+            if let Err(e) = store.insert(fp, &key, record_body(&line)) {
+                // A failing append must not corrupt the answer: serve the
+                // solve, surface the store problem out of band.
+                eprintln!("cactid-serve: {e}");
+            }
+        }
+        line
+    }
+
+    fn grid_lines(&self, id: u64, grid: &cactid_explore::Grid) -> Vec<String> {
+        let expansion = match grid.expand() {
+            Ok(e) => e,
+            Err(e) => return vec![error_line(id, &e.to_string())],
+        };
+        let mut lines =
+            pool::parallel_map(self.threads, &expansion.points, |_, p| self.solve_line(p));
+        let mut done = JsonObject::new();
+        done.u64("id", id)
+            .bool("done", true)
+            .u64("points", lines.len() as u64);
+        lines.push(done.finish());
+        lines
+    }
+
+    fn stats_line(&self, id: u64) -> String {
+        let mut o = JsonObject::new();
+        o.u64("id", id)
+            .u64("requests", self.requests_served())
+            .u64("cache_entries", self.cache.len() as u64)
+            .u64(
+                "store_entries",
+                self.store.as_ref().map_or(0, |s| s.len() as u64),
+            );
+        o.finish()
+    }
+
+    /// Serves JSONL requests from `reader` until end-of-input or a
+    /// `shutdown` request, writing response lines to `writer` (flushed
+    /// after every request, so interactive callers see answers
+    /// immediately).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport read/write failures. Malformed
+    /// requests are answered in-band and are not errors.
+    pub fn run_lines(
+        &self,
+        mut reader: impl BufRead,
+        mut writer: impl Write,
+    ) -> Result<ServeOutcome, ServeError> {
+        let mut outcome = ServeOutcome {
+            requests: 0,
+            shutdown: false,
+        };
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| ServeError::Io(format!("read: {e}")))?;
+            if n == 0 {
+                break;
+            }
+            let (responses, shutdown) = self.handle_line(&line);
+            if !responses.is_empty() {
+                outcome.requests += 1;
+            }
+            for r in &responses {
+                writeln!(writer, "{r}").map_err(|e| ServeError::Io(format!("write: {e}")))?;
+            }
+            writer
+                .flush()
+                .map_err(|e| ServeError::Io(format!("write: {e}")))?;
+            if shutdown {
+                outcome.shutdown = true;
+                break;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Serves stdin/stdout — the hermetic transport `ci.sh` and tests
+    /// drive, and the natural mode under a process supervisor.
+    ///
+    /// # Errors
+    ///
+    /// See [`Service::run_lines`].
+    pub fn run_stdio(&self) -> Result<ServeOutcome, ServeError> {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.run_lines(stdin.lock(), stdout.lock())
+    }
+
+    /// Accepts TCP connections until a `shutdown` request arrives on any
+    /// of them, serving each connection on its own scoped thread (they
+    /// all share this service's memo and store). Connections open at
+    /// shutdown finish their current request loop when their client
+    /// closes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the listener's local address cannot be
+    /// read. Per-connection failures are reported to stderr and do not
+    /// stop the service.
+    pub fn run_tcp(&self, listener: &TcpListener) -> Result<(), ServeError> {
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("listener: {e}")))?;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match conn {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cactid-serve: accept: {e}");
+                        continue;
+                    }
+                };
+                let stop = &stop;
+                scope.spawn(move || {
+                    if let Err(e) = self.serve_stream(stream, stop, addr) {
+                        eprintln!("cactid-serve: connection: {e}");
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    fn serve_stream(
+        &self,
+        stream: TcpStream,
+        stop: &AtomicBool,
+        addr: SocketAddr,
+    ) -> Result<(), ServeError> {
+        let reader = std::io::BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ServeError::Io(format!("socket: {e}")))?,
+        );
+        let outcome = self.run_lines(reader, stream)?;
+        if outcome.shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it can observe the stop flag.
+            let _ = TcpStream::connect(addr);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memo_only() -> Service {
+        Service::new(&ServeConfig::default()).unwrap()
+    }
+
+    fn solve_req(id: u64) -> String {
+        format!("{{\"id\":{id},\"op\":\"solve\",\"size\":65536,\"assoc\":4}}")
+    }
+
+    #[test]
+    fn stdio_loop_answers_and_stops_on_shutdown() {
+        let svc = memo_only();
+        let input = format!(
+            "{}\n\n{}\n{{\"id\":5,\"op\":\"stats\"}}\n{{\"id\":6,\"op\":\"shutdown\"}}\nignored after shutdown\n",
+            solve_req(1),
+            solve_req(2)
+        );
+        let mut out = Vec::new();
+        let outcome = svc.run_lines(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(outcome.requests, 4, "blank line is not a request");
+        assert!(outcome.shutdown);
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"idx\":1,"));
+        assert!(lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[1].starts_with("{\"idx\":2,"));
+        assert!(lines[2].contains("\"requests\":3"));
+        assert!(
+            lines[2].contains("\"cache_entries\":1"),
+            "memo shared: {}",
+            lines[2]
+        );
+        assert_eq!(lines[3], "{\"id\":6,\"ok\":true}");
+    }
+
+    #[test]
+    fn duplicate_requests_differ_only_in_idx() {
+        let svc = memo_only();
+        let (a, _) = svc.handle_line(&solve_req(1));
+        let (b, _) = svc.handle_line(&solve_req(42));
+        assert_eq!(record_body(&a[0]), record_body(&b[0]));
+        assert!(b[0].starts_with("{\"idx\":42,"));
+    }
+
+    #[test]
+    fn malformed_lines_are_answered_in_band() {
+        let svc = memo_only();
+        let (r, shutdown) = svc.handle_line("{\"id\":3,\"op\":\"fly\"}");
+        assert!(!shutdown);
+        assert!(r[0].starts_with("{\"id\":3,\"error\":"));
+        let (r, _) = svc.handle_line("garbage");
+        assert!(r[0].starts_with("{\"id\":0,\"error\":"));
+    }
+
+    #[test]
+    fn invalid_specs_render_as_invalid_records() {
+        let svc = memo_only();
+        let (r, _) = svc.handle_line("{\"id\":9,\"op\":\"solve\",\"size\":49152}");
+        assert!(r[0].starts_with("{\"idx\":9,"));
+        assert!(r[0].contains("\"status\":\"invalid\""));
+    }
+
+    #[test]
+    fn grid_op_streams_points_then_a_done_line() {
+        let svc = memo_only();
+        let (r, _) =
+            svc.handle_line("{\"id\":7,\"op\":\"grid\",\"sizes\":[65536,131072],\"assocs\":[4,8]}");
+        assert_eq!(r.len(), 5);
+        for (i, line) in r[..4].iter().enumerate() {
+            assert!(line.starts_with(&format!("{{\"idx\":{i},")), "{line}");
+            assert!(line.contains("\"status\":\"ok\""));
+        }
+        assert_eq!(r[4], "{\"id\":7,\"done\":true,\"points\":4}");
+        // The grid populated the shared memo; a matching solve re-renders
+        // the same body without a fresh sweep.
+        let (single, _) = svc.handle_line(&solve_req(3));
+        assert_eq!(record_body(&single[0]), record_body(&r[0]));
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let svc = memo_only();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let svc = &svc;
+            let handle = scope.spawn(move || svc.run_tcp(&listener));
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+            let mut w = stream;
+            writeln!(w, "{}", solve_req(11)).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("{\"idx\":11,"), "{line}");
+            writeln!(w, "{{\"id\":12,\"op\":\"shutdown\"}}").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "{\"id\":12,\"ok\":true}");
+            drop(w);
+            handle.join().unwrap().unwrap();
+        });
+    }
+}

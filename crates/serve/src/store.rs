@@ -1,0 +1,337 @@
+//! The disk-backed, content-addressed solution store.
+//!
+//! The store maps a solved spec to the rendered body of its JSONL record,
+//! keyed by the spec's 64-bit FNV-1a fingerprint
+//! ([`cactid_explore::hash::spec_fingerprint`]) and guarded against
+//! fingerprint collisions by the injective canonical encoding
+//! ([`cactid_explore::hash::spec_canon`]): lookups compare the full
+//! canonical key, so a 64-bit collision degrades to a miss instead of a
+//! wrong answer — the same discipline as the in-process
+//! [`cactid_explore::SolveCache`].
+//!
+//! # On-disk format
+//!
+//! A plain-text, append-only file: one magic header line, then one TSV
+//! line per stored solution:
+//!
+//! ```text
+//! #cactid-serve-store v1
+//! <fp:016x><TAB><key><TAB><body><TAB>.
+//! ```
+//!
+//! `key` is the canonical spec encoding (tab- and newline-free by
+//! construction) prefixed with the opt label and access-mode label the
+//! record was rendered under; `body` is the record line minus its leading
+//! `{"idx":N,` (JSON string escaping keeps it tab-free). The trailing `.`
+//! is the same completeness sentinel as the explore checkpoint format: no
+//! other field ends a line with `<TAB>.`, so no truncation of a line can
+//! still parse.
+//!
+//! # Crash safety
+//!
+//! The load discipline is borrowed from
+//! [`cactid_explore::resume`]: only newline-terminated lines count, a
+//! trailing newline-less fragment left by a kill mid-append is truncated
+//! away ([`cactid_explore::resume::trim_torn_tail`]) before the store
+//! appends again, and a malformed *interior* line fails the open loudly —
+//! tolerating it would silently discard every record written after it.
+//! Each insert is a single buffered write of one full line followed by a
+//! flush, so the file only ever grows by whole records plus at most one
+//! torn tail.
+
+use crate::error::ServeError;
+use cactid_explore::resume::trim_torn_tail;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic first line of a store file; bumps when the record format does.
+pub const STORE_MAGIC: &str = "#cactid-serve-store v1";
+
+/// Terminal field of every record line. No key or body field can end a
+/// line with `<TAB>.`, so a truncated line can never pass as complete.
+const SENTINEL: &str = ".";
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// fp → `[(key, body)]`; buckets are tiny (collisions are rare).
+    index: HashMap<u64, Vec<(String, String)>>,
+    /// Append handle; `None` for in-memory stores.
+    file: Option<std::fs::File>,
+}
+
+/// A thread-safe content-addressed store of rendered solution bodies,
+/// optionally spilled to an append-only file so later processes reopen it
+/// warm. See the module docs for format and crash-safety.
+#[derive(Debug)]
+pub struct SolutionStore {
+    inner: Mutex<Inner>,
+    path: Option<PathBuf>,
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> ServeError {
+    ServeError::Io(format!("{}: {e}", path.display()))
+}
+
+impl SolutionStore {
+    /// An empty store with no backing file: lookups and inserts work, but
+    /// nothing survives the process.
+    pub fn in_memory() -> Self {
+        SolutionStore {
+            inner: Mutex::new(Inner::default()),
+            path: None,
+        }
+    }
+
+    /// Opens (or creates) the store at `path`, loading every complete
+    /// record and positioning for append. A torn trailing fragment from a
+    /// killed writer is truncated away; that record is simply re-solved
+    /// and re-inserted by whoever needs it next.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the file cannot be read, truncated or opened
+    /// for append, and [`ServeError::Store`] if it exists but has the
+    /// wrong magic or a malformed interior line.
+    pub fn open(path: &Path) -> Result<Self, ServeError> {
+        trim_torn_tail(path).map_err(|e| ServeError::Io(e.to_string()))?;
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(io_err(path, &e)),
+        };
+        let mut index: HashMap<u64, Vec<(String, String)>> = HashMap::new();
+        let mut lines = text.lines().enumerate();
+        if let Some((_, head)) = lines.next() {
+            if head != STORE_MAGIC {
+                return Err(ServeError::Store(format!(
+                    "{}: not a cactid-serve store (header {head:?})",
+                    path.display()
+                )));
+            }
+            for (n, line) in lines {
+                let (fp, key, body) = parse_record(line).ok_or_else(|| {
+                    ServeError::Store(format!(
+                        "{}: malformed record at line {}; the file is corrupt — \
+                         delete it or pick another --store path",
+                        path.display(),
+                        n + 1
+                    ))
+                })?;
+                let bucket = index.entry(fp).or_default();
+                // First write wins, matching the in-process memo: a
+                // duplicate append (two racing services) is harmless.
+                if !bucket.iter().any(|(k, _)| k == key) {
+                    bucket.push((key.to_string(), body.to_string()));
+                }
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, &e))?;
+        if text.is_empty() {
+            writeln!(file, "{STORE_MAGIC}").map_err(|e| io_err(path, &e))?;
+            file.flush().map_err(|e| io_err(path, &e))?;
+        }
+        Ok(SolutionStore {
+            inner: Mutex::new(Inner {
+                index,
+                file: Some(file),
+            }),
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The number of stored solutions.
+    pub fn len(&self) -> usize {
+        self.lock().index.values().map(Vec::len).sum()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up a stored body by fingerprint, verifying the full canonical
+    /// key so fingerprint collisions read as misses.
+    pub fn get(&self, fp: u64, key: &str) -> Option<String> {
+        let hit = self
+            .lock()
+            .index
+            .get(&fp)
+            .and_then(|bucket| bucket.iter().find(|(k, _)| k == key))
+            .map(|(_, body)| body.clone());
+        if hit.is_some() {
+            cactid_obs::counter!("serve.store.hits").inc();
+        } else {
+            cactid_obs::counter!("serve.store.misses").inc();
+        }
+        hit
+    }
+
+    /// Inserts a solved body, appending it to the backing file (one line,
+    /// flushed). Returns `false` without writing when the key is already
+    /// present — inserts are idempotent, so duplicate requests racing past
+    /// the lookup cost one solve, never a corrupt double record.
+    ///
+    /// `key` and `body` must be tab- and newline-free; the canonical spec
+    /// encoding and JSON record rendering both guarantee this.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the append or flush fails.
+    pub fn insert(&self, fp: u64, key: &str, body: &str) -> Result<bool, ServeError> {
+        debug_assert!(
+            !key.contains(['\t', '\n']) && !body.contains(['\t', '\n']),
+            "store fields must be TSV-safe"
+        );
+        let mut inner = self.lock();
+        let bucket = inner.index.entry(fp).or_default();
+        if bucket.iter().any(|(k, _)| k == key) {
+            return Ok(false);
+        }
+        bucket.push((key.to_string(), body.to_string()));
+        if let Some(file) = inner.file.as_mut() {
+            let path = self.path.as_deref().unwrap_or_else(|| Path::new("store"));
+            writeln!(file, "{fp:016x}\t{key}\t{body}\t{SENTINEL}")
+                .and_then(|()| file.flush())
+                .map_err(|e| io_err(path, &e))?;
+        }
+        cactid_obs::counter!("serve.store.inserts").inc();
+        Ok(true)
+    }
+}
+
+/// Parses one record line into `(fp, key, body)`; `None` on any
+/// malformation (wrong arity, bad hex, missing sentinel).
+fn parse_record(line: &str) -> Option<(u64, &str, &str)> {
+    let mut fields = line.split('\t');
+    let (fp, key, body, sentinel) = (
+        fields.next()?,
+        fields.next()?,
+        fields.next()?,
+        fields.next()?,
+    );
+    if fields.next().is_some() || sentinel != SENTINEL || fp.len() != 16 {
+        return None;
+    }
+    let fp = u64::from_str_radix(fp, 16).ok()?;
+    if key.is_empty() || body.is_empty() {
+        return None;
+    }
+    Some((fp, key, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cactid-serve-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let p = tmp("roundtrip");
+        std::fs::remove_file(&p).ok();
+        {
+            let s = SolutionStore::open(&p).unwrap();
+            assert!(s.is_empty());
+            assert!(s.insert(0xabcd, "key-a", "\"x\":1}").unwrap());
+            assert!(
+                !s.insert(0xabcd, "key-a", "\"x\":1}").unwrap(),
+                "idempotent"
+            );
+            assert!(s.insert(0xabce, "key-b", "\"y\":2}").unwrap());
+            assert_eq!(s.len(), 2);
+        }
+        let s = SolutionStore::open(&p).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0xabcd, "key-a").as_deref(), Some("\"x\":1}"));
+        assert_eq!(s.get(0xabce, "key-b").as_deref(), Some("\"y\":2}"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn fingerprint_collisions_read_as_misses() {
+        let s = SolutionStore::in_memory();
+        s.insert(7, "key-a", "\"a\":1}").unwrap();
+        s.insert(7, "key-b", "\"b\":2}").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(7, "key-a").as_deref(), Some("\"a\":1}"));
+        assert_eq!(s.get(7, "key-b").as_deref(), Some("\"b\":2}"));
+        assert!(s.get(7, "key-c").is_none(), "collision degrades to a miss");
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_reappended_cleanly() {
+        let p = tmp("torn");
+        std::fs::remove_file(&p).ok();
+        {
+            let s = SolutionStore::open(&p).unwrap();
+            s.insert(1, "key-1", "\"a\":1}").unwrap();
+        }
+        // Simulate a kill mid-append: a trailing fragment with no newline.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+        write!(f, "0000000000000002\tkey-2\t\"b\":").unwrap();
+        drop(f);
+
+        let s = SolutionStore::open(&p).unwrap();
+        assert_eq!(s.len(), 1, "the torn record is gone, not half-loaded");
+        s.insert(3, "key-3", "\"c\":3}").unwrap();
+        drop(s);
+        // The re-append started on a fresh line: everything loads.
+        let s = SolutionStore::open(&p).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(3, "key-3").as_deref(), Some("\"c\":3}"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn interior_corruption_fails_the_open_loudly() {
+        let p = tmp("corrupt");
+        std::fs::write(
+            &p,
+            format!("{STORE_MAGIC}\n0000000000000001\tkey\t\"a\":1\nmore\tstuff\t.\t.\n"),
+        )
+        .unwrap();
+        match SolutionStore::open(&p) {
+            Err(ServeError::Store(msg)) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected store corruption, got {other:?}"),
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let p = tmp("magic");
+        std::fs::write(&p, "#something-else v9\n").unwrap();
+        assert!(matches!(SolutionStore::open(&p), Err(ServeError::Store(_))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn no_truncation_of_a_record_line_parses() {
+        let full = "00000000000000ff\tkey\t\"a\":1}\t.";
+        assert!(parse_record(full).is_some());
+        for cut in 0..full.len() {
+            assert!(parse_record(&full[..cut]).is_none(), "prefix {cut} parsed");
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use cactid_circuit::{BlockResult, Crossbar};
 use cactid_core::{AccessMode, MemoryKind, MemorySpec, OptimizationOptions, Solution};
-use cactid_explore::optimize_cached;
+use cactid_explore::{optimize_cached_in, SolveCache};
 use cactid_tech::{CellTechnology, DeviceType, TechNode, Technology, WireType};
 use cactid_units::{Meters, Seconds};
 use memsim::config::{
@@ -219,23 +219,29 @@ pub fn build(kind: LlcKind) -> StudyConfig {
     // The six study configurations share their L1/L2/main-memory specs,
     // and Table 3 builds all six: going through the cactid-explore solve
     // memo makes each distinct spec cost one solve per process.
-    let l1_sol = optimize_cached(&cache_spec(
-        32 << 10,
-        8,
-        1,
-        CellTechnology::Sram,
-        OptimizationOptions::default(),
-    ))
+    let l1_sol = optimize_cached_in(
+        SolveCache::global(),
+        &cache_spec(
+            32 << 10,
+            8,
+            1,
+            CellTechnology::Sram,
+            OptimizationOptions::default(),
+        ),
+    )
     .unwrap_or_else(|e| panic!("the L1 spec solves: {e}"));
-    let l2_sol = optimize_cached(&cache_spec(
-        1 << 20,
-        8,
-        1,
-        CellTechnology::Sram,
-        OptimizationOptions::default(),
-    ))
+    let l2_sol = optimize_cached_in(
+        SolveCache::global(),
+        &cache_spec(
+            1 << 20,
+            8,
+            1,
+            CellTechnology::Sram,
+            OptimizationOptions::default(),
+        ),
+    )
     .unwrap_or_else(|e| panic!("the L2 spec solves: {e}"));
-    let mm_sol = optimize_cached(&main_memory_spec())
+    let mm_sol = optimize_cached_in(SolveCache::global(), &main_memory_spec())
         .unwrap_or_else(|e| panic!("the main-memory spec solves: {e}"));
     let Some(mm) = mm_sol.main_memory.as_ref() else {
         unreachable!("a main-memory solution carries chip-level data")
@@ -246,7 +252,7 @@ pub fn build(kind: LlcKind) -> StudyConfig {
         // The paper models an aggressively leakage-controlled SRAM L3
         // (sleep transistors halving idle-mat leakage, like the 65 nm Xeon).
         opt.sleep_transistors = cell == CellTechnology::Sram;
-        optimize_cached(&cache_spec(cap, assoc, 8, cell, opt))
+        optimize_cached_in(SolveCache::global(), &cache_spec(cap, assoc, 8, cell, opt))
             .unwrap_or_else(|e| panic!("the {} L3 spec solves: {e}", kind.label()))
     });
 

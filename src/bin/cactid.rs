@@ -30,7 +30,11 @@
 //! plausibility windows for vacuity and dead edges, and reports the
 //! certified prescreen bounds (`CD0201`–`CD0204`). On the classic path,
 //! `--certified` routes the solve through those proven bounds — the
-//! solution set is byte-identical by construction.
+//! solution set is byte-identical by construction. The `serve` subcommand
+//! keeps a solver resident: a JSONL request loop (stdin/stdout or
+//! `--listen` TCP) answering solve/grid queries in the explore record
+//! schema, with an optional `--store` disk-backed solution store so
+//! restarts answer duplicate specs without re-solving.
 //!
 //! The binary lives in the facade crate (not `cactid-core`) because the
 //! `lint` subcommand needs `cactid-analyze`, which depends on the core —
@@ -80,6 +84,14 @@ fn usage() -> ! {
          \x20                          without solving (same output bytes)\n\
          \x20          [--trace FILE]  write a JSONL metrics sidecar and print a\n\
          \x20                          counter/histogram summary to stderr\n\
+         \x20 serve    resident solve service speaking a JSONL request protocol\n\
+         \x20          (solve/grid/stats/shutdown) in the explore record schema:\n\
+         \x20          [--stdio]       serve stdin/stdout (the default)\n\
+         \x20          [--listen ADDR] serve TCP connections on ADDR\n\
+         \x20          [--store FILE]  disk-backed content-addressed solution\n\
+         \x20                          store; restarts answer duplicates without\n\
+         \x20                          re-solving, byte-identical to a cold solve\n\
+         \x20          [--threads N] [--trace FILE]\n\
          \x20 audit    static analysis without solving; one of two modes:\n\
          \x20          --grid + the explore axis flags  classify every grid point\n\
          \x20                   (invalid / infeasible / maybe-feasible) and print\n\
@@ -303,34 +315,10 @@ struct ExploreArgs {
 
 /// The named optimization-knob variants the `--opts` axis accepts:
 /// `default`, plus the paper's `ed` (energy/delay mats) and `c` (capacity)
-/// settings from §3.1.
+/// settings from §3.1. The table lives in [`OptVariant::named`], shared
+/// with the serve protocol.
 fn parse_opt_variant(v: &str) -> Option<OptVariant> {
-    let opt = match v {
-        "default" => OptimizationOptions::default(),
-        "ed" => OptimizationOptions {
-            max_area_overhead: 0.60,
-            max_access_time_overhead: 0.15,
-            weight_dynamic: 1.5,
-            weight_leakage: 0.3,
-            weight_cycle: 2.0,
-            weight_interleave: 1.0,
-            ..OptimizationOptions::default()
-        },
-        "c" => OptimizationOptions {
-            max_area_overhead: 0.20,
-            max_access_time_overhead: 1.0,
-            weight_dynamic: 0.5,
-            weight_leakage: 1.0,
-            weight_cycle: 0.3,
-            weight_interleave: 0.3,
-            ..OptimizationOptions::default()
-        },
-        _ => return None,
-    };
-    Some(OptVariant {
-        label: v.to_string(),
-        opt,
-    })
+    OptVariant::named(v)
 }
 
 /// Parses one comma-list grid-axis flag into `grid`; returns `false` when
@@ -423,6 +411,7 @@ fn run_explore(argv: &[String]) -> ! {
         pareto: a.pareto,
         audit: a.audit,
         linter: a.lint.then_some(&analyzer as &(dyn SolutionLinter + Sync)),
+        cache: None,
     };
     match cactid_explore::explore(&a.grid, &config) {
         Ok(report) => {
@@ -449,6 +438,87 @@ fn run_explore(argv: &[String]) -> ! {
             exit(1)
         }
     }
+}
+
+/// Everything `cactid serve` needs: the transport plus service options.
+#[derive(Debug)]
+struct ServeArgs {
+    /// `Some(addr)` for TCP, `None` for the stdin/stdout JSONL loop.
+    listen: Option<String>,
+    store: Option<PathBuf>,
+    threads: usize,
+    trace: Option<PathBuf>,
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut a = ServeArgs {
+        listen: None,
+        store: None,
+        threads: 0,
+        trace: None,
+    };
+    let mut stdio = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        match flag {
+            "--stdio" => stdio = true,
+            "--listen" => a.listen = Some(value(argv, &mut i, flag)?.to_string()),
+            "--store" => a.store = Some(PathBuf::from(value(argv, &mut i, flag)?)),
+            "--threads" => a.threads = parse_num(flag, value(argv, &mut i, flag)?)?,
+            "--trace" => a.trace = Some(PathBuf::from(value(argv, &mut i, flag)?)),
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    if stdio && a.listen.is_some() {
+        return Err("--stdio and --listen are mutually exclusive".to_string());
+    }
+    Ok(a)
+}
+
+/// The `cactid serve` subcommand: a resident solve service. Records go to
+/// stdout (stdio mode) or the socket; diagnostics, the end-of-run metric
+/// summary (request latency p50/p99 included) and the optional trace
+/// sidecar go to stderr/disk, so piping the records stays clean.
+fn run_serve(argv: &[String]) -> ! {
+    let a = parse_serve_args(argv).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        usage()
+    });
+    let config = cactid_serve::ServeConfig {
+        threads: a.threads,
+        store: a.store.clone(),
+    };
+    let svc = cactid_serve::Service::new(&config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1)
+    });
+    let result = match &a.listen {
+        Some(addr) => std::net::TcpListener::bind(addr.as_str())
+            .map_err(|e| format!("binding {addr}: {e}"))
+            .and_then(|listener| {
+                if let Ok(local) = listener.local_addr() {
+                    eprintln!("cactid-serve: listening on {local}");
+                }
+                svc.run_tcp(&listener).map_err(|e| e.to_string())
+            }),
+        None => svc.run_stdio().map(drop).map_err(|e| e.to_string()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1)
+    }
+    eprintln!("cactid-serve: served {} requests", svc.requests_served());
+    if let Some(trace) = &a.trace {
+        if let Err(e) = cactid_obs::write_trace(trace, "serve") {
+            eprintln!("error: writing trace {}: {e}", trace.display());
+            exit(1)
+        }
+    }
+    eprint!("{}", cactid_obs::render_summary(&cactid_obs::snapshot()));
+    exit(0)
 }
 
 /// Everything `cactid audit` needs: either a grid (static pre-solve
@@ -898,6 +968,9 @@ fn main() {
     if argv.first().map(String::as_str) == Some("prove") {
         run_prove(&argv[1..]);
     }
+    if argv.first().map(String::as_str) == Some("serve") {
+        run_serve(&argv[1..]);
+    }
     let (lint_mode, rest) = match argv.first().map(String::as_str) {
         Some("lint") => (true, &argv[1..]),
         _ => (false, &argv[..]),
@@ -1171,5 +1244,43 @@ mod tests {
         assert!(bad_opt.contains("fancy"), "{bad_opt}");
         let unknown = parse_explore_args(&args(&["--sizes", "1M", "--bogus"])).unwrap_err();
         assert!(unknown.contains("unknown flag"), "{unknown}");
+    }
+
+    #[test]
+    fn serve_flags_round_trip() {
+        let a = parse_serve_args(&args(&[])).unwrap();
+        assert!(a.listen.is_none() && a.store.is_none() && a.trace.is_none());
+        assert_eq!(a.threads, 0);
+
+        let a = parse_serve_args(&args(&[
+            "--stdio",
+            "--store",
+            "solutions.store",
+            "--threads",
+            "2",
+            "--trace",
+            "trace.jsonl",
+        ]))
+        .unwrap();
+        assert!(a.listen.is_none());
+        assert_eq!(
+            a.store.as_deref(),
+            Some(std::path::Path::new("solutions.store"))
+        );
+        assert_eq!(a.threads, 2);
+        assert!(a.trace.is_some());
+
+        let a = parse_serve_args(&args(&["--listen", "127.0.0.1:7878"])).unwrap();
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:7878"));
+    }
+
+    #[test]
+    fn serve_parser_rejects_bad_input() {
+        let both = parse_serve_args(&args(&["--stdio", "--listen", "127.0.0.1:0"])).unwrap_err();
+        assert!(both.contains("mutually exclusive"), "{both}");
+        let unknown = parse_serve_args(&args(&["--bogus"])).unwrap_err();
+        assert!(unknown.contains("unknown flag"), "{unknown}");
+        let dangling = parse_serve_args(&args(&["--store"])).unwrap_err();
+        assert!(dangling.contains("expects a value"), "{dangling}");
     }
 }

@@ -23,6 +23,10 @@
 //! * [`explore`] — batch design-space exploration: grid expansion, a
 //!   hermetic thread pool, solve memoization, resumable JSONL sweeps and
 //!   Pareto-frontier extraction (`cactid explore`).
+//! * [`serve`] — a resident solve service: JSONL requests over
+//!   stdin/stdout or TCP, answered in the explore record schema and backed
+//!   by a disk-backed content-addressed solution store, so restarts answer
+//!   duplicates without re-solving (`cactid serve`).
 //! * [`obs`] — zero-dependency observability: process-wide counters,
 //!   histograms and timing spans recorded across the solve and simulation
 //!   paths, dumped as a JSONL trace sidecar by `--trace`.
@@ -35,6 +39,7 @@ pub use cactid_core as core;
 pub use cactid_explore as explore;
 pub use cactid_obs as obs;
 pub use cactid_prove as prove;
+pub use cactid_serve as serve;
 pub use cactid_tech as tech;
 pub use cactid_units as units;
 pub use llc_study as study;
