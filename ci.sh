@@ -79,6 +79,16 @@ for NAME in core.solve.calls explore.pool.claims explore.cache.misses; do
         exit 1
     }
 done
+# The incremental evaluator must actually score memo reuse on a real
+# solve — a bench-spec-sized sweep with a zero counter means the memo
+# plumbing silently fell out of the staged path.
+$CACTID explore --sizes 1M --assocs 8 --threads 1 \
+    --out "$TDIR/reuse.jsonl" --trace "$TDIR/reuse.trace.jsonl" 2>/dev/null
+grep -q '"name":"core.solve.incremental_reuse","value":[1-9]' \
+    "$TDIR/reuse.trace.jsonl" || {
+    echo "core.solve.incremental_reuse did not fire on the 1M/8-way sweep" >&2
+    exit 1
+}
 rm -rf "$TDIR"
 
 echo "== cactid audit smoke run (static grid analysis + json diagnostics)"
@@ -204,7 +214,8 @@ cargo bench --quiet -p cactid-bench --bench solve_throughput -- \
     --quick --out "$BDIR/bench.json" >/dev/null 2>&1
 for KEY in '"schema":"cactid-bench-solve-v1"' '"staged_candidates_per_sec"' \
     '"reference_us_per_solve"' '"speedup_parallel_vs_staged"' \
-    '"improvement_vs_prechange"' '"comm_dram_meets_2x"'; do
+    '"improvement_vs_prechange"' '"comm_dram_meets_2x"' \
+    '"staged_beats_reference_all"'; do
     grep -q "$KEY" "$BDIR/bench.json" || {
         echo "BENCH_solve.json missing key $KEY" >&2
         exit 1

@@ -16,8 +16,9 @@ use cactid_circuit::driver::BufferChain;
 use cactid_circuit::mux::PassMux;
 use cactid_circuit::repeater::RepeatedWire;
 use cactid_circuit::sense_amp::SenseAmp;
-use cactid_tech::{CellParams, DeviceParams, Technology, WireType};
-use cactid_units::{Farads, Joules, Meters, Seconds, SquareMeters, Volts, Watts};
+use cactid_circuit::BlockResult;
+use cactid_tech::{CellParams, DeviceParams, Technology, WireParams, WireType};
+use cactid_units::{Farads, Joules, Meters, Ohms, Seconds, SquareMeters, Volts, Watts};
 
 /// Tuning constants, grouped so the validation experiments (Tables 2–3,
 /// Figure 1) can be calibrated transparently. Values are physical-order
@@ -420,7 +421,418 @@ pub fn prescreen(cell: &CellParams, rows: u64, cols: u64) -> Result<Volts, Cacti
     prescreen_explain(cell, rows, cols).map_err(|_| CactiError::NoFeasibleSolution)
 }
 
+/// Per-solve scratch memoizing every candidate-invariant or axis-keyed
+/// piece of [`evaluate`], so a sweep over adjacent [`org::enumerate_lazy`]
+/// candidates (which differ in one [`crate::OrgParams`] axis at a time)
+/// recomputes only the slices whose axis actually changed.
+///
+/// Each slice is keyed by the *complete* set of inputs its values depend
+/// on — `rows`, `cols`, `(rows, cols)`, a mux degree, or the bit pattern
+/// of a derived float — and is recomputed through the identical
+/// expressions [`evaluate`] uses whenever the key misses. A hit therefore
+/// returns values bitwise equal to a from-scratch evaluation, and the
+/// results carry no dependence on the order candidates arrive in (pinned
+/// by the enumeration-shuffle proptest).
+///
+/// A memo is valid for reuse across [`ArrayInput`]s that differ **only**
+/// in the organization axes (`rows`, `cols`, `ndwl`, `ndbl`,
+/// `deg_bl_mux`, `deg_sa_mux`) — exactly what one solve's sweep produces
+/// from a single spec. The solver allocates one per solve (or per worker
+/// on the parallel path); [`evaluate`] itself runs on a fresh memo, which
+/// degenerates to the plain from-scratch evaluation.
+///
+/// [`org::enumerate_lazy`]: crate::org::enumerate_lazy
+#[derive(Debug, Default)]
+pub struct EvalMemo {
+    hits: u64,
+    consts: Option<SolveConsts>,
+    screen: Option<((u64, u64), Result<Volts, PrescreenFailure>)>,
+    row: Option<(u64, RowSlice)>,
+    col: Option<(u64, ColSlice)>,
+    dec: Option<((u64, u64), DecSlice)>,
+    dec_delay: Option<((u64, u64, u64), Seconds)>,
+    sa: [Option<((u32, u64), SaSlice)>; SA_SLOTS],
+    ht: Option<(u64, HtSlice)>,
+    out: Option<(u64, OutSlice)>,
+    bl_mux: [Option<((u32, u64), BlockResult)>; BL_MUX_SLOTS],
+    sa_mux: [Option<((u32, u64), BlockResult)>; SA_MUX_SLOTS],
+}
+
+/// Sense-amp slots, direct-indexed by `deg_bl_mux.trailing_zeros()`
+/// (enumeration caps the bitline mux at 8 = 2³).
+const SA_SLOTS: usize = 4;
+/// Bitline-mux slots, same indexing as [`SA_SLOTS`].
+const BL_MUX_SLOTS: usize = 4;
+/// Sense-amp-mux slots, direct-indexed by `deg_sa_mux.trailing_zeros()`
+/// (enumeration caps the output mux at 1024 = 2¹⁰).
+const SA_MUX_SLOTS: usize = 11;
+
+/// Values every candidate of one solve shares: technology-wide wire and
+/// device terms plus the spec-level spine width.
+#[derive(Debug, Clone, Copy)]
+struct SolveConsts {
+    wire: WireParams,
+    f: Meters,
+    spine_w: Meters,
+    r_pre: Ohms,
+    latch_overhead: Seconds,
+}
+
+/// Everything keyed only by `rows`: bitline RC and the closed-form
+/// bitline/restore/precharge timings.
+#[derive(Debug, Clone, Copy)]
+struct RowSlice {
+    c_bl: Farads,
+    t_bitline: Seconds,
+    t_restore: Seconds,
+    t_precharge: Seconds,
+}
+
+/// Everything keyed only by `cols`: wordline RC, subarray width, the
+/// predecode wire load and the column-select driver chain.
+#[derive(Debug, Clone, Copy)]
+struct ColSlice {
+    c_wl: Farads,
+    r_wl: Ohms,
+    array_w: Meters,
+    predec_wire: Farads,
+    csl_eval: BlockResult,
+}
+
+/// The row decoder, keyed by `(rows, cols)`. The designed chain is kept so
+/// the per-candidate re-timing at the real H-tree ramp can reuse it.
+#[derive(Debug)]
+struct DecSlice {
+    decoder: Decoder,
+    dec: BlockResult,
+}
+
+/// The sense-amp strip, keyed by `(deg_bl_mux, rows)` for DRAM (the amp
+/// regenerates the bitline and senses the rows-dependent signal) and by
+/// `deg_bl_mux` alone for SRAM.
+#[derive(Debug, Clone, Copy)]
+struct SaSlice {
+    sa_eval: BlockResult,
+    w_latch: Meters,
+}
+
+/// The repeatered H-tree, keyed by the bit pattern of its span.
+#[derive(Debug, Clone, Copy)]
+struct HtSlice {
+    ht_in: BlockResult,
+    ht_stage: Seconds,
+    w_rep: Meters,
+}
+
+/// The output driver chain, keyed by the bit pattern of the H-tree input
+/// capacitance it is sized against (a per-solve constant in practice —
+/// repeater width is independent of span — so this slot hits after the
+/// first candidate).
+#[derive(Debug, Clone, Copy)]
+struct OutSlice {
+    out_eval: BlockResult,
+    c_first: Farads,
+}
+
+impl EvalMemo {
+    /// An empty memo: every slice misses on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many slice lookups hit across the memo's lifetime — the work
+    /// the incremental evaluation skipped relative to from-scratch
+    /// candidates. Flushed to the `core.solve.incremental_reuse` counter
+    /// once per solve.
+    #[must_use]
+    pub fn reuse_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memoized [`prescreen_explain`], keyed by `(rows, cols)`. The staged
+    /// sweep screens each candidate through this, so the screen's verdict
+    /// is computed once and the subsequent [`evaluate_incremental`] of a
+    /// surviving candidate reuses it instead of re-running the closed
+    /// forms.
+    ///
+    /// # Errors
+    ///
+    /// Exactly when [`prescreen_explain`] fails for `(cell, rows, cols)`.
+    pub fn prescreen_cached(
+        &mut self,
+        cell: &CellParams,
+        rows: u64,
+        cols: u64,
+    ) -> Result<Volts, PrescreenFailure> {
+        if let Some((k, v)) = self.screen {
+            if k == (rows, cols) {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let v = prescreen_explain(cell, rows, cols);
+        self.screen = Some(((rows, cols), v));
+        v
+    }
+
+    fn consts(&mut self, tech: &Technology, input: &ArrayInput) -> SolveConsts {
+        if let Some(c) = self.consts {
+            self.hits += 1;
+            return c;
+        }
+        let periph = &input.periph;
+        let f = tech.feature_size();
+        let wire = tech.wire(WireType::SemiGlobal);
+        let spine_w = (u64::from(input.address_bits) + input.output_bits) as f64
+            * wire.pitch
+            * cal::SPINE_FILL;
+        let w_pre = if input.cell.technology.is_dram() {
+            cal::W_PRECHARGE_MULT_DRAM
+        } else {
+            cal::W_PRECHARGE_MULT
+        };
+        let r_pre = periph.res_on_n(w_pre * periph.min_width);
+        // Pipeline latch + clocking overhead on any cycle.
+        let fo4 = 0.69
+            * periph.r_eff_n
+            * ((1.0 + periph.p_to_n_ratio) * (periph.c_drain + 4.0 * periph.c_gate));
+        let latch_overhead = 3.0 * fo4;
+        let c = SolveConsts {
+            wire,
+            f,
+            spine_w,
+            r_pre,
+            latch_overhead,
+        };
+        self.consts = Some(c);
+        c
+    }
+
+    fn row_slice(&mut self, input: &ArrayInput, r_pre: Ohms) -> RowSlice {
+        if let Some((k, v)) = self.row {
+            if k == input.rows {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let cell = &input.cell;
+        let periph = &input.periph;
+        let c_bl =
+            cell.c_bitline_per_cell * input.rows as f64 + 2.0 * periph.c_drain * periph.min_width;
+        let r_bl = cell.r_bitline_per_cell * input.rows as f64;
+        let derate = cell.timing_derate;
+        let (t_bitline, t_restore) = if cell.technology.is_dram() {
+            // Escape hatch: F²/F has no named quantity; series capacitance
+            // of the cell and bitline computed on raw SI values.
+            let c_eff = Farads::from_si(
+                cell.c_storage.value() * c_bl.value() / (cell.c_storage + c_bl).value(),
+            );
+            let t_share = derate * cal::TAU_SHARE * (cell.r_access_on + r_bl / 2.0) * c_eff;
+            // The restore tail is slow: the access device loses overdrive
+            // as the cell node approaches VDD (restore_saturation), and
+            // worst-case cells set the spec (timing_derate).
+            let t_rest = derate
+                * cal::TAU_RESTORE
+                * (cell.r_access_on * cell.restore_saturation + r_bl / 2.0)
+                * cell.c_storage;
+            (t_share, t_rest)
+        } else {
+            let t_dis = c_bl * (cal::SRAM_BL_SWING_MULT * cell.v_sense_margin) / cell.i_cell_read
+                + 0.38 * r_bl * c_bl;
+            (t_dis, Seconds::ZERO)
+        };
+        let t_precharge = derate * cal::TAU_PRECHARGE * (r_pre + r_bl / 2.0) * c_bl;
+        let v = RowSlice {
+            c_bl,
+            t_bitline,
+            t_restore,
+            t_precharge,
+        };
+        self.row = Some((input.rows, v));
+        v
+    }
+
+    fn col_slice(&mut self, input: &ArrayInput, k: &SolveConsts) -> ColSlice {
+        if let Some((key, v)) = self.col {
+            if key == input.cols {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let cell = &input.cell;
+        let periph = &input.periph;
+        let c_wl = cell.c_wordline_per_cell * input.cols as f64;
+        let r_wl = cell.r_wordline_per_cell * input.cols as f64;
+        let array_w = input.cols as f64 * cell.width;
+        let predec_wire = k.wire.cap(array_w);
+        // Column-select decode: sized to drive one CSL across the stripe.
+        let csl_load = k.wire.cap(array_w) + 8.0 * periph.c_inv_min();
+        let csl = BufferChain::design(periph, periph.c_inv_min(), csl_load);
+        let csl_eval = csl.evaluate(periph, Seconds::ZERO);
+        let v = ColSlice {
+            c_wl,
+            r_wl,
+            array_w,
+            predec_wire,
+            csl_eval,
+        };
+        self.col = Some((input.cols, v));
+        v
+    }
+
+    fn dec_block(&mut self, input: &ArrayInput, col: &ColSlice) -> BlockResult {
+        let key = (input.rows, input.cols);
+        if let Some((k, ref v)) = self.dec {
+            if k == key {
+                self.hits += 1;
+                return v.dec;
+            }
+        }
+        let cell = &input.cell;
+        let periph = &input.periph;
+        let decoder = Decoder::design(
+            periph,
+            input.rows.max(2) as usize,
+            col.c_wl,
+            col.r_wl,
+            cell.vpp,
+            col.predec_wire,
+            cell.height,
+        );
+        let dec = decoder.evaluate(periph, Seconds::ZERO);
+        self.dec = Some((key, DecSlice { decoder, dec }));
+        dec
+    }
+
+    fn dec_delay(&mut self, input: &ArrayInput, ramp: Seconds) -> Seconds {
+        let key = (input.rows, input.cols, ramp.value().to_bits());
+        if let Some((k, v)) = self.dec_delay {
+            if k == key {
+                self.hits += 1;
+                return v;
+            }
+        }
+        // Re-time the decode path at the real H-tree ramp; area/energy/
+        // leakage were captured by the zero-ramp evaluation and are
+        // ramp-independent.
+        let t = match &self.dec {
+            Some((k, slice)) if *k == (input.rows, input.cols) => {
+                slice.decoder.delay(&input.periph, ramp)
+            }
+            _ => unreachable!("the decoder slice is designed before decode re-timing"),
+        };
+        self.dec_delay = Some((key, t));
+        t
+    }
+
+    fn sa_slice(&mut self, input: &ArrayInput, sense_signal: Volts, c_bl: Farads) -> SaSlice {
+        let is_dram = input.cell.technology.is_dram();
+        let key = (input.deg_bl_mux, if is_dram { input.rows } else { 0 });
+        let idx = (input.deg_bl_mux.trailing_zeros() as usize).min(SA_SLOTS - 1);
+        if let Some((k, v)) = self.sa[idx] {
+            if k == key {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let cell = &input.cell;
+        let periph = &input.periph;
+        let sa_pitch = 2.0 * cell.width * f64::from(input.deg_bl_mux);
+        // DRAM sense amps must regenerate the whole bitline; SRAM amps
+        // sense onto isolated latch nodes.
+        let sa_c_extra = if is_dram { c_bl } else { Farads::ZERO };
+        let sa = SenseAmp::design_with_load(periph, sa_pitch, sa_c_extra, cell.sense_gm_derate);
+        let sa_eval = sa.evaluate(periph, sense_signal, cell.vdd_cell);
+        let v = SaSlice {
+            sa_eval,
+            w_latch: sa.w_latch,
+        };
+        self.sa[idx] = Some((key, v));
+        v
+    }
+
+    fn ht_slice(&mut self, input: &ArrayInput, k: &SolveConsts, htree_len: Meters) -> HtSlice {
+        let key = htree_len.value().to_bits();
+        if let Some((kk, v)) = self.ht {
+            if kk == key {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let periph = &input.periph;
+        let ht = RepeatedWire::design(periph, &k.wire, htree_len, input.repeater_relax);
+        let ht_in = ht.evaluate(periph, &k.wire, Seconds::ZERO);
+        // `RepeatedWire::stage_delay` is its zero-ramp evaluation divided
+        // by the segment count, and `ht_in` *is* that evaluation — divide
+        // instead of walking the repeater chain a second time.
+        let ht_stage = ht_in.delay / ht.n_seg as f64;
+        let v = HtSlice {
+            ht_in,
+            ht_stage,
+            w_rep: ht.w_rep,
+        };
+        self.ht = Some((key, v));
+        v
+    }
+
+    fn out_slice(&mut self, input: &ArrayInput, ht_in_cap: Farads) -> OutSlice {
+        let key = ht_in_cap.value().to_bits();
+        if let Some((k, v)) = self.out {
+            if k == key {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let periph = &input.periph;
+        let out_drv = BufferChain::design(periph, 4.0 * periph.c_inv_min(), 20.0 * ht_in_cap);
+        let out_eval = out_drv.evaluate(periph, Seconds::ZERO);
+        let v = OutSlice {
+            out_eval,
+            c_first: out_drv.stage_caps[0],
+        };
+        self.out = Some((key, v));
+        v
+    }
+
+    fn bl_mux_slice(&mut self, input: &ArrayInput, sa_in_cap: Farads) -> BlockResult {
+        let key = (input.deg_bl_mux, sa_in_cap.value().to_bits());
+        let idx = (input.deg_bl_mux.trailing_zeros() as usize).min(BL_MUX_SLOTS - 1);
+        if let Some((k, v)) = self.bl_mux[idx] {
+            if k == key {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let periph = &input.periph;
+        let bl_mux = PassMux::design(periph, input.deg_bl_mux as usize);
+        let v = bl_mux.evaluate(periph, Seconds::ZERO, sa_in_cap);
+        self.bl_mux[idx] = Some((key, v));
+        v
+    }
+
+    fn sa_mux_slice(&mut self, input: &ArrayInput, c_first: Farads) -> BlockResult {
+        let key = (input.deg_sa_mux, c_first.value().to_bits());
+        let idx = (input.deg_sa_mux.trailing_zeros() as usize).min(SA_MUX_SLOTS - 1);
+        if let Some((k, v)) = self.sa_mux[idx] {
+            if k == key {
+                self.hits += 1;
+                return v;
+            }
+        }
+        let periph = &input.periph;
+        let sa_mux = PassMux::design(periph, input.deg_sa_mux as usize);
+        let v = sa_mux.evaluate(periph, Seconds::ZERO, c_first);
+        self.sa_mux[idx] = Some((key, v));
+        v
+    }
+}
+
 /// Evaluates one array organization.
+///
+/// This is the from-scratch entry: it runs [`evaluate_incremental`] on a
+/// fresh [`EvalMemo`], so every slice misses and the full model cost is
+/// paid — the behavior sweeps rely on for the unpruned reference path.
 ///
 /// # Errors
 ///
@@ -429,137 +841,101 @@ pub fn prescreen(cell: &CellParams, rows: u64, cols: u64) -> Result<Volts, Cacti
 /// margin); [`prescreen`] reports the identical verdict without the cost
 /// of the full evaluation.
 pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, CactiError> {
+    evaluate_incremental(tech, input, &mut EvalMemo::new())
+}
+
+/// [`evaluate`] with a caller-owned [`EvalMemo`]: slices of the model that
+/// depend only on unchanged organization axes are reused from the memo
+/// instead of recomputed, which makes sweeping adjacent
+/// [`crate::org::enumerate_lazy`] candidates (one axis changes per step)
+/// substantially cheaper than from-scratch evaluation. Every reused slice
+/// is keyed by the complete set of inputs it depends on, so the returned
+/// [`ArrayResult`] is bitwise identical to [`evaluate`]'s for any memo
+/// state and any candidate order.
+///
+/// # Errors
+///
+/// Returns [`CactiError::NoFeasibleSolution`] exactly when [`evaluate`]
+/// does.
+pub fn evaluate_incremental(
+    tech: &Technology,
+    input: &ArrayInput,
+    memo: &mut EvalMemo,
+) -> Result<ArrayResult, CactiError> {
     let cell = &input.cell;
     let periph = &input.periph;
     let is_dram = cell.technology.is_dram();
-    let f = tech.feature_size();
 
-    let sense_signal = prescreen(cell, input.rows, input.cols)?;
+    let Ok(sense_signal) = memo.prescreen_cached(cell, input.rows, input.cols) else {
+        return Err(CactiError::NoFeasibleSolution);
+    };
 
-    // ---- Bitline electrical state ----
-    let c_bl =
-        cell.c_bitline_per_cell * input.rows as f64 + 2.0 * periph.c_drain * periph.min_width;
-    let r_bl = cell.r_bitline_per_cell * input.rows as f64;
+    let k = memo.consts(tech, input);
+    let f = k.f;
+
+    // ---- Bitline electrical state + rows-keyed closed-form timings ----
+    let row = memo.row_slice(input, k.r_pre);
+    let c_bl = row.c_bl;
 
     // ---- Subarray / bank geometry (needed for wire lengths) ----
-    let wire = tech.wire(WireType::SemiGlobal);
-    let c_wl = cell.c_wordline_per_cell * input.cols as f64;
-    let r_wl = cell.r_wordline_per_cell * input.cols as f64;
-    let array_w = input.cols as f64 * cell.width;
+    let col = memo.col_slice(input, &k);
+    let array_w = col.array_w;
     let array_h = input.rows as f64 * cell.height;
-    let predec_wire = wire.cap(array_w);
-    let decoder = Decoder::design(
-        periph,
-        input.rows.max(2) as usize,
-        c_wl,
-        r_wl,
-        cell.vpp,
-        predec_wire,
-        cell.height,
-    );
-    let dec = decoder.evaluate(periph, Seconds::ZERO);
+    let dec = memo.dec_block(input, &col);
     let dec_strip_w = dec.area / array_h.max(f);
 
-    let sa_pitch = 2.0 * cell.width * f64::from(input.deg_bl_mux);
-    // DRAM sense amps must regenerate the whole bitline; SRAM amps sense
-    // onto isolated latch nodes.
-    let sa_c_extra = if is_dram { c_bl } else { Farads::ZERO };
-    let sa = SenseAmp::design_with_load(periph, sa_pitch, sa_c_extra, cell.sense_gm_derate);
-    let sa_eval = sa.evaluate(periph, sense_signal, cell.vdd_cell);
+    let sa = memo.sa_slice(input, sense_signal, c_bl);
     let n_sa_per_subarray = (input.cols / u64::from(input.deg_bl_mux)) as f64;
-    let sa_strip_h = (n_sa_per_subarray * sa_eval.area) / array_w.max(f);
+    let sa_strip_h = (n_sa_per_subarray * sa.sa_eval.area) / array_w.max(f);
 
     let sub_w = array_w + dec_strip_w;
     let sub_h = array_h + sa_strip_h + cal::SUBARRAY_EDGE_F * f;
-    let spine_w =
-        (u64::from(input.address_bits) + input.output_bits) as f64 * wire.pitch * cal::SPINE_FILL;
-    let bank_w = f64::from(input.ndwl) * sub_w + spine_w;
+    let bank_w = f64::from(input.ndwl) * sub_w + k.spine_w;
     let bank_h = f64::from(input.ndbl) * sub_h + cal::CONTROL_STRIP_F * f;
 
     // ---- H-trees ----
     // Address-in and data-out traverse the same repeatered span from a
     // clean driver edge, so one evaluation serves both directions.
     let htree_len = (bank_w / 2.0 + bank_h / 2.0).max(10.0 * f);
-    let ht = RepeatedWire::design(periph, &wire, htree_len, input.repeater_relax);
-    let ht_in = ht.evaluate(periph, &wire, Seconds::ZERO);
-    let ht_out = &ht_in;
-    // `RepeatedWire::stage_delay` is its zero-ramp evaluation divided by
-    // the segment count, and `ht_in` *is* that evaluation — divide instead
-    // of walking the repeater chain a second time.
-    let ht_stage = ht_in.delay / ht.n_seg as f64;
+    let ht = memo.ht_slice(input, &k, htree_len);
+    let ht_in = &ht.ht_in;
+    let ht_out = &ht.ht_in;
 
     // ---- Row path ----
     let t_htree_in = ht_in.delay;
-    // Re-time the decode path at the real H-tree ramp; area/energy/leakage
-    // were already captured by the zero-ramp evaluation above and are
-    // ramp-independent.
-    let t_decode = decoder.delay(periph, ht_in.ramp_out);
+    let t_decode = memo.dec_delay(input, ht_in.ramp_out);
 
     let derate = cell.timing_derate;
-    let (t_bitline, t_restore) = if is_dram {
-        // Escape hatch: F²/F has no named quantity; series capacitance of
-        // the cell and bitline computed on raw SI values.
-        let c_eff = Farads::from_si(
-            cell.c_storage.value() * c_bl.value() / (cell.c_storage + c_bl).value(),
-        );
-        let t_share = derate * cal::TAU_SHARE * (cell.r_access_on + r_bl / 2.0) * c_eff;
-        // The restore tail is slow: the access device loses overdrive as
-        // the cell node approaches VDD (restore_saturation), and worst-case
-        // cells set the spec (timing_derate).
-        let t_rest = derate
-            * cal::TAU_RESTORE
-            * (cell.r_access_on * cell.restore_saturation + r_bl / 2.0)
-            * cell.c_storage;
-        (t_share, t_rest)
-    } else {
-        let t_dis = c_bl * (cal::SRAM_BL_SWING_MULT * cell.v_sense_margin) / cell.i_cell_read
-            + 0.38 * r_bl * c_bl;
-        (t_dis, Seconds::ZERO)
-    };
-    let t_sense = derate * sa_eval.delay;
+    let (t_bitline, t_restore) = (row.t_bitline, row.t_restore);
+    let t_sense = derate * sa.sa_eval.delay;
 
     // ---- Column path ----
-    let bl_mux = PassMux::design(periph, input.deg_bl_mux as usize);
     let sa_in_cap = periph.cap_gate(sa.w_latch);
-    let bl_mux_eval = bl_mux.evaluate(periph, Seconds::ZERO, sa_in_cap);
-    let sa_mux = PassMux::design(periph, input.deg_sa_mux as usize);
+    let bl_mux_eval = memo.bl_mux_slice(input, sa_in_cap);
     // The mux output drives the data H-tree's first repeater.
     let ht_in_cap = periph.cap_gate(ht.w_rep * (1.0 + periph.p_to_n_ratio));
-    let out_drv = BufferChain::design(periph, 4.0 * periph.c_inv_min(), 20.0 * ht_in_cap);
-    let out_eval = out_drv.evaluate(periph, Seconds::ZERO);
-    let sa_mux_eval = sa_mux.evaluate(periph, Seconds::ZERO, out_drv.stage_caps[0]);
-    let t_mux = bl_mux_eval.delay + sa_mux_eval.delay + out_eval.delay;
+    let out = memo.out_slice(input, ht_in_cap);
+    let sa_mux_eval = memo.sa_mux_slice(input, out.c_first);
+    let t_mux = bl_mux_eval.delay + sa_mux_eval.delay + out.out_eval.delay;
 
-    // Column-select decode: sized to drive one CSL across the stripe.
-    let csl_load = wire.cap(array_w) + 8.0 * periph.c_inv_min();
-    let csl = BufferChain::design(periph, periph.c_inv_min(), csl_load);
-    let csl_eval = csl.evaluate(periph, Seconds::ZERO);
-    let t_column_decode = csl_eval.delay;
+    let t_column_decode = col.csl_eval.delay;
 
     let t_htree_out = ht_out.delay;
 
     // ---- Precharge ----
-    let w_pre = if is_dram {
-        cal::W_PRECHARGE_MULT_DRAM
-    } else {
-        cal::W_PRECHARGE_MULT
-    };
-    let r_pre = periph.res_on_n(w_pre * periph.min_width);
-    let t_precharge = derate * cal::TAU_PRECHARGE * (r_pre + r_bl / 2.0) * c_bl;
+    let t_precharge = row.t_precharge;
 
     // ---- Cycle times ----
-    // Pipeline latch + clocking overhead on any cycle.
-    let fo4 = 0.69
-        * periph.r_eff_n
-        * ((1.0 + periph.p_to_n_ratio) * (periph.c_drain + 4.0 * periph.c_gate));
-    let latch_overhead = 3.0 * fo4;
+    let latch_overhead = k.latch_overhead;
     let random_cycle = if is_dram {
         t_decode + t_bitline + t_sense + t_restore + t_precharge + latch_overhead
     } else {
         t_bitline + t_sense + t_precharge + 0.4 * t_decode + latch_overhead
     };
-    let interleave_cycle =
-        cal::INTERLEAVE_OVERHEAD * ht_stage.max(out_eval.delay).max(t_column_decode / 2.0);
+    let interleave_cycle = cal::INTERLEAVE_OVERHEAD
+        * ht.ht_stage
+            .max(out.out_eval.delay)
+            .max(t_column_decode / 2.0);
 
     // ---- Energy ----
     let stripe_bits = input.stripe_bits() as f64;
@@ -577,10 +953,10 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
         stripe_bits * c_bl * vdd_c * swing
     };
     let n_sensed = stripe_bits / f64::from(input.deg_bl_mux) * input.sense_fraction;
-    let e_sense = n_sensed * sa_eval.energy;
+    let e_sense = n_sensed * sa.sa_eval.energy;
     let e_column = input.output_bits as f64
-        * (0.5 * ht_out.energy + sa_mux_eval.energy + bl_mux_eval.energy + out_eval.energy)
-        + csl_eval.energy;
+        * (0.5 * ht_out.energy + sa_mux_eval.energy + bl_mux_eval.energy + out.out_eval.energy)
+        + col.csl_eval.energy;
     let energy = EnergyBreakdown {
         htree_in: e_htree_in,
         decode: e_decode,
@@ -598,11 +974,11 @@ pub fn evaluate(tech: &Technology, input: &ArrayInput) -> Result<ArrayResult, Ca
     let n_subarrays = f64::from(input.ndwl * input.ndbl);
     let stripe_periph_leak = f64::from(input.ndwl)
         * (dec.leakage
-            + n_sa_per_subarray * sa_eval.leakage
+            + n_sa_per_subarray * sa.sa_eval.leakage
             + n_sa_per_subarray * (bl_mux_eval.leakage + sa_mux_eval.leakage) / 8.0
-            + out_eval.leakage);
+            + out.out_eval.leakage);
     let cell_leak = input.bank_bits() as f64 * cell.leak_per_cell * vdd_c;
-    let shared_leak = ht_in.leakage + ht_out.leakage + csl_eval.leakage;
+    let shared_leak = ht_in.leakage + ht_out.leakage + col.csl_eval.leakage;
     let idle_factor = if input.sleep_transistors {
         cal::SLEEP_FACTOR
     } else {

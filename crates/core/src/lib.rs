@@ -52,7 +52,7 @@ pub mod tag;
 mod optimizer;
 pub mod par;
 
-pub use array::{CertifiedBounds, PrescreenFailure};
+pub use array::{CertifiedBounds, EvalMemo, PrescreenFailure};
 pub use dimm::{DimmConfig, DimmResult};
 pub use error::CactiError;
 pub use lint::{Diagnostic, Location, Report, Severity, SolutionLinter};

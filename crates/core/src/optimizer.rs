@@ -99,10 +99,16 @@ enum Screen<'b> {
 }
 
 impl Screen<'_> {
-    fn rejects(self, cell: &CellParams, rows: u64, cols: u64) -> bool {
+    fn rejects(self, memo: &mut array::EvalMemo, cell: &CellParams, rows: u64, cols: u64) -> bool {
         match self {
             Screen::Off => false,
-            Screen::Exact => array::prescreen_explain(cell, rows, cols).is_err(),
+            // Memoized: the verdict (and the sense signal behind it) is
+            // stored under (rows, cols), so the evaluation of a surviving
+            // candidate reuses it instead of re-running the closed forms —
+            // the staged path used to pay the pre-screen twice per
+            // feasible candidate, which made it *slower* than the
+            // unpruned reference on low-prune sweeps.
+            Screen::Exact => memo.prescreen_cached(cell, rows, cols).is_err(),
             Screen::Certified(b) => array::prescreen_verdict_with(cell, rows, cols, b).is_err(),
         }
     }
@@ -112,12 +118,28 @@ impl Screen<'_> {
 /// the closed-form bounds run first; they are the exact feasibility
 /// conditions `array::evaluate` would check, so pruning here cannot change
 /// the solution set — only skip doomed model evaluations.
-fn evaluate_candidate(ctx: &SpecCtx<'_>, org: OrgParams, screen: Screen<'_>) -> CandidateOutcome {
-    if screen.rejects(&ctx.cell, org.rows(ctx.spec), org.cols(ctx.spec)) {
+///
+/// `memo` is the per-solve (or per-worker) incremental-evaluation scratch:
+/// screened paths evaluate through it so model slices keyed on unchanged
+/// organization axes are reused across adjacent candidates. The unscreened
+/// reference path deliberately bypasses it — `array::evaluate` runs every
+/// candidate from scratch, keeping the debug oracle's cost and code path
+/// independent of the memo machinery.
+fn evaluate_candidate(
+    ctx: &SpecCtx<'_>,
+    org: OrgParams,
+    screen: Screen<'_>,
+    memo: &mut array::EvalMemo,
+) -> CandidateOutcome {
+    if screen.rejects(memo, &ctx.cell, org.rows(ctx.spec), org.cols(ctx.spec)) {
         return CandidateOutcome::BoundPruned;
     }
     let input = ctx.build_input(&org);
-    let Ok(data) = array::evaluate(ctx.tech, &input) else {
+    let evaluated = match screen {
+        Screen::Off => array::evaluate(ctx.tech, &input),
+        Screen::Exact | Screen::Certified(_) => array::evaluate_incremental(ctx.tech, &input, memo),
+    };
+    let Ok(data) = evaluated else {
         return CandidateOutcome::ElectricalPruned;
     };
     let mm = match ctx.spec.kind {
@@ -211,14 +233,19 @@ fn finish_sweep(
 
 /// Publishes one solve's worth of batched counters to the process-global
 /// observability registry. The hot loop accumulates into [`SolveStats`]
-/// locally; this is the single flush per solve.
-fn flush_obs(stats: &SolveStats, swept_empty: bool) {
+/// locally; this is the single flush per solve. `reuse` is the number of
+/// memo-slice hits the incremental evaluation scored (always zero on the
+/// from-scratch reference path); it lives outside [`SolveStats`] because
+/// the stats are compared bitwise across the staged, parallel and
+/// reference paths, whose reuse opportunities legitimately differ.
+fn flush_obs(stats: &SolveStats, swept_empty: bool, reuse: u64) {
     cactid_obs::counter!("core.solve.calls").inc();
     cactid_obs::counter!("core.solve.orgs_enumerated").add(stats.orgs_enumerated as u64);
     cactid_obs::counter!("core.solve.bound_pruned").add(stats.bound_pruned as u64);
     cactid_obs::counter!("core.solve.electrical_pruned").add(stats.electrical_pruned as u64);
     cactid_obs::counter!("core.solve.lint_rejected").add(stats.lint_rejected as u64);
     cactid_obs::counter!("core.solve.feasible").add(stats.feasible as u64);
+    cactid_obs::counter!("core.solve.incremental_reuse").add(reuse);
     if swept_empty {
         cactid_obs::counter!("core.solve.no_feasible").inc();
     }
@@ -226,14 +253,15 @@ fn flush_obs(stats: &SolveStats, swept_empty: bool) {
 
 /// The serial staged sweep. `screen` selects the pruned pipeline; the
 /// debug-only reference path passes [`Screen::Off`] and pays the full
-/// model cost for every candidate. Returns the outcome plus the
-/// exhausted-sweep flag for [`flush_obs`].
+/// model cost for every candidate. Returns the outcome, the
+/// exhausted-sweep flag for [`flush_obs`], and the memo-reuse hit count.
 fn sweep_serial(
     spec: &MemorySpec,
     linter: Option<&dyn SolutionLinter>,
     screen: Screen<'_>,
-) -> (SolveOutcome, bool) {
+) -> (SolveOutcome, bool, u64) {
     let mut stats = SolveStats::default();
+    let mut memo = array::EvalMemo::new();
     let ctx = match SpecCtx::new(spec) {
         Ok(ctx) => ctx,
         Err(e) => {
@@ -243,6 +271,7 @@ fn sweep_serial(
                     stats,
                 },
                 false,
+                0,
             )
         }
     };
@@ -251,7 +280,7 @@ fn sweep_serial(
     let mut out = Vec::new();
     while let Some(org) = iter.next() {
         stats.orgs_enumerated += 1;
-        match evaluate_candidate(&ctx, org, screen) {
+        match evaluate_candidate(&ctx, org, screen, &mut memo) {
             CandidateOutcome::BoundPruned => stats.bound_pruned += 1,
             CandidateOutcome::ElectricalPruned => stats.electrical_pruned += 1,
             CandidateOutcome::Fatal(e) => {
@@ -265,6 +294,7 @@ fn sweep_serial(
                         stats,
                     },
                     false,
+                    memo.reuse_hits(),
                 );
             }
             CandidateOutcome::Feasible(sol) => {
@@ -275,13 +305,17 @@ fn sweep_serial(
         }
     }
     let (result, swept_empty) = finish_sweep(out, &mut stats);
-    (SolveOutcome { result, stats }, swept_empty)
+    (
+        SolveOutcome { result, stats },
+        swept_empty,
+        memo.reuse_hits(),
+    )
 }
 
 fn solve_inner(spec: &MemorySpec, linter: Option<&dyn SolutionLinter>) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
-    let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Exact);
-    flush_obs(&outcome.stats, swept_empty);
+    let (outcome, swept_empty, reuse) = sweep_serial(spec, linter, Screen::Exact);
+    flush_obs(&outcome.stats, swept_empty, reuse);
     outcome
 }
 
@@ -300,8 +334,8 @@ pub fn solve_with_stats_certified(
     bounds: &array::CertifiedBounds,
 ) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
-    let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Certified(bounds));
-    flush_obs(&outcome.stats, swept_empty);
+    let (outcome, swept_empty, reuse) = sweep_serial(spec, linter, Screen::Certified(bounds));
+    flush_obs(&outcome.stats, swept_empty, reuse);
     outcome
 }
 
@@ -337,24 +371,37 @@ pub const PARALLEL_SERIAL_THRESHOLD: usize = 128;
 
 /// Worth reaching for only on sweeps whose model time dominates the
 /// per-thread spawn cost — large main-memory or high-capacity cache specs;
-/// sweeps under [`PARALLEL_SERIAL_THRESHOLD`] candidates run inline.
+/// sweeps under [`PARALLEL_SERIAL_THRESHOLD`] candidates run inline, as
+/// does any call on a single-core host (where spinning up the pool can
+/// only lose). Either serial fallback is counted in the
+/// `core.solve.parallel_serial_fallback` observability counter.
 pub fn solve_with_stats_parallel(
     spec: &MemorySpec,
     linter: Option<&dyn SolutionLinter>,
     threads: usize,
 ) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
-    // Tiny sweeps run the actual serial sweep, not a serialized imitation
-    // of the fan-out: same lazy enumeration, no intermediate outcome
+    // Single-core hosts first: `host_parallelism() == 1` means the
+    // fan-out machinery can only lose, so skip even the prefix probe and
+    // run the serial sweep directly. Then the sweep-size probe: tiny
+    // sweeps run the actual serial sweep, not a serialized imitation of
+    // the fan-out — same lazy enumeration, no intermediate outcome
     // buffer. The prefix count costs at most THRESHOLD cheap geometry
     // steps, so large sweeps pay nothing noticeable for the probe.
-    let tiny = org::enumerate_lazy(spec)
-        .take(PARALLEL_SERIAL_THRESHOLD)
-        .count()
-        < PARALLEL_SERIAL_THRESHOLD;
-    if tiny {
-        let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Exact);
-        flush_obs(&outcome.stats, swept_empty);
+    let effective_threads = if threads == 0 {
+        par::host_parallelism()
+    } else {
+        threads
+    };
+    let serial = effective_threads <= 1
+        || org::enumerate_lazy(spec)
+            .take(PARALLEL_SERIAL_THRESHOLD)
+            .count()
+            < PARALLEL_SERIAL_THRESHOLD;
+    if serial {
+        cactid_obs::counter!("core.solve.parallel_serial_fallback").inc();
+        let (outcome, swept_empty, reuse) = sweep_serial(spec, linter, Screen::Exact);
+        flush_obs(&outcome.stats, swept_empty, reuse);
         return outcome;
     }
 
@@ -362,7 +409,7 @@ pub fn solve_with_stats_parallel(
     let ctx = match SpecCtx::new(spec) {
         Ok(ctx) => ctx,
         Err(e) => {
-            flush_obs(&stats, false);
+            flush_obs(&stats, false, 0);
             return SolveOutcome {
                 result: Err(e),
                 stats,
@@ -372,9 +419,16 @@ pub fn solve_with_stats_parallel(
 
     let orgs = org::enumerate(spec);
     stats.orgs_enumerated = orgs.len();
-    let outcomes: Vec<CandidateOutcome> = par::parallel_map(threads, orgs.len(), |i| {
-        evaluate_candidate(&ctx, orgs[i], Screen::Exact)
-    });
+    // Each worker carries its own memo: slice reuse needs no sharing or
+    // locking, and since every slice is a pure function of its key the
+    // per-worker results — and the index-ordered merge below — stay
+    // bitwise identical to the serial sweep however the atomic cursor
+    // happens to partition the candidates.
+    let (outcomes, memos): (Vec<CandidateOutcome>, Vec<array::EvalMemo>) =
+        par::parallel_map_with(threads, orgs.len(), array::EvalMemo::new, |memo, i| {
+            evaluate_candidate(&ctx, orgs[i], Screen::Exact, memo)
+        });
+    let reuse: u64 = memos.iter().map(array::EvalMemo::reuse_hits).sum();
 
     let mut out = Vec::new();
     let mut fatal = None;
@@ -394,14 +448,14 @@ pub fn solve_with_stats_parallel(
         }
     }
     if let Some(e) = fatal {
-        flush_obs(&stats, false);
+        flush_obs(&stats, false, reuse);
         return SolveOutcome {
             result: Err(e),
             stats,
         };
     }
     let (result, swept_empty) = finish_sweep(out, &mut stats);
-    flush_obs(&stats, swept_empty);
+    flush_obs(&stats, swept_empty, reuse);
     SolveOutcome { result, stats }
 }
 
@@ -573,8 +627,8 @@ pub fn solve_with_stats_reference(
     linter: Option<&dyn SolutionLinter>,
 ) -> SolveOutcome {
     let _span = cactid_obs::span("core.solve");
-    let (outcome, swept_empty) = sweep_serial(spec, linter, Screen::Off);
-    flush_obs(&outcome.stats, swept_empty);
+    let (outcome, swept_empty, reuse) = sweep_serial(spec, linter, Screen::Off);
+    flush_obs(&outcome.stats, swept_empty, reuse);
     outcome
 }
 

@@ -13,7 +13,20 @@
 //! instead of growing a second pool implementation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// The machine's available parallelism, resolved once per process.
+///
+/// `std::thread::available_parallelism` is not a cheap getter on Linux —
+/// it reads the cgroup filesystem to honor CPU quotas, which costs
+/// microseconds per call. Per-solve callers (the single-core fallback in
+/// `solve_with_stats_parallel` runs on every solve of a small sweep)
+/// would pay that syscall tax against solves that themselves take tens
+/// of microseconds, so the answer is cached for the process lifetime.
+pub fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
 
 /// Runs `work(i)` for every `i in 0..n` on `threads` workers and returns
 /// the results in index order regardless of completion order.
@@ -28,14 +41,36 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    parallel_map_with(threads, n, || (), |(), i| work(i)).0
+}
+
+/// [`parallel_map`] with per-worker state: every worker (or the calling
+/// thread, on the inline path) builds one `S` via `init` and threads it
+/// mutably through each `work(&mut state, i)` call it claims. Returns the
+/// index-ordered results plus the worker states, in no particular order —
+/// callers aggregate over them (e.g. summing memo-reuse counters).
+///
+/// The staged solver hands each worker its own incremental-evaluation
+/// memo this way: no sharing, no locking, and because every memo slice is
+/// a pure function of its key, results are bitwise independent of how the
+/// atomic cursor partitions indices across workers.
+pub fn parallel_map_with<S, R, I, F>(threads: usize, n: usize, init: I, work: F) -> (Vec<R>, Vec<S>)
+where
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, usize::from)
+        host_parallelism()
     } else {
         threads
     }
     .min(n.max(1));
     if threads <= 1 {
-        return (0..n).map(&work).collect();
+        let mut state = init();
+        let out = (0..n).map(|i| work(&mut state, i)).collect();
+        return (out, vec![state]);
     }
 
     let cursor = AtomicUsize::new(0);
@@ -44,28 +79,41 @@ where
         v.resize_with(n, || None);
         v
     });
+    let states = Mutex::new(Vec::with_capacity(threads));
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = work(&mut state, i);
+                    // A panicking worker already aborts the scope; recover
+                    // the guard so an unrelated poisoned lock cannot
+                    // double-panic.
+                    slots
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
                 }
-                let r = work(i);
-                // A panicking worker already aborts the scope; recover the
-                // guard so an unrelated poisoned lock cannot double-panic.
-                slots
+                states
                     .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(r);
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(state);
             });
         }
     });
-    slots
+    let out = slots
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|s| s.unwrap_or_else(|| unreachable!("every index is claimed exactly once")))
-        .collect()
+        .collect();
+    let states = states
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (out, states)
 }
 
 #[cfg(test)]
@@ -84,6 +132,30 @@ mod tests {
     fn empty_and_tiny_inputs_are_fine() {
         assert!(parallel_map::<usize, _>(8, 0, |i| i).is_empty());
         assert_eq!(parallel_map(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn worker_states_partition_the_work() {
+        // Each worker counts the indices it claimed; the returned states
+        // must account for every index exactly once, and the inline path
+        // must hand back exactly one state.
+        for threads in [1, 4] {
+            let (out, states) = parallel_map_with(
+                threads,
+                100,
+                || 0usize,
+                |count, i| {
+                    *count += 1;
+                    i * 2
+                },
+            );
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+            assert!(states.len() <= threads.max(1));
+            assert_eq!(states.iter().sum::<usize>(), 100);
+            if threads == 1 {
+                assert_eq!(states, vec![100]);
+            }
+        }
     }
 
     #[test]

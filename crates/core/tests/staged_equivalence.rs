@@ -5,11 +5,11 @@
 //! models would have rejected.
 
 use cactid_core::{
-    solve_with_stats, solve_with_stats_certified, solve_with_stats_parallel,
+    array, org, solve_with_stats, solve_with_stats_certified, solve_with_stats_parallel,
     solve_with_stats_reference, AccessMode, MemoryKind, MemorySpec, Solution,
     PARALLEL_SERIAL_THRESHOLD,
 };
-use cactid_tech::{CellTechnology, TechNode};
+use cactid_tech::{CellTechnology, TechNode, Technology};
 
 fn sram_l2() -> MemorySpec {
     MemorySpec::builder()
@@ -186,6 +186,77 @@ fn comm_dram_dimm_sweep_falls_back_to_serial() {
             par.result.as_ref().unwrap(),
         );
         assert_eq!(serial.stats, par.stats, "threads={threads}");
+    }
+}
+
+/// A 192 KB 3-way SRAM cache: the odd associativity drives the sweep
+/// through non-power-of-two stripe widths and the `nspd = 0.25` corner,
+/// where rows/cols flip at different enumeration steps than on the
+/// power-of-two bench specs.
+fn sram_odd_assoc() -> MemorySpec {
+    MemorySpec::builder()
+        .capacity_bytes(3 << 16)
+        .block_bytes(64)
+        .associativity(3)
+        .banks(1)
+        .cell_tech(CellTechnology::Sram)
+        .node(TechNode::N32)
+        .kind(MemoryKind::Cache {
+            access_mode: AccessMode::Normal,
+        })
+        .build()
+        .unwrap()
+}
+
+/// Walks every enumerated organization of each spec in sweep order — the
+/// order where exactly one axis changes per step, so every memo slice gets
+/// exercised at its invalidation boundary — and asserts the memo-carrying
+/// evaluation is bitwise identical to a from-scratch evaluation of the
+/// same candidate, on both the feasible and the infeasible side.
+#[test]
+fn incremental_evaluation_matches_from_scratch_at_every_axis_boundary() {
+    for (label, spec) in [
+        ("sram-l2", sram_l2()),
+        ("sram-192k-3way", sram_odd_assoc()),
+        ("lp-dram-l3", lp_dram_l3()),
+    ] {
+        let tech = Technology::cached(spec.node);
+        let cell = tech.cell(spec.cell_tech);
+        let periph = tech.peripheral_device(spec.cell_tech);
+        let mut memo = array::EvalMemo::new();
+        let (mut feasible, mut pruned) = (0u64, 0u64);
+        for o in org::enumerate_lazy(&spec) {
+            let input = array::ArrayInput {
+                rows: o.rows(&spec),
+                cols: o.cols(&spec),
+                ndwl: o.ndwl,
+                ndbl: o.ndbl,
+                deg_bl_mux: o.deg_bl_mux,
+                deg_sa_mux: o.deg_sa_mux,
+                output_bits: spec.output_bits(),
+                address_bits: spec.address_bits,
+                cell,
+                periph,
+                repeater_relax: spec.opt.repeater_relax,
+                sleep_transistors: spec.opt.sleep_transistors,
+                sense_fraction: spec.sense_fraction(),
+            };
+            let fresh = array::evaluate(tech, &input);
+            let incremental = array::evaluate_incremental(tech, &input, &mut memo);
+            match (fresh, incremental) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a, b, "{label}: divergence at org {o:?}");
+                    feasible += 1;
+                }
+                (Err(_), Err(_)) => pruned += 1,
+                (a, b) => panic!("{label}: feasibility flipped at org {o:?}: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(feasible > 0, "{label}: nothing evaluated");
+        assert!(
+            memo.reuse_hits() > 0,
+            "{label}: the sweep scored no memo reuse ({feasible} feasible, {pruned} pruned)"
+        );
     }
 }
 

@@ -150,14 +150,18 @@ pub fn optimize_cached_in(cache: &SolveCache, spec: &MemorySpec) -> Result<Solut
 /// [`cactid_core::optimize`] through the process-global memo.
 ///
 /// Thin shim over [`optimize_cached_in`] with [`SolveCache::global`];
-/// kept so existing call sites keep compiling and behaving identically,
-/// but new code should take a [`SolveCache`] handle explicitly — implicit
-/// process-global state is impossible to scope, reset, or share across a
-/// service boundary deliberately.
+/// kept so pre-existing call sites keep compiling and behaving
+/// identically, but new code should take a [`SolveCache`] handle
+/// explicitly — implicit process-global state is impossible to scope,
+/// reset, or share across a service boundary deliberately. No longer
+/// re-exported at the crate root; this shim is slated for removal once
+/// no in-tree caller names it, and is hidden from the rendered docs so
+/// it cannot attract new callers in the meantime.
 ///
 /// # Errors
 ///
 /// Exactly those of [`cactid_core::optimize`].
+#[doc(hidden)]
 #[deprecated(note = "pass a cache handle: `optimize_cached_in(SolveCache::global(), spec)`")]
 pub fn optimize_cached(spec: &MemorySpec) -> Result<Solution, CactiError> {
     optimize_cached_in(SolveCache::global(), spec)

@@ -64,8 +64,6 @@ pub mod resume;
 mod stats;
 
 pub use audit::{audit, AuditReport, AuditVerdict, PointAudit};
-#[allow(deprecated)]
-pub use cache::optimize_cached;
 pub use cache::{optimize_cached_in, SolveCache};
 pub use engine::{explore, ExploreConfig, ExploreReport, PointStatus};
 pub use error::ExploreError;

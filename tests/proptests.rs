@@ -362,6 +362,73 @@ fn static_screen_certificates_and_solve_agree_on_random_specs() {
     }
 }
 
+/// Memo-carrying evaluation is order-independent: evaluating a spec's
+/// candidates in a shuffled order through one shared [`EvalMemo`] returns,
+/// for every candidate, exactly the from-scratch result. Sweep order only
+/// changes which slices hit; it can never change what a slice returns,
+/// because every slice is keyed by the complete set of inputs it reads.
+#[test]
+fn incremental_evaluation_carries_no_enumeration_order_dependence() {
+    use cacti_d::core::array::{evaluate, evaluate_incremental, ArrayInput, EvalMemo};
+    use cacti_d::core::org;
+
+    let mut rng = XorShift64Star::new(0xCAC7_1D0A);
+    for _ in 0..CASES / 4 {
+        let cap_shift = rng.next_in_range(16, 21) as u32;
+        let assoc = 1u32 << rng.next_in_range(0, 4) as u32;
+        let cell_tech = CellTechnology::ALL[rng.next_below(3) as usize];
+        let spec = MemorySpec::builder()
+            .capacity_bytes(1u64 << cap_shift)
+            .block_bytes(64)
+            .associativity(assoc)
+            .banks(1)
+            .cell_tech(cell_tech)
+            .node(TechNode::N32)
+            .kind(MemoryKind::Cache {
+                access_mode: AccessMode::Normal,
+            })
+            .build()
+            .unwrap();
+        let tech = Technology::new(TechNode::N32);
+        let cell = tech.cell(cell_tech);
+        let periph = tech.peripheral_device(cell_tech);
+
+        // Fisher–Yates shuffle of the sweep order.
+        let mut orgs: Vec<_> = org::enumerate_lazy(&spec).collect();
+        for i in (1..orgs.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            orgs.swap(i, j);
+        }
+
+        let mut memo = EvalMemo::new();
+        for o in &orgs {
+            let input = ArrayInput {
+                rows: o.rows(&spec),
+                cols: o.cols(&spec),
+                ndwl: o.ndwl,
+                ndbl: o.ndbl,
+                deg_bl_mux: o.deg_bl_mux,
+                deg_sa_mux: o.deg_sa_mux,
+                output_bits: spec.output_bits(),
+                address_bits: spec.address_bits,
+                cell,
+                periph,
+                repeater_relax: spec.opt.repeater_relax,
+                sleep_transistors: spec.opt.sleep_transistors,
+                sense_fraction: spec.sense_fraction(),
+            };
+            match (
+                evaluate(&tech, &input),
+                evaluate_incremental(&tech, &input, &mut memo),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "shuffled-order divergence at org {o:?}"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("feasibility flipped at org {o:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
 /// `solve_with_stats_parallel` returns the same solutions in the same
 /// order as the serial staged pipeline, at every thread count.
 #[test]
