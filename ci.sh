@@ -245,4 +245,46 @@ for KEY in '"schema":"cactid-bench-serve-v1"' '"warm_p50_us"' \
 done
 rm -rf "$VDIR"
 
+echo "== sharded-sim smoke (worker-count determinism + obs counters)"
+# A 64-core run through the sharded engine must produce a bitwise
+# identical stats digest at 1 and 8 workers, and the trace sidecar must
+# show the epoch machinery actually ran (sim.shard.epochs > 0).
+MDIR=$(mktemp -d)
+cargo build --release --quiet -p llc-study --bin llc-study
+LLC=target/release/llc-study
+$LLC shard --cores 64 --shards 1 -n 20000 > "$MDIR/w1.txt" 2>/dev/null
+$LLC shard --cores 64 --shards 8 -n 20000 --trace "$MDIR/shard.trace.jsonl" \
+    > "$MDIR/w8.txt" 2>/dev/null
+D1=$(sed 's/.*digest=//' "$MDIR/w1.txt")
+D8=$(sed 's/.*digest=//' "$MDIR/w8.txt")
+test -n "$D1" && test "$D1" = "$D8" || {
+    echo "sharded digests differ between 1 and 8 workers:" >&2
+    cat "$MDIR/w1.txt" "$MDIR/w8.txt" >&2
+    exit 1
+}
+grep -q '"name":"sim.shard.epochs","value":[1-9]' "$MDIR/shard.trace.jsonl" || {
+    echo "trace sidecar lacks a nonzero sim.shard.epochs counter" >&2
+    exit 1
+}
+rm -rf "$MDIR"
+
+echo "== sim-throughput bench smoke (--quick)"
+# The serial-vs-sharded bench must run and emit a schema-valid
+# BENCH_sim.json whose determinism and overhead gates hold (the speedup
+# gate self-waives on single-CPU hosts and is checked by the bench).
+WDIR=$(mktemp -d)
+cargo bench --quiet -p cactid-bench --bench sim_throughput -- \
+    --quick --out "$WDIR/bench.json" >/dev/null 2>&1
+for KEY in '"schema":"cactid-bench-sim-v1"' '"legacy_cycles_per_sec"' \
+    '"serial_overhead_vs_legacy"' '"sharded_speedup_8w"' \
+    '"sharded_matches_serial":true' '"serial_overhead_ok":true' \
+    '"sharded_speedup_ok":true'; do
+    grep -q "$KEY" "$WDIR/bench.json" || {
+        echo "BENCH_sim.json missing key $KEY:" >&2
+        cat "$WDIR/bench.json" >&2
+        exit 1
+    }
+done
+rm -rf "$WDIR"
+
 echo "ci: all checks passed"

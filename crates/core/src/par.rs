@@ -12,8 +12,8 @@
 //! services) reuse the same primitive for small index-addressed fan-outs
 //! instead of growing a second pool implementation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
 
 /// The machine's available parallelism, resolved once per process.
 ///
@@ -116,6 +116,83 @@ where
     (out, states)
 }
 
+/// Runs a lock-step epoch loop over a persistent team of `threads`
+/// workers: every epoch, each worker runs `worker(w, epoch)` concurrently,
+/// then — with all workers parked at a barrier — the calling thread alone
+/// runs `coordinate(epoch)`. The loop continues while `coordinate` returns
+/// `true`.
+///
+/// This is the synchronization skeleton of the sharded simulator: `worker`
+/// is the shard-local phase (touching only shard-owned state), `coordinate`
+/// is the exclusive boundary phase (draining cross-shard queues). The team
+/// is spawned once and reused across every epoch, because a simulation runs
+/// thousands of epochs and per-epoch `std::thread::spawn` costs would dwarf
+/// the epochs themselves.
+///
+/// * The calling thread participates as worker `threads - 1`, so `threads`
+///   is the *total* concurrency, and only `threads - 1` OS threads are
+///   spawned.
+/// * `threads <= 1` runs everything inline — `worker(0, e)` then
+///   `coordinate(e)` on the caller, no spawning, no atomics in the loop —
+///   so a single-threaded epoch loop is exactly a plain loop. Callers rely
+///   on this path being bitwise identical to the threaded one.
+/// * `coordinate` always observes every `worker` call of its epoch as
+///   happened-before (barrier ordering), and vice versa for the next epoch.
+pub fn run_epochs<W, C>(threads: usize, worker: W, mut coordinate: C)
+where
+    W: Fn(usize, u64) + Sync,
+    C: FnMut(u64) -> bool,
+{
+    if threads <= 1 {
+        let mut epoch = 0u64;
+        loop {
+            worker(0, epoch);
+            if !coordinate(epoch) {
+                break;
+            }
+            epoch += 1;
+        }
+        return;
+    }
+
+    // Two reusable rendezvous points: `start` releases the team into an
+    // epoch's worker phase, `end` closes it. Between `end` of epoch e and
+    // `start` of epoch e+1 the spawned workers are parked, so the caller
+    // runs `coordinate` with exclusive access to everything.
+    let start = Barrier::new(threads);
+    let end = Barrier::new(threads);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 0..threads - 1 {
+            let (start, end, done, worker) = (&start, &end, &done, &worker);
+            scope.spawn(move || {
+                let mut epoch = 0u64;
+                loop {
+                    start.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    worker(w, epoch);
+                    end.wait();
+                    epoch += 1;
+                }
+            });
+        }
+        let mut epoch = 0u64;
+        loop {
+            start.wait();
+            worker(threads - 1, epoch);
+            end.wait();
+            if !coordinate(epoch) {
+                done.store(true, Ordering::Release);
+                start.wait(); // release the parked team into its exit check
+                break;
+            }
+            epoch += 1;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +233,56 @@ mod tests {
                 assert_eq!(states, vec![100]);
             }
         }
+    }
+
+    #[test]
+    fn run_epochs_alternates_worker_and_coordinate_phases() {
+        // Each epoch every worker increments a per-worker cell; coordinate
+        // checks all cells advanced exactly once per epoch (i.e. the
+        // phases never overlap or skip) and stops after 5 epochs.
+        for threads in [1, 2, 4] {
+            let cells: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            let mut epochs_seen = Vec::new();
+            run_epochs(
+                threads,
+                |w, _e| {
+                    cells[w].fetch_add(1, Ordering::Relaxed);
+                },
+                |e| {
+                    for c in &cells {
+                        assert_eq!(c.load(Ordering::Relaxed), e as usize + 1);
+                    }
+                    epochs_seen.push(e);
+                    e < 4
+                },
+            );
+            assert_eq!(epochs_seen, vec![0, 1, 2, 3, 4]);
+            for c in &cells {
+                assert_eq!(c.load(Ordering::Relaxed), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn run_epochs_inline_path_needs_no_sync() {
+        // threads = 1 must run worker 0 then coordinate, strictly
+        // interleaved, on the calling thread.
+        let log = std::sync::Mutex::new(Vec::new());
+        run_epochs(
+            1,
+            |w, e| {
+                assert_eq!(w, 0);
+                log.lock().unwrap().push(('w', e));
+            },
+            |e| {
+                log.lock().unwrap().push(('c', e));
+                e < 1
+            },
+        );
+        assert_eq!(
+            log.into_inner().unwrap(),
+            vec![('w', 0), ('c', 0), ('w', 1), ('c', 1)]
+        );
     }
 
     #[test]

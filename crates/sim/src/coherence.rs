@@ -1,19 +1,109 @@
-//! MESI directory tracking which private L2s hold each line.
+//! Coherence directory tracking which private L2s hold each line.
 //!
 //! The directory covers only lines resident in some L2 (the L2s are small,
 //! so the map stays bounded); it is consulted on every L2 miss and on every
-//! store that needs ownership.
+//! store that needs ownership. Sharer sets are 256-bit [`CoreSet`]s, so the
+//! same directory serves the paper's 8-core chip and the sharded
+//! simulator's 64–256-core configurations.
+//!
+//! Two protocols share the directory state:
+//! * **MESI** (write-invalidate) — [`Directory::read`] / [`Directory::write`],
+//!   the legacy serial simulator's protocol.
+//! * **Dragon-style write-update** — [`Directory::read_keep_owner`] /
+//!   [`Directory::write_update`]: a write pushes the new data to the other
+//!   sharers instead of invalidating them, and a read from a dirty owner
+//!   does not downgrade it. Only the sharded engine speaks this dialect.
 
 use std::collections::HashMap;
+
+/// Maximum number of cores a sharer set can track.
+pub const MAX_CORES: usize = 256;
+
+/// A set of core ids, fixed 256-bit bitset — wide enough for the sharded
+/// simulator's largest configuration, four words instead of a heap
+/// allocation per directory entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreSet([u64; 4]);
+
+impl CoreSet {
+    /// The empty set.
+    pub const EMPTY: CoreSet = CoreSet([0; 4]);
+
+    /// The set containing exactly `core`.
+    pub fn only(core: usize) -> CoreSet {
+        let mut s = CoreSet::EMPTY;
+        s.insert(core);
+        s
+    }
+
+    /// The set containing the listed cores (tests/diagnostics).
+    pub fn of(cores: &[usize]) -> CoreSet {
+        let mut s = CoreSet::EMPTY;
+        for &c in cores {
+            s.insert(c);
+        }
+        s
+    }
+
+    /// Adds `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= MAX_CORES` (debug builds index-check anyway).
+    pub fn insert(&mut self, core: usize) {
+        self.0[core / 64] |= 1 << (core % 64);
+    }
+
+    /// Removes `core`.
+    pub fn remove(&mut self, core: usize) {
+        self.0[core / 64] &= !(1 << (core % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, core: usize) -> bool {
+        self.0[core / 64] & (1 << (core % 64)) != 0
+    }
+
+    /// `true` when no core is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Number of cores in the set.
+    pub fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// This set minus `core`.
+    pub fn without(mut self, core: usize) -> CoreSet {
+        self.remove(core);
+        self
+    }
+
+    /// Iterates the member core ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
 
 /// Directory entry for one line: which cores' L2s hold it, and whether one
 /// of them owns it dirty.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DirEntry {
-    /// Bitmask of cores holding the line.
-    pub sharers: u32,
+    /// Cores holding the line.
+    pub sharers: CoreSet,
     /// Core owning the line in Modified state, if any.
-    pub owner: Option<u8>,
+    pub owner: Option<u16>,
 }
 
 /// Outcome of a directory read request.
@@ -21,15 +111,14 @@ pub struct DirEntry {
 pub enum ReadSource {
     /// No L2 holds it — fetch from L3/memory.
     Below,
-    /// A peer L2 holds it dirty; cache-to-cache transfer (and the owner
-    /// downgrades to Shared).
-    RemoteOwner(u8),
+    /// A peer L2 holds it dirty; cache-to-cache transfer.
+    RemoteOwner(usize),
     /// One or more peers hold it clean; data still comes from below, the
     /// requester joins the sharers.
     SharedClean,
 }
 
-/// The MESI directory.
+/// The coherence directory.
 #[derive(Debug, Default)]
 pub struct Directory {
     entries: HashMap<u64, DirEntry>,
@@ -52,47 +141,83 @@ impl Directory {
     }
 
     /// Core `core` reads `line` (L2 miss): updates sharers and reports
-    /// where the data comes from.
-    pub fn read(&mut self, line: u64, core: u8) -> ReadSource {
+    /// where the data comes from. MESI semantics — a dirty remote owner
+    /// downgrades to Shared.
+    pub fn read(&mut self, line: u64, core: usize) -> ReadSource {
         let e = self.entries.entry(line).or_default();
         let src = if let Some(owner) = e.owner {
-            if owner != core {
+            if usize::from(owner) != core {
                 e.owner = None; // owner downgrades to Shared
-                ReadSource::RemoteOwner(owner)
+                ReadSource::RemoteOwner(usize::from(owner))
             } else {
                 ReadSource::Below // shouldn't happen (owner re-reading)
             }
-        } else if e.sharers & !(1 << core) != 0 {
+        } else if !e.sharers.without(core).is_empty() {
             ReadSource::SharedClean
         } else {
             ReadSource::Below
         };
-        e.sharers |= 1 << core;
+        e.sharers.insert(core);
         src
     }
 
-    /// Core `core` writes `line`: all other sharers must be invalidated.
-    /// Returns the bitmask of cores that need an invalidation probe.
-    pub fn write(&mut self, line: u64, core: u8) -> u32 {
+    /// Core `core` reads `line` under the write-update protocol: like
+    /// [`Directory::read`] but a dirty owner keeps ownership — it supplies
+    /// the data cache-to-cache without a downgrade or writeback.
+    pub fn read_keep_owner(&mut self, line: u64, core: usize) -> ReadSource {
         let e = self.entries.entry(line).or_default();
-        let invalidate = e.sharers & !(1 << core);
-        e.sharers = 1 << core;
-        e.owner = Some(core);
+        let src = if let Some(owner) = e.owner {
+            if usize::from(owner) != core {
+                ReadSource::RemoteOwner(usize::from(owner))
+            } else {
+                ReadSource::Below
+            }
+        } else if !e.sharers.without(core).is_empty() {
+            ReadSource::SharedClean
+        } else {
+            ReadSource::Below
+        };
+        e.sharers.insert(core);
+        src
+    }
+
+    /// Core `core` writes `line` (MESI): all other sharers must be
+    /// invalidated. Returns the set of cores that need an invalidation
+    /// probe.
+    pub fn write(&mut self, line: u64, core: usize) -> CoreSet {
+        let e = self.entries.entry(line).or_default();
+        let invalidate = e.sharers.without(core);
+        e.sharers = CoreSet::only(core);
+        e.owner = Some(core as u16);
         invalidate
+    }
+
+    /// Core `core` writes `line` under the write-update protocol: the
+    /// other sharers receive the new data and *stay* sharers. Returns
+    /// `(peers_to_update, previous_dirty_owner)` — the previous owner (if
+    /// any, and not the writer) sources the line cache-to-cache on a
+    /// write miss.
+    pub fn write_update(&mut self, line: u64, core: usize) -> (CoreSet, Option<usize>) {
+        let e = self.entries.entry(line).or_default();
+        let prev_owner = e.owner.map(usize::from).filter(|&o| o != core);
+        let peers = e.sharers.without(core);
+        e.sharers.insert(core);
+        e.owner = Some(core as u16);
+        (peers, prev_owner)
     }
 
     /// Core `core` evicted `line` from its L2: drop it from the sharers and
     /// forget the line when nobody holds it. Returns `true` if the evicting
     /// core was the dirty owner (writeback needed).
-    pub fn evict(&mut self, line: u64, core: u8) -> bool {
+    pub fn evict(&mut self, line: u64, core: usize) -> bool {
         let mut was_owner = false;
         if let Some(e) = self.entries.get_mut(&line) {
-            e.sharers &= !(1 << core);
-            if e.owner == Some(core) {
+            e.sharers.remove(core);
+            if e.owner == Some(core as u16) {
                 e.owner = None;
                 was_owner = true;
             }
-            if e.sharers == 0 {
+            if e.sharers.is_empty() {
                 self.entries.remove(&line);
             }
         }
@@ -100,13 +225,18 @@ impl Directory {
     }
 
     /// Current sharers of a line (diagnostics/tests).
-    pub fn sharers(&self, line: u64) -> u32 {
-        self.entries.get(&line).map_or(0, |e| e.sharers)
+    pub fn sharers(&self, line: u64) -> CoreSet {
+        self.entries
+            .get(&line)
+            .map_or(CoreSet::EMPTY, |e| e.sharers)
     }
 
     /// Current owner, if dirty-owned.
-    pub fn owner(&self, line: u64) -> Option<u8> {
-        self.entries.get(&line).and_then(|e| e.owner)
+    pub fn owner(&self, line: u64) -> Option<usize> {
+        self.entries
+            .get(&line)
+            .and_then(|e| e.owner)
+            .map(usize::from)
     }
 }
 
@@ -121,9 +251,9 @@ mod tests {
         assert_eq!(d.read(10, 1), ReadSource::SharedClean);
         // Core 2 writes: both sharers must be invalidated.
         let inval = d.write(10, 2);
-        assert_eq!(inval, 0b011);
+        assert_eq!(inval, CoreSet::of(&[0, 1]));
         assert_eq!(d.owner(10), Some(2));
-        assert_eq!(d.sharers(10), 0b100);
+        assert_eq!(d.sharers(10), CoreSet::only(2));
     }
 
     #[test]
@@ -133,7 +263,7 @@ mod tests {
         assert_eq!(d.read(42, 0), ReadSource::RemoteOwner(3));
         // After the transfer both share it cleanly.
         assert_eq!(d.owner(42), None);
-        assert_eq!(d.sharers(42), 0b1001);
+        assert_eq!(d.sharers(42), CoreSet::of(&[0, 3]));
     }
 
     #[test]
@@ -142,7 +272,7 @@ mod tests {
         d.read(7, 0);
         d.read(7, 1);
         assert!(!d.evict(7, 0), "clean eviction");
-        assert_eq!(d.sharers(7), 0b10);
+        assert_eq!(d.sharers(7), CoreSet::only(1));
         assert!(!d.is_empty());
         d.evict(7, 1);
         assert!(d.is_empty(), "last sharer gone → entry dropped");
@@ -160,6 +290,56 @@ mod tests {
     fn write_by_sole_sharer_invalidates_nobody() {
         let mut d = Directory::new();
         d.read(1, 4);
-        assert_eq!(d.write(1, 4), 0);
+        assert!(d.write(1, 4).is_empty());
+    }
+
+    #[test]
+    fn cores_beyond_word_boundaries_are_tracked() {
+        // Regression guard for the u32 mask this replaced: core ids 32+
+        // silently aliased (1u32 << 33 panics or wraps). The widened set
+        // must hold the full 0..256 range.
+        let mut d = Directory::new();
+        for core in [0usize, 31, 32, 63, 64, 127, 128, 255] {
+            d.read(99, core);
+        }
+        assert_eq!(d.sharers(99).count(), 8);
+        let inval = d.write(99, 255);
+        assert_eq!(inval.count(), 7);
+        assert!(inval.contains(64) && inval.contains(128) && !inval.contains(255));
+        assert_eq!(
+            inval.iter().collect::<Vec<_>>(),
+            vec![0, 31, 32, 63, 64, 127, 128]
+        );
+        assert_eq!(d.owner(99), Some(255));
+    }
+
+    #[test]
+    fn write_update_keeps_sharers_and_transfers_ownership() {
+        let mut d = Directory::new();
+        d.read(5, 0);
+        d.read(5, 1);
+        let (peers, prev) = d.write_update(5, 2);
+        assert_eq!(
+            peers,
+            CoreSet::of(&[0, 1]),
+            "peers get updates, not invalidations"
+        );
+        assert_eq!(prev, None, "no dirty owner yet");
+        assert_eq!(d.sharers(5), CoreSet::of(&[0, 1, 2]));
+        assert_eq!(d.owner(5), Some(2));
+        // A second writer: previous owner sources the data, everyone stays.
+        let (peers, prev) = d.write_update(5, 0);
+        assert_eq!(peers, CoreSet::of(&[1, 2]));
+        assert_eq!(prev, Some(2));
+        assert_eq!(d.sharers(5).count(), 3);
+    }
+
+    #[test]
+    fn read_keep_owner_does_not_downgrade() {
+        let mut d = Directory::new();
+        d.write(6, 3);
+        assert_eq!(d.read_keep_owner(6, 1), ReadSource::RemoteOwner(3));
+        assert_eq!(d.owner(6), Some(3), "owner keeps the dirty line");
+        assert_eq!(d.sharers(6), CoreSet::of(&[1, 3]));
     }
 }

@@ -11,6 +11,13 @@ pub enum ConfigError {
     /// The L3 interface is [`L3Interface::PageMode`] but `page_timing` is
     /// `None`, so row hits/misses have no tRCD/CAS/tRP to charge.
     PageModeWithoutTiming,
+    /// `n_cores` is zero or exceeds the 256-core ceiling of the coherence
+    /// directory's sharer sets ([`crate::coherence::MAX_CORES`]).
+    UnsupportedCoreCount(u32),
+    /// The selected [`CoherenceProtocol`] is not implemented by the engine
+    /// the configuration was handed to (the legacy serial loop speaks MESI
+    /// only; write-update needs the sharded engine's epoch boundary).
+    ProtocolNeedsShardedEngine,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -20,6 +27,17 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "page-mode L3 requires page_timing (tRCD/CAS/tRP); \
                  set L3Config::page_timing or use the SRAM-like interface"
+            ),
+            ConfigError::UnsupportedCoreCount(n) => write!(
+                f,
+                "n_cores = {n} is outside the supported 1..=256 range \
+                 of the coherence directory's sharer sets"
+            ),
+            ConfigError::ProtocolNeedsShardedEngine => write!(
+                f,
+                "the Dragon write-update protocol is only implemented by \
+                 the sharded engine (memsim::shard::ShardedSimulator); the \
+                 legacy serial Simulator speaks MESI only"
             ),
         }
     }
@@ -160,6 +178,17 @@ pub struct DramConfig {
     pub page_policy: PagePolicy,
 }
 
+/// Cache-coherence protocol run between the private L2s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoherenceProtocol {
+    /// MESI write-invalidate (the paper's system; both engines).
+    #[default]
+    Mesi,
+    /// Dragon-style write-update: stores push data to the other sharers
+    /// instead of invalidating them (sharded engine only).
+    Dragon,
+}
+
 /// Full system description.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -179,6 +208,8 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Non-FP instruction latency \[cycles\] (paper: 4).
     pub other_instr_cycles: u64,
+    /// Coherence protocol between the private L2s.
+    pub protocol: CoherenceProtocol,
 }
 
 impl SystemConfig {
@@ -194,6 +225,9 @@ impl SystemConfig {
     /// Any [`ConfigError`] from the configured levels (currently the L3;
     /// see [`L3Config::validate`]).
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_cores == 0 || self.n_cores as usize > crate::coherence::MAX_CORES {
+            return Err(ConfigError::UnsupportedCoreCount(self.n_cores));
+        }
         if let Some(l3) = &self.l3 {
             l3.validate()?;
         }
@@ -240,6 +274,7 @@ impl SystemConfig {
                 page_policy: PagePolicy::Closed,
             },
             other_instr_cycles: 4,
+            protocol: CoherenceProtocol::Mesi,
         }
     }
 
@@ -266,6 +301,33 @@ impl SystemConfig {
         });
         c
     }
+
+    /// A scaled-up chip for the sharded simulator's 64–256-core studies:
+    /// [`SystemConfig::with_sram_l3`] geometry per core, one L3 bank per
+    /// core, crossbar latency growing logarithmically with the core count
+    /// (2 cycles at the paper's 8 cores, +2 per doubling), and one DRAM
+    /// channel per 4 cores. `many_core(8)` reproduces `with_sram_l3()`
+    /// exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is 0 or above 256 (the directory's sharer-set
+    /// width) — use [`SystemConfig::validate`] for a typed error.
+    pub fn many_core(n_cores: u32) -> SystemConfig {
+        assert!(
+            n_cores >= 1 && n_cores as usize <= crate::coherence::MAX_CORES,
+            "n_cores = {n_cores} outside 1..=256"
+        );
+        let mut c = SystemConfig::with_sram_l3();
+        c.n_cores = n_cores;
+        let Some(l3) = c.l3.as_mut() else {
+            unreachable!("with_sram_l3 always has an L3")
+        };
+        l3.n_banks = n_cores;
+        l3.xbar_cycles = 2 + 2 * u64::from((n_cores.max(8) / 8).ilog2());
+        c.dram.channels = (n_cores / 4).max(2);
+        c
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +342,34 @@ mod tests {
         assert_eq!(c.l2.sets(), 2048);
         assert!(c.l3.is_none());
         assert!(c.dram.t_rc >= c.dram.t_rcd + c.dram.t_rp);
+    }
+
+    #[test]
+    fn validate_bounds_the_core_count() {
+        let mut c = SystemConfig::baseline_no_l3();
+        assert_eq!(c.validate(), Ok(()));
+        c.n_cores = 0;
+        assert_eq!(c.validate(), Err(ConfigError::UnsupportedCoreCount(0)));
+        c.n_cores = 257;
+        assert_eq!(c.validate(), Err(ConfigError::UnsupportedCoreCount(257)));
+        c.n_cores = 256;
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn many_core_scales_the_fabric_with_the_core_count() {
+        assert_eq!(SystemConfig::many_core(8), SystemConfig::with_sram_l3());
+        let c = SystemConfig::many_core(64);
+        assert_eq!(c.n_threads(), 256);
+        let l3 = c.l3.as_ref().unwrap();
+        assert_eq!(l3.n_banks, 64);
+        assert_eq!(l3.xbar_cycles, 2 + 2 * 3, "three doublings past 8 cores");
+        assert_eq!(c.dram.channels, 16);
+        assert_eq!(c.validate(), Ok(()));
+        let c = SystemConfig::many_core(256);
+        assert_eq!(c.l3.as_ref().unwrap().xbar_cycles, 2 + 2 * 5);
+        assert_eq!(c.dram.channels, 64);
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

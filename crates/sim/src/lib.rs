@@ -41,11 +41,15 @@ pub mod dram;
 pub mod l3;
 pub mod record;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use config::{CacheConfig, ConfigError, DramConfig, L3Config, PagePolicy, SystemConfig};
+pub use config::{
+    CacheConfig, CoherenceProtocol, ConfigError, DramConfig, L3Config, PagePolicy, SystemConfig,
+};
+pub use shard::{ShardInfo, ShardedSimulator};
 pub use sim::Simulator;
 pub use stats::{SimStats, StallKind};
 pub use trace::{Instr, TraceSource};

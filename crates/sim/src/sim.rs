@@ -2,7 +2,7 @@
 //! memory hierarchy.
 
 use crate::cache::{LineState, SetAssocCache};
-use crate::coherence::{Directory, ReadSource};
+use crate::coherence::{CoreSet, Directory, ReadSource};
 use crate::config::SystemConfig;
 use crate::core::{Thread, ThreadState};
 use crate::dram::DramChannel;
@@ -61,12 +61,19 @@ impl<T: TraceSource> Simulator<T> {
     ///
     /// Any [`crate::config::ConfigError`] from
     /// [`SystemConfig::validate`] — e.g. a page-mode L3 without row
-    /// timing, which previously panicked mid-simulation.
+    /// timing, which previously panicked mid-simulation — plus
+    /// [`crate::config::ConfigError::ProtocolNeedsShardedEngine`] for a
+    /// non-MESI protocol: this serial loop resolves coherence actions
+    /// instantly and only implements write-invalidate; write-update lives
+    /// in [`crate::shard::ShardedSimulator`].
     pub fn try_new(
         cfg: SystemConfig,
         trace: T,
     ) -> Result<Simulator<T>, crate::config::ConfigError> {
         cfg.validate()?;
+        if cfg.protocol != crate::config::CoherenceProtocol::Mesi {
+            return Err(crate::config::ConfigError::ProtocolNeedsShardedEngine);
+        }
         let n_cores = cfg.n_cores as usize;
         let l1 = (0..n_cores)
             .map(|_| {
@@ -281,7 +288,6 @@ impl<T: TraceSource> Simulator<T> {
     fn mem_access(&mut self, core: usize, addr: u64, is_store: bool) -> (u64, StallKind) {
         let now = self.cycle;
         let line = addr / u64::from(self.cfg.l1.line_bytes);
-        let core_u8 = core as u8;
         self.stats.counts.l1_reads += 1;
 
         // ---- L1 ----
@@ -289,7 +295,7 @@ impl<T: TraceSource> Simulator<T> {
             if is_store {
                 self.stats.counts.l1_writes += 1;
                 if state != LineState::Modified {
-                    let mask = self.dir.write(line, core_u8);
+                    let mask = self.dir.write(line, core);
                     self.invalidate_remotes(mask, addr, core);
                     self.l1[core].set_state(addr, LineState::Modified);
                     self.l2[core].set_state(addr, LineState::Modified);
@@ -303,7 +309,7 @@ impl<T: TraceSource> Simulator<T> {
         let l2_lat = self.cfg.l1.access_cycles + self.cfg.l2.access_cycles;
         if let Some(state) = self.l2[core].lookup(addr) {
             let new_state = if is_store {
-                let mask = self.dir.write(line, core_u8);
+                let mask = self.dir.write(line, core);
                 self.invalidate_remotes(mask, addr, core);
                 self.stats.counts.l2_writes += 1;
                 LineState::Modified
@@ -317,13 +323,13 @@ impl<T: TraceSource> Simulator<T> {
 
         // ---- L2 miss: consult the directory ----
         let (from_remote, shared) = if is_store {
-            let mask = self.dir.write(line, core_u8);
+            let mask = self.dir.write(line, core);
             let dirty = self.invalidate_remotes(mask, addr, core);
             (dirty, false)
         } else {
-            match self.dir.read(line, core_u8) {
+            match self.dir.read(line, core) {
                 ReadSource::RemoteOwner(owner) => {
-                    self.downgrade_remote(owner as usize, addr);
+                    self.downgrade_remote(owner, addr);
                     (true, true)
                 }
                 ReadSource::SharedClean => (false, true),
@@ -461,7 +467,7 @@ impl<T: TraceSource> Simulator<T> {
         self.stats.counts.l2_writes += 1;
         if let Some(ev) = self.l2[core].insert(addr, state) {
             let ev_line = ev.addr / u64::from(self.cfg.l1.line_bytes);
-            let was_owner = self.dir.evict(ev_line, core as u8);
+            let was_owner = self.dir.evict(ev_line, core);
             // Inclusion: the L1 copy must go too.
             let l1_state = self.l1[core].invalidate(ev.addr);
             let dirty = ev.state == LineState::Modified
@@ -475,10 +481,10 @@ impl<T: TraceSource> Simulator<T> {
 
     /// Invalidates `mask` cores' copies; returns whether one of them held
     /// the line dirty (cache-to-cache source).
-    fn invalidate_remotes(&mut self, mask: u32, addr: u64, requester: usize) -> bool {
+    fn invalidate_remotes(&mut self, mask: CoreSet, addr: u64, requester: usize) -> bool {
         let mut dirty = false;
-        for other in 0..self.cfg.n_cores as usize {
-            if other == requester || mask & (1 << other) == 0 {
+        for other in mask.iter() {
+            if other == requester {
                 continue;
             }
             self.stats.counts.l2_reads += 1; // probe

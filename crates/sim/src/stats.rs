@@ -165,6 +165,81 @@ impl SimStats {
         }
     }
 
+    /// Accumulates `other` into `self`, field by field — used by the
+    /// sharded simulator to combine per-shard statistics with the
+    /// boundary-side statistics. `cycles` is *not* summed (it is wall
+    /// simulated time, identical across shards, not additive); the caller
+    /// sets it from the engine clock.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.instructions += other.instructions;
+        for (a, b) in self.cycle_breakdown.iter_mut().zip(&other.cycle_breakdown) {
+            *a += b;
+        }
+        self.load_latency_sum += other.load_latency_sum;
+        self.loads += other.loads;
+        for (a, b) in self.load_level_hits.iter_mut().zip(&other.load_level_hits) {
+            *a += b;
+        }
+        let (c, o) = (&mut self.counts, &other.counts);
+        c.l1_reads += o.l1_reads;
+        c.l1_writes += o.l1_writes;
+        c.l1i_reads += o.l1i_reads;
+        c.l2_reads += o.l2_reads;
+        c.l2_writes += o.l2_writes;
+        c.l3_reads += o.l3_reads;
+        c.l3_writes += o.l3_writes;
+        c.l3_page_hits += o.l3_page_hits;
+        c.xbar_transfers += o.xbar_transfers;
+        c.mem_activates += o.mem_activates;
+        c.mem_reads += o.mem_reads;
+        c.mem_writes += o.mem_writes;
+        c.mem_page_hits += o.mem_page_hits;
+    }
+
+    /// FNV-1a digest over every field — a compact checksum for asserting
+    /// bitwise equality of runs (e.g. the sharded engine at different
+    /// worker counts) without printing the whole struct.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.cycles);
+        mix(self.instructions);
+        for &v in &self.cycle_breakdown {
+            mix(v);
+        }
+        let c = &self.counts;
+        for v in [
+            c.l1_reads,
+            c.l1_writes,
+            c.l1i_reads,
+            c.l2_reads,
+            c.l2_writes,
+            c.l3_reads,
+            c.l3_writes,
+            c.l3_page_hits,
+            c.xbar_transfers,
+            c.mem_activates,
+            c.mem_reads,
+            c.mem_writes,
+            c.mem_page_hits,
+        ] {
+            mix(v);
+        }
+        mix(self.load_latency_sum);
+        mix(self.loads);
+        for &v in &self.load_level_hits {
+            mix(v);
+        }
+        h
+    }
+
     /// L3 hit rate among loads that reached the L3.
     pub fn l3_hit_rate(&self) -> f64 {
         let reached = self.load_level_hits[2] + self.load_level_hits[3];
@@ -215,6 +290,51 @@ mod tests {
         assert!(after.counter("sim.loads").unwrap() >= loads0 + 10);
         assert!(after.counter("sim.l1.hits").unwrap() >= l1_0 + 5);
         assert!(after.counter("sim.l3.page_hits").unwrap() >= pg0 + 4);
+    }
+
+    #[test]
+    fn merge_sums_everything_but_cycles() {
+        let mut a = SimStats {
+            cycles: 100,
+            instructions: 10,
+            loads: 3,
+            load_latency_sum: 30,
+            load_level_hits: [1, 1, 1, 0],
+            ..SimStats::default()
+        };
+        a.counts.l1_reads = 5;
+        a.attribute(StallKind::L2Access, 7);
+        let mut b = SimStats {
+            cycles: 999,
+            instructions: 4,
+            loads: 2,
+            load_latency_sum: 8,
+            load_level_hits: [2, 0, 0, 0],
+            ..SimStats::default()
+        };
+        b.counts.l1_reads = 9;
+        b.attribute(StallKind::L2Access, 3);
+        a.merge(&b);
+        assert_eq!(a.cycles, 100, "cycles must not be summed");
+        assert_eq!(a.instructions, 14);
+        assert_eq!(a.loads, 5);
+        assert_eq!(a.load_latency_sum, 38);
+        assert_eq!(a.load_level_hits, [3, 1, 1, 0]);
+        assert_eq!(a.counts.l1_reads, 14);
+        assert_eq!(a.attributed(StallKind::L2Access), 10);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_each_field() {
+        let base = SimStats::default();
+        let mut x = base.clone();
+        x.counts.mem_page_hits = 1;
+        let mut y = base.clone();
+        y.load_level_hits[3] = 1;
+        assert_ne!(base.digest(), x.digest());
+        assert_ne!(base.digest(), y.digest());
+        assert_ne!(x.digest(), y.digest());
+        assert_eq!(base.digest(), SimStats::default().digest());
     }
 
     #[test]

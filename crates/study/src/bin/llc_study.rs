@@ -11,6 +11,9 @@
 //! llc-study thermal                # extension: stacked-die temperature
 //! llc-study powerdown [-n INSTR]   # extension: DRAM power-down savings
 //! llc-study sweep [-n INSTR]       # L3 capacity-sensitivity curves
+//! llc-study shard [--cores N] [--shards K] [--dragon] [-n INSTR]
+//!                                  # sharded-simulator run; prints a
+//!                                  # stats digest for determinism checks
 //! ```
 //!
 //! Every command additionally accepts `--trace FILE`: at exit the process
@@ -39,6 +42,22 @@ fn parse_instructions(args: &[String]) -> u64 {
     // Default: enough for the synthetic profiles to reach steady state on
     // the largest L3s while staying minutes-scale.
     5_000_000
+}
+
+fn parse_flag_u64(args: &[String], flag: &str) -> Option<u64> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            match it.next().map(|v| v.replace('_', "").parse()) {
+                Some(Ok(v)) => return Some(v),
+                _ => {
+                    eprintln!("{flag} expects an integer");
+                    std::process::exit(2)
+                }
+            }
+        }
+    }
+    None
 }
 
 fn parse_trace(args: &[String]) -> Option<std::path::PathBuf> {
@@ -121,6 +140,31 @@ fn main() {
                 sweep::render(&[NpbApp::FtB, NpbApp::BtC, NpbApp::UaC], n)
             );
         }
+        "shard" => {
+            use memsim::{CoherenceProtocol, ShardedSimulator, SystemConfig};
+            let cores = parse_flag_u64(&args, "--cores").unwrap_or(64) as u32;
+            let shards = parse_flag_u64(&args, "--shards").unwrap_or(0) as usize;
+            let mut cfg = SystemConfig::many_core(cores);
+            if args.iter().any(|a| a == "--dragon") {
+                cfg.protocol = CoherenceProtocol::Dragon;
+            }
+            let trace = npbgen::NpbTrace::new(npbgen::NpbApp::FtB, cfg.n_threads());
+            eprintln!("sharded run: {cores} cores, {n} instructions...");
+            let mut sim = ShardedSimulator::new(cfg, trace, shards);
+            let stats = sim.run(n);
+            stats.publish_obs();
+            let info = sim.info();
+            println!(
+                "shard cores={cores} workers={} epochs={} msgs={} fallbacks={} \
+                 ipc={:.3} digest={:016x}",
+                info.last_workers,
+                info.epochs,
+                info.messages,
+                info.serial_fallbacks,
+                stats.ipc(),
+                stats.digest()
+            );
+        }
         "all" => {
             println!("{}", table1::render(TechNode::N32));
             println!("{}", table2::render());
@@ -131,7 +175,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other:?}; try table1|table2|table3|fig1|fig4|fig5|thermal|powerdown|sweep|all"
+                "unknown command {other:?}; try table1|table2|table3|fig1|fig4|fig5|thermal|powerdown|sweep|shard|all"
             );
             std::process::exit(2);
         }
